@@ -1,0 +1,160 @@
+(* Benchmark harness.  Two layers, both printed by one executable:
+
+   1. Bechamel microbenchmarks — *native* wall-clock cost of data-
+      structure operations under each reclamation scheme (the
+      single-thread instruction-overhead component of Fig. 8), one
+      Test.make per (figure panel x scheme), plus ablation kernels
+      (empty_freq sweep).  These run the real code with the
+      cost-model hooks inactive.
+
+   2. The discrete-event reproduction of every figure: Fig. 7 table,
+      Fig. 8a-d and 9a-d sweeps, Fig. 10, the A.6 acceptance checks
+      (who wins, by how much, where the curves diverge), and the
+      ablation experiments from DESIGN.md §4.
+
+   Output of `dune exec bench/main.exe` is the full reproduction
+   record (see EXPERIMENTS.md). *)
+
+open Bechamel
+open Toolkit
+
+let ops_per_run = 64
+
+(* A native workload kernel: [ops_per_run] mixed operations against a
+   prefilled structure.  The structure persists across runs; the
+   balanced mix keeps its size stationary. *)
+let make_kernel (module S : Ibr_ds.Ds_intf.SET) =
+  let threads = 1 in
+  let cfg = Ibr_core.Tracker_intf.default_config ~threads () in
+  let t = S.create ~threads cfg in
+  let h = S.register t ~tid:0 in
+  let key_range = 1024 in
+  let rng = Ibr_runtime.Rng.create 0xdead in
+  for k = 0 to key_range - 1 do
+    if k mod 4 <> 3 then ignore (S.insert h ~key:k ~value:k)
+  done;
+  Staged.stage (fun () ->
+    for _ = 1 to ops_per_run do
+      let k = Ibr_runtime.Rng.int rng key_range in
+      match Ibr_runtime.Rng.int rng 3 with
+      | 0 -> ignore (S.insert h ~key:k ~value:k)
+      | 1 -> ignore (S.remove h ~key:k)
+      | _ -> ignore (S.contains h ~key:k)
+    done)
+
+let figure_tests fig_id ds_name =
+  let maker = Ibr_ds.Ds_registry.find_exn ds_name in
+  List.filter_map
+    (fun (e : Ibr_core.Registry.entry) ->
+       if Ibr_ds.Ds_registry.compatible maker e.tracker then
+         Some
+           (Test.make
+              ~name:(Printf.sprintf "%s:%s:%s" fig_id ds_name e.name)
+              (make_kernel (maker.instantiate e.tracker)))
+       else None)
+    Ibr_core.Registry.paper_set
+
+(* Ablation: empty_freq (k) native cost. *)
+let ksweep_tests =
+  List.map
+    (fun k ->
+       let maker = Ibr_ds.Ds_registry.find_exn "hashmap" in
+       let tracker = (Ibr_core.Registry.find_exn "2GEIBR").tracker in
+       let (module S : Ibr_ds.Ds_intf.SET) = maker.instantiate tracker in
+       let kernel =
+         let threads = 1 in
+         let cfg =
+           { (Ibr_core.Tracker_intf.default_config ~threads ()) with
+             empty_freq = k } in
+         let t = S.create ~threads cfg in
+         let h = S.register t ~tid:0 in
+         let rng = Ibr_runtime.Rng.create 3 in
+         for key = 0 to 1023 do
+           ignore (S.insert h ~key ~value:key)
+         done;
+         Staged.stage (fun () ->
+           for _ = 1 to ops_per_run do
+             let key = Ibr_runtime.Rng.int rng 1024 in
+             if Ibr_runtime.Rng.bool rng then
+               ignore (S.insert h ~key ~value:key)
+             else ignore (S.remove h ~key)
+           done)
+       in
+       Test.make ~name:(Printf.sprintf "ablation:empty-freq:k=%d" k) kernel)
+    [ 1; 10; 30; 50 ]
+
+let all_tests =
+  Test.make_grouped ~name:"ibr"
+    (figure_tests "fig8a" "list"
+     @ figure_tests "fig8b" "hashmap"
+     @ figure_tests "fig8c" "nmtree"
+     @ figure_tests "fig8d" "bonsai"
+     @ ksweep_tests)
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~stabilize:false
+      ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Fmt.pr "== native per-op cost (Bechamel, monotonic clock) ==@.";
+  Fmt.pr "%-32s %14s@." "benchmark" "ns/op";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result -> rows := (name, ols_result) :: !rows)
+    results;
+  List.sort (fun (a, _) (b, _) -> compare a b) !rows
+  |> List.iter (fun (name, ols_result) ->
+    match Analyze.OLS.estimates ols_result with
+    | Some [ est ] ->
+      Fmt.pr "%-32s %14.1f@." name (est /. float_of_int ops_per_run)
+    | _ -> Fmt.pr "%-32s %14s@." name "-");
+  Fmt.pr "@."
+
+let run_figures () =
+  let threads_list = Ibr_harness.Experiment.quick_threads in
+  Fmt.pr "== Fig. 7: scheme tradeoffs ==@.%s@."
+    (Ibr_harness.Experiment.fig7_table ());
+  let all_rows = ref [] in
+  List.iter
+    (fun ds ->
+       let r = Ibr_harness.Experiment.fig8_9 ~threads_list ds in
+       print_string (Ibr_harness.Chart.to_string r.throughput_fig);
+       print_string (Ibr_harness.Chart.to_string r.space_fig);
+       all_rows := (ds, r.rows) :: !all_rows)
+    [ "list"; "hashmap"; "nmtree"; "bonsai" ];
+  let r10 = Ibr_harness.Experiment.fig10 ~threads_list () in
+  print_string (Ibr_harness.Chart.to_string r10.space_fig);
+  (* Acceptance checks per mutable-pointer panel. *)
+  List.iter
+    (fun (ds, rows) ->
+       let checks = Ibr_harness.Experiment.headline_checks rows in
+       if checks <> [] then begin
+         Fmt.pr "== A.6 checks (%s) ==@." ds;
+         List.iter
+           (fun (c : Ibr_harness.Experiment.check) ->
+              Fmt.pr "%s: %s (%s)@."
+                (if c.holds then "PASS" else "FAIL")
+                c.claim c.detail)
+           checks;
+         Fmt.pr "@."
+       end)
+    (List.rev !all_rows);
+  (* Ablations (DESIGN.md §4). *)
+  let thr, spc, _ = Ibr_harness.Experiment.empty_freq_sweep () in
+  print_string (Ibr_harness.Chart.to_string thr);
+  print_string (Ibr_harness.Chart.to_string spc);
+  print_string
+    (Ibr_harness.Chart.to_string (Ibr_harness.Experiment.fence_cost_sweep ()));
+  print_string
+    (Ibr_harness.Chart.to_string
+       (Ibr_harness.Experiment.tagibr_strategy_sweep ()))
+
+let () =
+  let skip_bechamel = Array.exists (( = ) "--figures-only") Sys.argv in
+  let skip_figures = Array.exists (( = ) "--bechamel-only") Sys.argv in
+  if not skip_bechamel then run_bechamel ();
+  if not skip_figures then run_figures ()

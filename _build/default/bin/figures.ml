@@ -1,0 +1,107 @@
+(* Regenerate every table and figure of the paper's evaluation
+   (DESIGN.md §3 maps them), print ASCII renderings, and write tidy
+   CSVs under an output directory.  `--quick` trades thread-ladder
+   resolution for speed; `--fig` selects one experiment. *)
+
+open Cmdliner
+
+let ensure_dir d = if not (Sys.file_exists d) then Unix.mkdir d 0o755
+
+let render_and_save ~out_dir figs =
+  List.iter
+    (fun (fig : Ibr_harness.Chart.figure) ->
+       print_string (Ibr_harness.Chart.to_string fig);
+       let path = Filename.concat out_dir (fig.fig_id ^ ".csv") in
+       Ibr_harness.Csv_out.write_figure path fig;
+       Fmt.pr "wrote %s@." path)
+    figs
+
+let rows_csv ~out_dir name rows =
+  let path = Filename.concat out_dir (name ^ "-rows.csv") in
+  Ibr_harness.Csv_out.write_rows path rows;
+  Fmt.pr "wrote %s@." path
+
+let run_panel ~out_dir ~threads_list ds =
+  let r = Ibr_harness.Experiment.fig8_9 ?threads_list ds in
+  render_and_save ~out_dir [ r.throughput_fig; r.space_fig ];
+  rows_csv ~out_dir ("fig8-9-" ^ ds) r.rows;
+  r.rows
+
+let run_fig10 ~out_dir ~threads_list () =
+  let r = Ibr_harness.Experiment.fig10 ?threads_list () in
+  render_and_save ~out_dir [ r.space_fig ];
+  rows_csv ~out_dir "fig10" r.rows
+
+let print_checks rows =
+  let checks = Ibr_harness.Experiment.headline_checks rows in
+  if checks <> [] then begin
+    Fmt.pr "== A.6 acceptance checks ==@.";
+    List.iter
+      (fun (c : Ibr_harness.Experiment.check) ->
+         Fmt.pr "%s: %s (%s)@."
+           (if c.holds then "PASS" else "FAIL")
+           c.claim c.detail)
+      checks;
+    Fmt.pr "@."
+  end
+
+let main fig quick out_dir =
+  ensure_dir out_dir;
+  let threads_list =
+    if quick then Some Ibr_harness.Experiment.quick_threads else None in
+  let do_fig7 () =
+    Fmt.pr "== Fig. 7: scheme tradeoffs ==@.%s@."
+      (Ibr_harness.Experiment.fig7_table ()) in
+  let do_panel ds = print_checks (run_panel ~out_dir ~threads_list ds) in
+  let do_ksweep () =
+    let thr, spc, rows = Ibr_harness.Experiment.empty_freq_sweep () in
+    render_and_save ~out_dir [ thr; spc ];
+    rows_csv ~out_dir "k-sweep" rows in
+  let do_fence () =
+    render_and_save ~out_dir [ Ibr_harness.Experiment.fence_cost_sweep () ] in
+  let do_tagibr () =
+    render_and_save ~out_dir
+      [ Ibr_harness.Experiment.tagibr_strategy_sweep () ] in
+  match fig with
+  | "7" -> do_fig7 ()
+  | "8a" | "9a" -> do_panel "list"
+  | "8b" | "9b" -> do_panel "hashmap"
+  | "8c" | "9c" -> do_panel "nmtree"
+  | "8d" | "9d" -> do_panel "bonsai"
+  | "10" -> run_fig10 ~out_dir ~threads_list ()
+  | "k-sweep" -> do_ksweep ()
+  | "fence" -> do_fence ()
+  | "tagibr" -> do_tagibr ()
+  | "all" ->
+    do_fig7 ();
+    List.iter do_panel [ "list"; "hashmap"; "nmtree"; "bonsai" ];
+    run_fig10 ~out_dir ~threads_list ();
+    do_ksweep ();
+    do_fence ();
+    do_tagibr ()
+  | s ->
+    Fmt.epr
+      "unknown figure %S (7, 8a-8d, 9a-9d, 10, k-sweep, fence, tagibr, all)@."
+      s;
+    exit 1
+
+let fig =
+  Arg.(value & opt string "all"
+       & info [ "f"; "fig" ] ~docv:"ID"
+           ~doc:"Experiment id: 7, 8a..8d, 9a..9d, 10, k-sweep, fence, \
+                 tagibr, or all.")
+
+let quick =
+  Arg.(value & flag
+       & info [ "quick" ] ~doc:"Coarser thread ladder (much faster).")
+
+let out_dir =
+  Arg.(value & opt string "data"
+       & info [ "out-dir" ] ~docv:"DIR" ~doc:"Where to write CSVs.")
+
+let cmd =
+  let doc = "regenerate the paper's figures and tables" in
+  Cmd.v (Cmd.info "ibr-figures" ~doc)
+    Term.(const main $ fig $ quick $ out_dir)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,209 @@
+(* Command-line microbenchmark runner, mirroring the artifact's
+   `bin/main -r <rideable> -t <threads> -i <interval> -d tracker=<mm>`
+   workflow (paper appendix A.5) on the simulator or real-domains
+   backend, including the parharness-style `--meta` Cartesian sweeps
+   (`--meta t:4:16:36 --meta d:EBR:2GEIBR` runs all six combinations).
+   Prints one result row per configuration, optionally appending CSV. *)
+
+open Cmdliner
+
+let run_one ~rideable ~tracker ~threads ~interval ~mix ~cores ~seed ~backend
+    ~empty_freq ~epoch_freq ~key_range ~output ~verbose =
+  let mix =
+    match mix with
+    | "write" -> Ibr_harness.Workload.write_dominated
+    | "read" -> Ibr_harness.Workload.read_dominated
+    | s -> failwith (Printf.sprintf "unknown mix %S (write|read)" s)
+  in
+  let spec =
+    let base = Ibr_harness.Workload.spec_for ~mix rideable in
+    match key_range with
+    | Some r -> { base with key_range = r }
+    | None -> base
+  in
+  let override_tracker_cfg (cfg : Ibr_core.Tracker_intf.config) =
+    let cfg =
+      match empty_freq with Some k -> { cfg with empty_freq = k } | None -> cfg
+    in
+    match epoch_freq with
+    | Some k -> { cfg with epoch_freq = k * threads }
+    | None -> cfg
+  in
+  let result =
+    match backend with
+    | "sim" ->
+      let base =
+        Ibr_harness.Runner_sim.default_config ~threads ~horizon:interval
+          ~cores ~seed ~spec ()
+      in
+      let cfg =
+        { base with tracker_cfg = override_tracker_cfg base.tracker_cfg } in
+      Ibr_harness.Runner_sim.run_named ~tracker_name:tracker
+        ~ds_name:rideable cfg
+    | "domains" ->
+      let base =
+        Ibr_harness.Runner_domains.default_config ~threads
+          ~duration_s:(float_of_int interval /. 1000.0) ~seed ~spec ()
+      in
+      let cfg =
+        { base with tracker_cfg = override_tracker_cfg base.tracker_cfg } in
+      Ibr_harness.Runner_domains.run_named ~tracker_name:tracker
+        ~ds_name:rideable cfg
+    | s -> failwith (Printf.sprintf "unknown backend %S (sim|domains)" s)
+  in
+  match result with
+  | None ->
+    Fmt.epr "error: tracker %s is not compatible with rideable %s@." tracker
+      rideable;
+    exit 1
+  | Some r ->
+    if verbose then
+      Fmt.pr "cores=%d seed=%d backend=%s costs=%a@." cores seed backend
+        Ibr_runtime.Cost.pp !Ibr_core.Prim.costs;
+    Fmt.pr "%a@." Ibr_harness.Stats.pp r;
+    (match output with
+     | None -> ()
+     | Some path ->
+       let existed = Sys.file_exists path in
+       let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+       if not existed then begin
+         output_string oc Ibr_harness.Stats.csv_header;
+         output_char oc '\n'
+       end;
+       output_string oc (Ibr_harness.Stats.to_csv_row r);
+       output_char oc '\n';
+       close_out oc;
+       Fmt.pr "appended to %s@." path)
+
+(* parharness-style meta expansion: each --meta key:v1:v2 multiplies
+   the configuration set. *)
+let expand_metas metas base =
+  let int_of_meta key v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "--meta %s wants integers, got %S" key v)
+  in
+  let apply (r, d, t, i, m) (key, v) =
+    match key with
+    | "r" -> (v, d, t, i, m)
+    | "d" -> (r, v, t, i, m)
+    | "t" -> (r, d, int_of_meta key v, i, m)
+    | "i" -> (r, d, t, int_of_meta key v, m)
+    | "m" -> (r, d, t, i, v)
+    | k -> failwith (Printf.sprintf "unknown meta key %S (r,d,t,i,m)" k)
+  in
+  List.fold_left
+    (fun configs meta ->
+       match String.split_on_char ':' meta with
+       | key :: (_ :: _ as values) ->
+         List.concat_map
+           (fun cfg -> List.map (fun v -> apply cfg (key, v)) values)
+           configs
+       | _ -> failwith (Printf.sprintf "bad --meta %S; want key:v1:v2:..." meta))
+    [ base ] metas
+
+let list_menu () =
+  Fmt.pr "rideables:@.";
+  List.iter
+    (fun (m : Ibr_ds.Ds_registry.maker) -> Fmt.pr "  %s@." m.ds_name)
+    Ibr_ds.Ds_registry.all;
+  Fmt.pr "trackers:@.";
+  List.iter
+    (fun (e : Ibr_core.Registry.entry) ->
+       let p = Ibr_core.Registry.props e in
+       Fmt.pr "  %-12s %s@." e.name p.summary)
+    Ibr_core.Registry.all
+
+(* ---- cmdliner wiring ---- *)
+
+let rideable =
+  Arg.(value & opt string "hashmap"
+       & info [ "r"; "rideable" ] ~docv:"NAME"
+           ~doc:"Data structure: list, hashmap, nmtree, bonsai.")
+
+let tracker =
+  Arg.(value & opt string "2GEIBR"
+       & info [ "d"; "tracker" ] ~docv:"NAME"
+           ~doc:"Reclamation scheme (see --menu).")
+
+let threads =
+  Arg.(value & opt int 16
+       & info [ "t"; "threads" ] ~docv:"N" ~doc:"Worker thread count.")
+
+let interval =
+  Arg.(value & opt int 200_000
+       & info [ "i"; "interval" ] ~docv:"N"
+           ~doc:"Run length: virtual cycles (sim) or milliseconds (domains).")
+
+let mix =
+  Arg.(value & opt string "write"
+       & info [ "m"; "mix" ] ~docv:"MIX"
+           ~doc:"Workload mix: write (50/50 ins/rm) or read (90% gets).")
+
+let cores =
+  Arg.(value & opt int 72
+       & info [ "cores" ] ~docv:"N" ~doc:"Simulated hardware threads.")
+
+let seed =
+  Arg.(value & opt int 0xbeef & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let backend =
+  Arg.(value & opt string "sim"
+       & info [ "backend" ] ~docv:"B"
+           ~doc:"Execution backend: sim (discrete-event) or domains (real).")
+
+let empty_freq =
+  Arg.(value & opt (some int) None
+       & info [ "empty-freq" ] ~docv:"K"
+           ~doc:"Reclamation attempt every K retirements (paper: 30).")
+
+let epoch_freq =
+  Arg.(value & opt (some int) None
+       & info [ "epoch-freq" ] ~docv:"K"
+           ~doc:"Epoch advance every K*threads allocations per thread.")
+
+let key_range =
+  Arg.(value & opt (some int) None
+       & info [ "key-range" ] ~docv:"N" ~doc:"Override the key range.")
+
+let output =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Append a CSV row to FILE.")
+
+let menu =
+  Arg.(value & flag
+       & info [ "menu" ] ~doc:"List available rideables and trackers.")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty output.")
+
+let metas =
+  Arg.(value & opt_all string []
+       & info [ "meta" ] ~docv:"KEY:V1:V2:..."
+           ~doc:"Cartesian sweep over r (rideable), d (tracker), t                  (threads), i (interval), m (mix); repeatable,                  parharness style.")
+
+let cmd =
+  let doc = "run one IBR microbenchmark configuration" in
+  let term =
+    Term.(
+      const (fun menu_flag rideable tracker threads interval mix cores seed
+              backend empty_freq epoch_freq key_range output verbose metas ->
+          if menu_flag then list_menu ()
+          else
+            try
+              List.iter
+                (fun (rideable, tracker, threads, interval, mix) ->
+                   run_one ~rideable ~tracker ~threads ~interval ~mix ~cores
+                     ~seed ~backend ~empty_freq ~epoch_freq ~key_range
+                     ~output ~verbose)
+                (expand_metas metas (rideable, tracker, threads, interval, mix))
+            with
+            | Failure msg | Invalid_argument msg ->
+              Fmt.epr "error: %s@." msg;
+              Stdlib.exit 1)
+      $ menu $ rideable $ tracker $ threads $ interval $ mix $ cores $ seed
+      $ backend $ empty_freq $ epoch_freq $ key_range $ output $ verbose
+      $ metas)
+  in
+  Cmd.v (Cmd.info "ibr-bench" ~doc) term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/concurrent_cache.ml: Fmt Ibr_harness Option

@@ -1,0 +1,1 @@
+examples/persistent_snapshots.ml: Alloc Atomic Fault Fmt Ibr_core Ibr_ds Ibr_runtime List Po_ibr Rng Sched String Tracker_intf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alloc Block Ebr Fault Fmt Ibr_core Ibr_runtime Sched Tracker_intf View

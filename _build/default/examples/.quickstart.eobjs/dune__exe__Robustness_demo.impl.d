@@ -1,0 +1,1 @@
+examples/robustness_demo.ml: Fault Fmt Ibr_core Ibr_ds Ibr_runtime List Registry Rng Sched Tracker_intf

@@ -1,0 +1,52 @@
+(* A concurrent key-value cache on Michael's lock-free hash map with
+   interval-based reclamation — the paper's motivating deployment:
+   many more application threads than cores ("multiprogramming or
+   large numbers of application threads", §7), where EBR bleeds
+   memory whenever a thread is preempted mid-operation and IBR does
+   not.
+
+   We run the same cache workload (oversubscribed 3x) under EBR and
+   under 2GEIBR and compare the retired-but-unreclaimed footprint.
+
+     dune exec examples/concurrent_cache.exe
+*)
+
+
+let run_cache tracker_name =
+  let threads = 48 in       (* 3x oversubscribed on 16 cores *)
+  let spec =
+    { (Ibr_harness.Workload.spec_for "hashmap") with key_range = 4096 } in
+  let cfg =
+    Ibr_harness.Runner_sim.default_config ~threads ~horizon:400_000
+      ~cores:16 ~seed:7 ~spec ()
+  in
+  (* More aggressive stalls: a busy, noisy machine. *)
+  let cfg =
+    { cfg with
+      sched = { cfg.sched with stall_prob = 0.01; stall_len = 120_000 } }
+  in
+  Option.get
+    (Ibr_harness.Runner_sim.run_named ~tracker_name ~ds_name:"hashmap" cfg)
+
+let () =
+  Fmt.pr "cache workload: 48 threads on 16 cores, 4096 keys, 50/50 mix@.@.";
+  let report (r : Ibr_harness.Stats.t) =
+    Fmt.pr
+      "  %-8s throughput %8.0f ops/Mcycle | avg unreclaimed %7.1f blocks \
+       | peak %6d | faults %d@."
+      r.tracker r.throughput r.avg_unreclaimed r.peak_unreclaimed r.faults
+  in
+  let ebr = run_cache "EBR" in
+  let ibr = run_cache "2GEIBR" in
+  let hp = run_cache "HP" in
+  report ebr;
+  report ibr;
+  report hp;
+  Fmt.pr "@.";
+  Fmt.pr "2GEIBR holds %.1fx less dead memory than EBR at %.0f%% of its \
+          throughput;@."
+    (ebr.avg_unreclaimed /. ibr.avg_unreclaimed)
+    (100.0 *. ibr.throughput /. ebr.throughput);
+  Fmt.pr "HP's footprint is minimal but costs %.1fx the throughput of \
+          2GEIBR.@."
+    (ibr.throughput /. hp.throughput)

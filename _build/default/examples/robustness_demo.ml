@@ -1,0 +1,109 @@
+(* Robustness (§4.3.1) made visible.
+
+   Act 1 — a thread stalls forever in the middle of an operation while
+   the others keep working.  Under EBR the stalled reservation pins
+   every block retired from then on: dead memory grows without bound.
+   Under the IBR schemes (and HP/HE) the stalled thread pins only a
+   bounded set; reclamation keeps pace.
+
+   Act 2 — what reclamation safety is *for*: the same workload under
+   the deliberately broken UnsafeFree scheme (free on retire), with
+   the fault checker in counting mode: dangling reads happen and are
+   counted.  Under every real scheme the count is zero.
+
+     dune exec examples/robustness_demo.exe
+*)
+
+open Ibr_core
+open Ibr_runtime
+
+let churn_with_stalled_reader tracker_name =
+  let entry = Registry.find_exn tracker_name in
+  let (module T : Tracker_intf.TRACKER) = entry.tracker in
+  let module L = Ibr_ds.Harris_list.Make (T) in
+  let threads = 9 in
+  let cfg =
+    { (Tracker_intf.default_config ~threads ()) with
+      epoch_freq = 2 * threads; empty_freq = 8 } in
+  let t = L.create ~threads cfg in
+  (* Prefill. *)
+  let h0 = L.register t ~tid:0 in
+  for k = 0 to 63 do ignore (L.insert h0 ~key:k ~value:k) done;
+  let sched = Sched.create (Sched.test_config ~cores:8 ~seed:3 ()) in
+  (* Thread 0: posts a reservation at the tracker level and "stalls"
+     by returning without end_op — exactly the state a preempted
+     thread is in, held for the rest of the run. *)
+  ignore
+    (Sched.spawn sched (fun tid ->
+       let h = L.register t ~tid in
+       T.start_op h.th;
+       ignore (T.read_root h.th t.head)));
+  (* Eight workers churn. *)
+  for i = 1 to 8 do
+    ignore
+      (Sched.spawn sched (fun tid ->
+         let h = L.register t ~tid in
+         let rng = Rng.stream ~seed:77 ~index:i in
+         for _ = 1 to 1500 do
+           let k = Rng.int rng 64 in
+           if Rng.bool rng then ignore (L.insert h ~key:k ~value:k)
+           else ignore (L.remove h ~key:k)
+         done))
+  done;
+  Sched.run sched;
+  let st = L.allocator_stats t in
+  (st.allocated, st.live, st.freed)
+
+let act1 () =
+  Fmt.pr "== Act 1: one thread stalls mid-operation forever ==@.";
+  Fmt.pr "   (8 workers churn a 64-key list; list itself holds ~48 nodes)@.@.";
+  Fmt.pr "   %-12s %10s %10s %12s@." "scheme" "allocated" "freed"
+    "dead+live";
+  List.iter
+    (fun name ->
+       let allocated, live, freed = churn_with_stalled_reader name in
+       Fmt.pr "   %-12s %10d %10d %12d%s@." name allocated freed live
+         (if name = "EBR" then "   <- grows with run length" else ""))
+    [ "EBR"; "HP"; "HE"; "TagIBR"; "2GEIBR" ];
+  Fmt.pr "@."
+
+let act2 () =
+  Fmt.pr "== Act 2: why deferred reclamation matters at all ==@.";
+  let run name =
+    let entry = Registry.find_exn name in
+    let (module T : Tracker_intf.TRACKER) = entry.tracker in
+    let module L = Ibr_ds.Harris_list.Make (T) in
+    let threads = 8 in
+    let cfg =
+      { (Tracker_intf.default_config ~threads ()) with
+        reuse = false; epoch_freq = 2; empty_freq = 2 } in
+    let t = L.create ~threads cfg in
+    let sched =
+      Sched.create
+        { (Sched.test_config ~cores:4 ~seed:13 ()) with
+          stall_prob = 0.05; stall_len = 2_000; quantum = 100 } in
+    let (), faults =
+      Fault.with_counting (fun () ->
+        for i = 0 to threads - 1 do
+          ignore
+            (Sched.spawn sched (fun tid ->
+               let h = L.register t ~tid in
+               let rng = Rng.stream ~seed:1 ~index:i in
+               for _ = 1 to 400 do
+                 let k = Rng.int rng 16 in
+                 if Rng.bool rng then ignore (L.insert h ~key:k ~value:k)
+                 else ignore (L.remove h ~key:k)
+               done))
+        done;
+        Sched.run sched)
+    in
+    Fmt.pr "   %-12s dangling-access faults: %d@." name faults
+  in
+  List.iter run [ "UnsafeFree"; "EBR"; "2GEIBR"; "HP" ];
+  Fmt.pr
+    "@.   UnsafeFree frees at retire — readers observe garbage; every real@.";
+  Fmt.pr "   scheme defers until reservations allow, and the count is 0.@."
+
+let () =
+  act1 ();
+  act2 ()

@@ -1,0 +1,1 @@
+lib/core/ebr.mli: Tracker_intf

@@ -1,0 +1,1 @@
+lib/core/fraser_ebr.ml: Alloc Array Atomic Block Epoch Plain_ptr Prim Tracker_common Tracker_intf

@@ -1,0 +1,1 @@
+lib/core/fraser_ebr.mli: Tracker_intf

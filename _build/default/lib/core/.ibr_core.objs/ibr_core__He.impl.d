@@ -1,0 +1,1 @@
+lib/core/he.ml: Alloc Array Atomic Block Epoch List Plain_ptr Prim Tracker_common Tracker_intf

@@ -1,0 +1,1 @@
+lib/core/he.mli: Tracker_intf

@@ -1,0 +1,1 @@
+lib/core/hp.ml: Alloc Array Atomic Block Hashtbl Plain_ptr Prim Tracker_common Tracker_intf View

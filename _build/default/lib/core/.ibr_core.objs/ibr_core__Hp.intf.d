@@ -1,0 +1,1 @@
+lib/core/hp.mli: Tracker_intf

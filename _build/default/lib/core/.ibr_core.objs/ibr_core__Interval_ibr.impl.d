@@ -1,0 +1,1 @@
+lib/core/interval_ibr.ml: Alloc Atomic Block Epoch Tracker_common Tracker_intf View

@@ -1,0 +1,1 @@
+lib/core/no_mm.ml: Alloc Block Plain_ptr Tracker_common Tracker_intf

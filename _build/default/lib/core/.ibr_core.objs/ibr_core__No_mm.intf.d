@@ -1,0 +1,1 @@
+lib/core/no_mm.mli: Tracker_intf

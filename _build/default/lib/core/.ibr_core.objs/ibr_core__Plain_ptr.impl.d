@@ -1,0 +1,1 @@
+lib/core/plain_ptr.ml: Atomic Prim View

@@ -1,0 +1,1 @@
+lib/core/plain_ptr.mli: Atomic Block View

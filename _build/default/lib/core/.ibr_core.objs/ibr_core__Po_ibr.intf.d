@@ -1,0 +1,1 @@
+lib/core/po_ibr.mli: Tracker_intf

@@ -1,0 +1,1 @@
+lib/core/prim.ml: Atomic Cost Hooks Ibr_runtime

@@ -1,0 +1,1 @@
+lib/core/prim.mli: Atomic Ibr_runtime

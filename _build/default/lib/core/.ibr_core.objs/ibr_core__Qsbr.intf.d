@@ -1,0 +1,1 @@
+lib/core/qsbr.mli: Tracker_intf

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Ebr Fraser_ebr He Hp List No_mm Po_ibr Printf Qsbr String Tag_ibr Tag_ibr_tpa Tag_ibr_wcas Tracker_intf Two_ge_ibr Two_ge_unfenced Unsafe_free

@@ -1,0 +1,1 @@
+lib/core/tag_ibr.ml: Atomic Block Interval_ibr Prim Tracker_intf View

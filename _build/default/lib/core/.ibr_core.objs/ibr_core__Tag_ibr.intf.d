@@ -1,0 +1,1 @@
+lib/core/tag_ibr.mli: Tracker_intf

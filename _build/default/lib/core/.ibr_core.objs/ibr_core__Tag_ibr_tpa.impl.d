@@ -1,0 +1,1 @@
+lib/core/tag_ibr_tpa.ml: Atomic Block Ibr_runtime Interval_ibr Plain_ptr Prim Tracker_intf View

@@ -1,0 +1,1 @@
+lib/core/tag_ibr_tpa.mli: Tracker_intf

@@ -1,0 +1,1 @@
+lib/core/tag_ibr_wcas.mli: Tracker_intf

@@ -1,0 +1,1 @@
+lib/core/tracker_common.ml: Array Atomic Block List Prim

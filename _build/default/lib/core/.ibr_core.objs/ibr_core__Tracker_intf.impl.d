@@ -1,0 +1,1 @@
+lib/core/tracker_intf.ml: Alloc Block View

@@ -1,0 +1,1 @@
+lib/core/two_ge_ibr.ml: Atomic Epoch Interval_ibr Plain_ptr Prim Tracker_intf

@@ -1,0 +1,1 @@
+lib/core/two_ge_ibr.mli: Tracker_intf

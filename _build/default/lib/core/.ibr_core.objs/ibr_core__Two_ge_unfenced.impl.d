@@ -1,0 +1,1 @@
+lib/core/two_ge_unfenced.ml: Atomic Epoch Interval_ibr Plain_ptr Prim Tracker_intf

@@ -1,0 +1,1 @@
+lib/core/two_ge_unfenced.mli: Tracker_intf

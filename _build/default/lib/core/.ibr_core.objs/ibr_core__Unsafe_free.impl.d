@@ -1,0 +1,1 @@
+lib/core/unsafe_free.ml: Alloc Block Plain_ptr Tracker_intf

@@ -1,0 +1,1 @@
+lib/core/unsafe_free.mli: Tracker_intf

@@ -1,0 +1,110 @@
+(* Simulated manual allocator.
+
+   Stands in for jemalloc in the paper's setup: per-thread free-list
+   caches (so allocation is contention-free, as jemalloc's arenas
+   make it), explicit [free] with poisoning, and full statistics.  Two
+   operating modes:
+
+   - [reuse = true]  (default; benchmark mode): freed blocks go to the
+     freeing thread's cache and are reincarnated by later allocations.
+     The allocator is type-preserving by construction — an ['a t] only
+     ever recycles ['a Block.t]s — which is precisely the guarantee
+     the TagIBR-TPA variant requires (§3.2.1).
+   - [reuse = false] (checker mode): blocks are never reused, so a
+     reclaimed block stays [Reclaimed] forever and every dangling
+     access is detected with certainty.  Tests run in this mode.
+
+   Statistics are atomics so the real-domains backend can share an
+   allocator across domains. *)
+
+type 'a t = {
+  reuse : bool;
+  caches : 'a Block.t list ref array;  (* per-thread free lists *)
+  next_id : int Atomic.t;
+  allocated : int Atomic.t;   (* total alloc calls *)
+  fresh : int Atomic.t;       (* allocations served by new blocks *)
+  reused : int Atomic.t;      (* allocations served from a cache *)
+  freed : int Atomic.t;       (* total free calls *)
+}
+
+let create ?(reuse = true) ~threads () =
+  if threads < 1 then invalid_arg "Alloc.create: threads must be >= 1";
+  {
+    reuse;
+    caches = Array.init threads (fun _ -> ref []);
+    next_id = Atomic.make 0;
+    allocated = Atomic.make 0;
+    fresh = Atomic.make 0;
+    reused = Atomic.make 0;
+    freed = Atomic.make 0;
+  }
+
+let threads t = Array.length t.caches
+
+let check_tid t tid =
+  if tid < 0 || tid >= Array.length t.caches then
+    invalid_arg "Alloc: thread id out of range"
+
+let alloc t ~tid payload =
+  check_tid t tid;
+  Atomic.incr t.allocated;
+  let cache = t.caches.(tid) in
+  match !cache with
+  | b :: rest when t.reuse ->
+    cache := rest;
+    Block.reincarnate b payload;
+    Atomic.incr t.reused;
+    Prim.charge_alloc ~reused:true;
+    b
+  | _ ->
+    Atomic.incr t.fresh;
+    Prim.charge_alloc ~reused:false;
+    Block.make ~id:(Atomic.fetch_and_add t.next_id 1) payload
+
+(* Reclaim a retired block: poison it and (in reuse mode) cache it. *)
+let free t ~tid b =
+  check_tid t tid;
+  Block.transition_reclaim b;
+  Atomic.incr t.freed;
+  Prim.charge_free ();
+  if t.reuse then begin
+    let cache = t.caches.(tid) in
+    cache := b :: !cache
+  end
+
+(* Reclaim a block that was never published (lost install CAS). *)
+let free_unpublished t ~tid b =
+  check_tid t tid;
+  Block.transition_reclaim_unpublished b;
+  Atomic.incr t.freed;
+  Prim.charge_free ();
+  if t.reuse then begin
+    let cache = t.caches.(tid) in
+    cache := b :: !cache
+  end
+
+type stats = {
+  allocated : int;
+  fresh : int;
+  reused : int;
+  freed : int;
+  live : int;       (* allocated - freed: Live or Retired blocks *)
+  cached : int;     (* blocks sitting in free lists *)
+}
+
+let stats t =
+  let cached = Array.fold_left (fun n c -> n + List.length !c) 0 t.caches in
+  let allocated = Atomic.get t.allocated in
+  let freed = Atomic.get t.freed in
+  {
+    allocated;
+    fresh = Atomic.get t.fresh;
+    reused = Atomic.get t.reused;
+    freed;
+    live = allocated - freed;
+    cached;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "alloc=%d (fresh=%d reused=%d) freed=%d live=%d cached=%d"
+    s.allocated s.fresh s.reused s.freed s.live s.cached

@@ -1,0 +1,40 @@
+(** Simulated manual allocator (the jemalloc stand-in; DESIGN.md §1).
+
+    Per-thread free-list caches make allocation contention-free, as
+    jemalloc's arenas do.  Two modes:
+    - [reuse = true] (benchmark mode): freed blocks are reincarnated
+      by later allocations.  Type-preserving by construction — an
+      ['a t] only recycles ['a Block.t]s — which is exactly the
+      guarantee TagIBR-TPA requires.
+    - [reuse = false] (checker mode): reclaimed blocks stay reclaimed,
+      so every dangling access is detected with certainty. *)
+
+type 'a t
+
+val create : ?reuse:bool -> threads:int -> unit -> 'a t
+(** [reuse] defaults to [true].
+    @raise Invalid_argument if [threads < 1]. *)
+
+val threads : 'a t -> int
+
+val alloc : 'a t -> tid:int -> 'a -> 'a Block.t
+(** Serve from thread [tid]'s cache or make a fresh block. *)
+
+val free : 'a t -> tid:int -> 'a Block.t -> unit
+(** Reclaim a retired block (fault on double free / free of a live
+    block). *)
+
+val free_unpublished : 'a t -> tid:int -> 'a Block.t -> unit
+(** Reclaim a block that was never published. *)
+
+type stats = {
+  allocated : int;  (** total alloc calls *)
+  fresh : int;      (** served by fresh blocks *)
+  reused : int;     (** served from a cache *)
+  freed : int;      (** total frees *)
+  live : int;       (** allocated - freed (Live or Retired) *)
+  cached : int;     (** blocks sitting in free lists *)
+}
+
+val stats : 'a t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,60 @@
+(** Memory blocks with an explicit lifecycle — the unit of manual
+    memory management.
+
+    The header carries the interval metadata the paper's schemes use
+    (birth epoch, retire epoch) plus a state machine standing in for
+    actual deallocation:
+
+    {v Live --retire--> Retired --free--> Reclaimed --(reuse)--> Live v}
+
+    Accessing the payload of a [Reclaimed] block is the moral
+    equivalent of dereferencing a dangling pointer and is reported via
+    {!Fault}.  Header fields remain readable after reclamation, which
+    models a type-preserving allocator (what TagIBR-TPA needs,
+    §3.2.1). *)
+
+type state = Live | Retired | Reclaimed
+
+type 'a t
+
+val make : id:int -> 'a -> 'a t
+(** Fresh [Live] block.  Normally called by {!Alloc}, not directly. *)
+
+val id : 'a t -> int
+(** Unique per allocator; stable across reuse. *)
+
+val incarnation : 'a t -> int
+(** Bumped each time the block is reused. *)
+
+val state : 'a t -> state
+val birth_epoch : 'a t -> int
+val retire_epoch : 'a t -> int
+val set_birth_epoch : 'a t -> int -> unit
+val set_retire_epoch : 'a t -> int -> unit
+
+val get : 'a t -> 'a
+(** Payload dereference; the single point where use-after-free is
+    detected (and, in the simulator, a preemption point). *)
+
+val peek : 'a t -> 'a option
+(** Total variant for checkers/diagnostics: [None] if reclaimed. *)
+
+val is_live : 'a t -> bool
+val is_retired : 'a t -> bool
+val is_reclaimed : 'a t -> bool
+
+val transition_retire : 'a t -> unit
+(** Live -> Retired; reports a fault otherwise. *)
+
+val transition_reclaim : 'a t -> unit
+(** Retired -> Reclaimed; reports a fault otherwise. *)
+
+val transition_reclaim_unpublished : 'a t -> unit
+(** Live -> Reclaimed, for speculative blocks that lost their install
+    CAS and were never visible to other threads. *)
+
+val reincarnate : 'a t -> 'a -> unit
+(** Reclaimed -> Live with a fresh payload and cleared header
+    (allocator reuse). *)
+
+val pp : Format.formatter -> 'a t -> unit

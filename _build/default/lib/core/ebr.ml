@@ -1,0 +1,97 @@
+(* Epoch-based reclamation (paper §2.2, Fig. 2).
+
+   One epoch reservation per thread, posted at [start_op], cleared
+   (to MAX) at [end_op].  A retired block is reclaimable once its
+   retire epoch precedes every posted reservation.  Fast — no per-read
+   instrumentation at all — but not robust: one stalled thread pins
+   every block retired after its start epoch. *)
+
+let name = "EBR"
+
+let props = {
+  Tracker_intf.robust = false;
+  needs_unreserve = false;
+  mutable_pointers = true;
+  bounded_slots = false;
+  pointer_tag_words = 0;
+  fence_per_read = false;
+  summary =
+    "start epoch reserves everything not retired before it; \
+     unbounded reservation for a stalled thread";
+}
+
+type 'a t = {
+  epoch : Epoch.t;
+  reservations : int Atomic.t array;
+  alloc : 'a Alloc.t;
+  cfg : Tracker_intf.config;
+}
+
+type 'a handle = {
+  t : 'a t;
+  tid : int;
+  mutable alloc_counter : int;
+  mutable retire_counter : int;
+  retired : 'a Tracker_common.Retired.t;
+}
+
+type 'a ptr = 'a Plain_ptr.t
+
+let create ~threads (cfg : Tracker_intf.config) = {
+  epoch = Epoch.create ();
+  reservations = Array.init threads (fun _ -> Atomic.make max_int);
+  alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
+  cfg;
+}
+
+let register t ~tid =
+  { t; tid; alloc_counter = 0; retire_counter = 0;
+    retired = Tracker_common.Retired.create () }
+
+let alloc h payload =
+  (* Fig. 2 ties epoch advancement to retirement; we tie it to
+     allocation as §3 does for all schemes (one convention across the
+     board makes the robustness bound uniform). *)
+  h.alloc_counter <- h.alloc_counter + 1;
+  if h.t.cfg.epoch_freq > 0 && h.alloc_counter mod h.t.cfg.epoch_freq = 0
+  then Epoch.advance h.t.epoch;
+  let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
+  Block.set_birth_epoch b (Epoch.peek h.t.epoch);
+  b
+
+let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
+
+(* Reclaim every block retired before the oldest reservation. *)
+let empty h =
+  let reservations = Tracker_common.snapshot_reservations h.t.reservations in
+  let max_safe = Array.fold_left min max_int reservations in
+  Tracker_common.Retired.sweep h.retired
+    ~conflict:(fun b -> Block.retire_epoch b >= max_safe)
+    ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
+
+let retire h b =
+  Block.transition_retire b;
+  Block.set_retire_epoch b (Epoch.read h.t.epoch);
+  Tracker_common.Retired.add h.retired b;
+  h.retire_counter <- h.retire_counter + 1;
+  if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
+  then empty h
+
+let start_op h =
+  let e = Epoch.read h.t.epoch in
+  Prim.write h.t.reservations.(h.tid) e
+
+let end_op h = Prim.write h.t.reservations.(h.tid) max_int
+
+let make_ptr _ ?tag target = Plain_ptr.make ?tag target
+let read _ ~slot:_ p = Plain_ptr.read p
+let read_root h p = read h ~slot:0 p
+let write _ p ?tag target = Plain_ptr.write p ?tag target
+let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
+let unreserve _ ~slot:_ = ()
+let reassign _ ~src:_ ~dst:_ = ()
+
+let retired_count h = Tracker_common.Retired.count h.retired
+let force_empty h = empty h
+let allocator t = t.alloc
+let epoch_value t = Epoch.peek t.epoch

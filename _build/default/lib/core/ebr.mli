@@ -1,0 +1,6 @@
+(** Epoch-based reclamation (paper §2.2, Fig. 2): one epoch reservation per thread; fast, not robust.
+
+    Sealed to the common memory-manager signature of Fig. 1; see
+    {!Tracker_intf.TRACKER} for the operations. *)
+
+include Tracker_intf.TRACKER

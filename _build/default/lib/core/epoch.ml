@@ -1,0 +1,31 @@
+(* The global epoch counter (paper §2.2, §3).
+
+   A single fetch-and-increment counter.  All schemes that use epochs
+   (EBR, HE, POIBR, TagIBR*, 2GEIBR) advance it from [alloc] every
+   [epoch_freq] allocations per thread, which bounds the number of
+   blocks born in any one epoch — the key ingredient of the
+   robustness proof (Theorem 2). *)
+
+type t = { value : int Atomic.t }
+
+(* Start at 1 so that 0 can mean "before any epoch" in tests. *)
+let create () = { value = Atomic.make 1 }
+
+let read t = Prim.hot_read t.value
+
+(* Non-charged read for assertions and metrics. *)
+let peek t = Atomic.get t.value
+
+let advance t = ignore (Prim.faa t.value 1)
+
+(* Conditional advance: exactly [expected] -> [expected + 1].  Used by
+   QSBR, where an unconditional increment by racing advancers would
+   skip a grace period. *)
+let advance_cas t ~expected = Prim.cas t.value expected (expected + 1)
+
+(* Per-thread allocation-driven advance: thread-local counter, bump
+   the global epoch every [freq] calls.  Matches Fig. 2 lines 15–17 /
+   Fig. 5 lines 31–33. *)
+let tick t ~counter ~freq =
+  incr counter;
+  if freq > 0 && !counter mod freq = 0 then advance t

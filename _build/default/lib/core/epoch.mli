@@ -1,0 +1,29 @@
+(** The global epoch counter (paper §2.2, §3).
+
+    All epoch-based schemes advance it from [alloc] every
+    [epoch_freq] allocations per thread, which bounds the number of
+    blocks born in any one epoch — the key ingredient of the
+    robustness theorem (Thm. 2). *)
+
+type t
+
+val create : unit -> t
+(** Starts at 1 (0 means "before any epoch" in tests). *)
+
+val read : t -> int
+(** Cost-charged read (hot-read class). *)
+
+val peek : t -> int
+(** Uncharged read for assertions and metrics. *)
+
+val advance : t -> unit
+(** Atomic increment (fetch-and-add). *)
+
+val advance_cas : t -> expected:int -> bool
+(** Advance exactly [expected] to [expected + 1]; fails if the epoch
+    moved.  (QSBR's grace periods need the conditional form: racing
+    unconditional increments would skip one.) *)
+
+val tick : t -> counter:int ref -> freq:int -> unit
+(** Allocation-driven advance: bump [counter]; advance the epoch every
+    [freq] calls ([freq <= 0] never advances). *)

@@ -1,0 +1,66 @@
+(* Memory-fault detection policy.
+
+   In C, a use-after-free or double-free is undefined behaviour.  In
+   this reproduction both are *defined, detectable events*: the
+   allocator and block accessors funnel every violation through this
+   module.  Tests run in [Raise] mode (a violation fails the test);
+   experiment harnesses demonstrating broken schemes run in [Count]
+   mode so a run survives long enough to accumulate statistics. *)
+
+type kind =
+  | Use_after_free   (* payload accessed after reclamation *)
+  | Double_free      (* block reclaimed twice *)
+  | Double_retire    (* block retired twice *)
+  | Retire_unpublished (* block retired while never published / not live *)
+
+exception Memory_fault of kind * string
+
+type mode = Raise | Count
+
+let mode : mode Atomic.t = Atomic.make Raise
+
+let use_after_free = Atomic.make 0
+let double_free = Atomic.make 0
+let double_retire = Atomic.make 0
+let retire_unpublished = Atomic.make 0
+
+let counter = function
+  | Use_after_free -> use_after_free
+  | Double_free -> double_free
+  | Double_retire -> double_retire
+  | Retire_unpublished -> retire_unpublished
+
+let kind_to_string = function
+  | Use_after_free -> "use-after-free"
+  | Double_free -> "double-free"
+  | Double_retire -> "double-retire"
+  | Retire_unpublished -> "retire-unpublished"
+
+let report kind detail =
+  match Atomic.get mode with
+  | Raise -> raise (Memory_fault (kind, detail))
+  | Count -> Atomic.incr (counter kind)
+
+let count kind = Atomic.get (counter kind)
+
+let total () =
+  Atomic.get use_after_free + Atomic.get double_free
+  + Atomic.get double_retire + Atomic.get retire_unpublished
+
+let reset () =
+  Atomic.set use_after_free 0;
+  Atomic.set double_free 0;
+  Atomic.set double_retire 0;
+  Atomic.set retire_unpublished 0
+
+let set_mode m = Atomic.set mode m
+
+(* Run [f] in [Count] mode with fresh counters; restore previous mode
+   and return (result, faults observed during f). *)
+let with_counting f =
+  let old = Atomic.get mode in
+  Atomic.set mode Count;
+  let before = total () in
+  Fun.protect ~finally:(fun () -> Atomic.set mode old) (fun () ->
+    let result = f () in
+    (result, total () - before))

@@ -1,0 +1,31 @@
+(** Memory-fault detection policy.
+
+    In C a use-after-free or double-free is undefined behaviour; in
+    this reproduction both are {e defined, detectable events}.  Tests
+    run in [Raise] mode; demonstrations of broken schemes run in
+    [Count] mode so a run survives to accumulate statistics. *)
+
+type kind =
+  | Use_after_free       (** payload accessed after reclamation *)
+  | Double_free          (** block reclaimed twice *)
+  | Double_retire        (** block retired twice *)
+  | Retire_unpublished   (** retire of a block not in the Live state *)
+
+exception Memory_fault of kind * string
+
+type mode = Raise | Count
+
+val set_mode : mode -> unit
+
+val report : kind -> string -> unit
+(** Raise or count, per the current mode. *)
+
+val count : kind -> int
+val total : unit -> int
+val reset : unit -> unit
+
+val kind_to_string : kind -> string
+
+val with_counting : (unit -> 'a) -> 'a * int
+(** Run in [Count] mode; return the result and the number of faults
+    observed during the call.  Restores the previous mode. *)

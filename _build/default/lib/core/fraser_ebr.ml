@@ -1,0 +1,120 @@
+(* Fraser's original epoch-based reclamation [12] (paper §2.2).
+
+   Where our [Ebr] advances the global epoch on an allocation cadence
+   (the §3 convention), Fraser's scheme advances it only when *every*
+   active thread has been observed in the current epoch: a thread
+   posts the epoch at operation start, and a would-be advancer CASes
+   e -> e+1 once all posted reservations equal e.  Blocks retired in
+   epoch x become reclaimable at epoch x+2 — by then every thread has
+   begun a fresh operation since the retirement.
+
+   Properties are EBR's: zero per-read cost, not robust (one thread
+   parked mid-operation freezes the epoch and with it all
+   reclamation). *)
+
+let name = "EBR-Fraser"
+
+let props = {
+  Tracker_intf.robust = false;
+  needs_unreserve = false;
+  mutable_pointers = true;
+  bounded_slots = false;
+  pointer_tag_words = 0;
+  fence_per_read = false;
+  summary =
+    "Fraser's EBR: epoch advances only when all active threads have \
+     observed it; two-epoch lag, frozen by any stalled thread";
+}
+
+(* Reservation values: the observed epoch, or [inactive]. *)
+let inactive = max_int
+
+type 'a t = {
+  epoch : Epoch.t;
+  reservations : int Atomic.t array;
+  alloc : 'a Alloc.t;
+  cfg : Tracker_intf.config;
+}
+
+type 'a handle = {
+  t : 'a t;
+  tid : int;
+  mutable retire_counter : int;
+  retired : 'a Tracker_common.Retired.t;
+}
+
+type 'a ptr = 'a Plain_ptr.t
+
+let create ~threads (cfg : Tracker_intf.config) = {
+  epoch = Epoch.create ();
+  reservations = Array.init threads (fun _ -> Atomic.make inactive);
+  alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
+  cfg;
+}
+
+let register t ~tid =
+  { t; tid; retire_counter = 0; retired = Tracker_common.Retired.create () }
+
+let alloc h payload =
+  let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
+  Block.set_birth_epoch b (Epoch.peek h.t.epoch);
+  b
+
+let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
+
+(* Advance e -> e+1 iff every active thread has posted e (or later —
+   possible when it raced past us). *)
+let try_advance h =
+  let e = Epoch.read h.t.epoch in
+  let all_observed =
+    Array.for_all
+      (fun slot ->
+         Prim.charge_scan ();
+         let r = Atomic.get slot in
+         r = inactive || r >= e)
+      h.t.reservations
+  in
+  if all_observed then ignore (Epoch.advance_cas h.t.epoch ~expected:e)
+
+let empty h =
+  let e = Epoch.read h.t.epoch in
+  Tracker_common.Retired.sweep h.retired
+    ~conflict:(fun b -> Block.retire_epoch b > e - 2)
+    ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
+
+let retire h b =
+  Block.transition_retire b;
+  Block.set_retire_epoch b (Epoch.read h.t.epoch);
+  Tracker_common.Retired.add h.retired b;
+  h.retire_counter <- h.retire_counter + 1;
+  if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
+  then begin
+    try_advance h;
+    empty h
+  end
+
+let start_op h =
+  let e = Epoch.read h.t.epoch in
+  Prim.write h.t.reservations.(h.tid) e
+
+let end_op h = Prim.write h.t.reservations.(h.tid) inactive
+
+let make_ptr _ ?tag target = Plain_ptr.make ?tag target
+let read _ ~slot:_ p = Plain_ptr.read p
+let read_root h p = read h ~slot:0 p
+let write _ p ?tag target = Plain_ptr.write p ?tag target
+let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
+let unreserve _ ~slot:_ = ()
+let reassign _ ~src:_ ~dst:_ = ()
+
+let retired_count h = Tracker_common.Retired.count h.retired
+
+(* Caller is between operations: help the epoch forward two steps so
+   blocks retired before its last operation become reclaimable. *)
+let force_empty h =
+  try_advance h;
+  try_advance h;
+  empty h
+
+let allocator t = t.alloc
+let epoch_value t = Epoch.peek t.epoch

@@ -1,0 +1,8 @@
+(** Fraser's original epoch-based reclamation (paper §2.2): the epoch
+    advances only once every active thread has posted a reservation in
+    it; blocks free two epochs after retirement.  Zero read overhead;
+    not robust.
+
+    Sealed to the common memory-manager signature of Fig. 1. *)
+
+include Tracker_intf.TRACKER

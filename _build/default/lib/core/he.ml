@@ -1,0 +1,140 @@
+(* Hazard eras (Ramalhete & Correia [25]; paper §2.3).
+
+   HP's slot discipline with epochs as the reservation currency: a
+   slot holds the era in which a pointer was read, and a block is
+   reclaimable only when no reserved era falls within its
+   [birth, retire] lifetime.  The protect loop publishes the current
+   era and fences only when the era has changed since the slot's last
+   publication — eras change rarely, so the amortized per-read cost is
+   far below HP's. *)
+
+let name = "HE"
+
+let props = {
+  Tracker_intf.robust = true;
+  needs_unreserve = true;
+  mutable_pointers = true;
+  bounded_slots = true;
+  pointer_tag_words = 0;
+  fence_per_read = false;
+  summary =
+    "era per active pointer; less precise than HP, far fewer fences";
+}
+
+(* Era 0 = empty slot (global era starts at 1). *)
+let no_era = 0
+
+type 'a t = {
+  epoch : Epoch.t;
+  eras : int Atomic.t array array;   (* eras.(tid).(slot) *)
+  alloc : 'a Alloc.t;
+  cfg : Tracker_intf.config;
+}
+
+type 'a handle = {
+  t : 'a t;
+  tid : int;
+  mutable alloc_counter : int;
+  mutable retire_counter : int;
+  mutable hwm : int;
+  retired : 'a Tracker_common.Retired.t;
+}
+
+type 'a ptr = 'a Plain_ptr.t
+
+let create ~threads (cfg : Tracker_intf.config) = {
+  epoch = Epoch.create ();
+  eras =
+    Array.init threads (fun _ ->
+      Array.init cfg.slots (fun _ -> Atomic.make no_era));
+  alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
+  cfg;
+}
+
+let register t ~tid =
+  { t; tid; alloc_counter = 0; retire_counter = 0; hwm = -1;
+    retired = Tracker_common.Retired.create () }
+
+let alloc h payload =
+  h.alloc_counter <- h.alloc_counter + 1;
+  if h.t.cfg.epoch_freq > 0 && h.alloc_counter mod h.t.cfg.epoch_freq = 0
+  then Epoch.advance h.t.epoch;
+  let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
+  Block.set_birth_epoch b (Epoch.read h.t.epoch);
+  b
+
+let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
+
+(* A block survives if any reserved era intersects its lifetime. *)
+let empty h =
+  let reserved = ref [] in
+  Array.iter (fun row ->
+    Array.iter (fun slot ->
+      Prim.charge_scan ();
+      let e = Atomic.get slot in
+      if e <> no_era then reserved := e :: !reserved)
+      row)
+    h.t.eras;
+  let reserved = !reserved in
+  let conflict b =
+    List.exists
+      (fun e -> Block.birth_epoch b <= e && e <= Block.retire_epoch b)
+      reserved
+  in
+  Tracker_common.Retired.sweep h.retired ~conflict
+    ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
+
+let retire h b =
+  Block.transition_retire b;
+  Block.set_retire_epoch b (Epoch.read h.t.epoch);
+  Tracker_common.Retired.add h.retired b;
+  h.retire_counter <- h.retire_counter + 1;
+  if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
+  then empty h
+
+let start_op h = h.hwm <- -1
+
+let end_op h =
+  let row = h.t.eras.(h.tid) in
+  for i = 0 to h.hwm do
+    if Atomic.get row.(i) <> no_era then Prim.write row.(i) no_era
+  done;
+  h.hwm <- -1
+
+let make_ptr _ ?tag target = Plain_ptr.make ?tag target
+
+(* get_protected: return a pointer only if it was read while the
+   current era was already published in [slot]; otherwise publish the
+   new era, fence, and re-read. *)
+let read h ~slot p =
+  if h.hwm < slot then h.hwm <- slot;
+  let cell = h.t.eras.(h.tid).(slot) in
+  let rec loop prev_era =
+    let v = Plain_ptr.read p in
+    let era = Epoch.read h.t.epoch in
+    if era = prev_era then v
+    else begin
+      Prim.write cell era;
+      Prim.fence ();
+      loop era
+    end
+  in
+  loop (Atomic.get cell)
+
+let read_root h p = read h ~slot:0 p
+let write _ p ?tag target = Plain_ptr.write p ?tag target
+let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
+
+let unreserve h ~slot =
+  Prim.write h.t.eras.(h.tid).(slot) no_era
+
+let reassign h ~src ~dst =
+  if h.hwm < dst then h.hwm <- dst;
+  let row = h.t.eras.(h.tid) in
+  Prim.local 1;
+  Prim.write row.(dst) (Atomic.get row.(src))
+
+let retired_count h = Tracker_common.Retired.count h.retired
+let force_empty h = empty h
+let allocator t = t.alloc
+let epoch_value t = Epoch.peek t.epoch

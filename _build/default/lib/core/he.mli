@@ -1,0 +1,6 @@
+(** Hazard eras (Ramalhete & Correia; §2.3): HP's slot discipline with epochs as the currency; fences only when the era moves.
+
+    Sealed to the common memory-manager signature of Fig. 1; see
+    {!Tracker_intf.TRACKER} for the operations. *)
+
+include Tracker_intf.TRACKER

@@ -1,0 +1,128 @@
+(* Hazard pointers (Michael [20]; paper §2.3).
+
+   One block-granularity reservation per slot.  The protect protocol:
+   read the cell, publish the target to a hazard slot, fence, re-read
+   the cell; only if unchanged may the block be dereferenced.  The
+   per-read fence is the scheme's defining cost; precision (exactly
+   the in-use blocks are reserved) is its defining benefit. *)
+
+let name = "HP"
+
+let props = {
+  Tracker_intf.robust = true;
+  needs_unreserve = true;
+  mutable_pointers = true;
+  bounded_slots = true;
+  pointer_tag_words = 0;
+  fence_per_read = true;
+  summary =
+    "copy of every active pointer; precise but fence per read and \
+     explicit unreserve";
+}
+
+(* A hazard slot holds a raw block reference (not a view): marks need
+   no protection, only the block does. *)
+type 'a slot_table = 'a Block.t option Atomic.t array array
+
+type 'a t = {
+  slots : 'a slot_table;
+  alloc : 'a Alloc.t;
+  cfg : Tracker_intf.config;
+  threads : int;
+}
+
+type 'a handle = {
+  t : 'a t;
+  tid : int;
+  mutable retire_counter : int;
+  mutable hwm : int;   (* highest slot used this op, for cheap end_op *)
+  retired : 'a Tracker_common.Retired.t;
+}
+
+type 'a ptr = 'a Plain_ptr.t
+
+let create ~threads (cfg : Tracker_intf.config) = {
+  slots =
+    Array.init threads (fun _ ->
+      Array.init cfg.slots (fun _ -> Atomic.make None));
+  alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
+  cfg;
+  threads;
+}
+
+let register t ~tid =
+  { t; tid; retire_counter = 0; hwm = -1;
+    retired = Tracker_common.Retired.create () }
+
+let alloc h payload = Alloc.alloc h.t.alloc ~tid:h.tid payload
+let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
+
+(* Reclaim retired blocks not named by any hazard slot.  Michael's
+   scan: snapshot all slots, then sweep the local retired list. *)
+let empty h =
+  let hazards = Hashtbl.create 64 in
+  Array.iter (fun row ->
+    Array.iter (fun slot ->
+      Prim.charge_scan ();
+      match Atomic.get slot with
+      | None -> ()
+      | Some b -> Hashtbl.replace hazards (Block.id b) ())
+      row)
+    h.t.slots;
+  Tracker_common.Retired.sweep h.retired
+    ~conflict:(fun b -> Hashtbl.mem hazards (Block.id b))
+    ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
+
+let retire h b =
+  Block.transition_retire b;
+  Tracker_common.Retired.add h.retired b;
+  h.retire_counter <- h.retire_counter + 1;
+  if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
+  then empty h
+
+let start_op h = h.hwm <- -1
+
+(* Clear only the slots this operation actually used. *)
+let end_op h =
+  let row = h.t.slots.(h.tid) in
+  for i = 0 to h.hwm do
+    if Atomic.get row.(i) <> None then Prim.write row.(i) None
+  done;
+  h.hwm <- -1
+
+let make_ptr _ ?tag target = Plain_ptr.make ?tag target
+
+let read h ~slot p =
+  if h.hwm < slot then h.hwm <- slot;
+  let cell = h.t.slots.(h.tid).(slot) in
+  let rec loop () =
+    let v = Plain_ptr.read p in
+    (match View.target v with
+     | None -> v   (* null needs no protection *)
+     | Some b ->
+       Prim.write cell (Some b);
+       Prim.fence ();
+       let v' = Plain_ptr.read p in
+       if v == v' then v else loop ())
+  in
+  loop ()
+
+let read_root h p = read h ~slot:0 p
+let write _ p ?tag target = Plain_ptr.write p ?tag target
+let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
+
+let unreserve h ~slot =
+  Prim.write h.t.slots.(h.tid).(slot) None
+
+(* Copy a protection between slots: the target is already protected by
+   [src], so no fence or re-validation is needed. *)
+let reassign h ~src ~dst =
+  if h.hwm < dst then h.hwm <- dst;
+  let row = h.t.slots.(h.tid) in
+  Prim.local 1;
+  Prim.write row.(dst) (Atomic.get row.(src))
+
+let retired_count h = Tracker_common.Retired.count h.retired
+let force_empty h = empty h
+let allocator t = t.alloc
+let epoch_value _ = 0

@@ -1,0 +1,6 @@
+(** Hazard pointers (Michael; §2.3): per-pointer reservations, fence per protected read, precise and robust.
+
+    Sealed to the common memory-manager signature of Fig. 1; see
+    {!Tracker_intf.TRACKER} for the operations. *)
+
+include Tracker_intf.TRACKER

@@ -1,0 +1,110 @@
+(* Shared chassis for the interval-based schemes of §3.2–3.3.
+
+   TagIBR (CAS and FAA flavours), TagIBR-WCAS, TagIBR-TPA and 2GEIBR
+   all keep a per-thread [lower, upper] epoch interval, advance the
+   epoch on allocation, tag blocks with birth/retire epochs, and
+   reclaim by interval intersection.  They differ only in the shared
+   pointer representation and in how a read extends the upper
+   endpoint — which is what the [POINTER_OPS] parameter captures. *)
+
+module type POINTER_OPS = sig
+  val name : string
+  val props : Tracker_intf.properties
+
+  type 'a ptr
+
+  val make_ptr : ?tag:int -> 'a Block.t option -> 'a ptr
+
+  val read :
+    epoch:Epoch.t -> upper:int Atomic.t -> 'a ptr -> 'a View.t
+  (* Must return a view only once the thread's upper endpoint
+     provably covers the target's birth epoch *and* that reservation
+     was visible when the returned view was (re-)read. *)
+
+  val write : 'a ptr -> ?tag:int -> 'a Block.t option -> unit
+  val cas :
+    'a ptr -> expected:'a View.t -> ?tag:int -> 'a Block.t option -> bool
+end
+
+module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
+  let name = P.name
+  let props = P.props
+
+  type 'a t = {
+    epoch : Epoch.t;
+    res : Tracker_common.Interval_res.t;
+    alloc : 'a Alloc.t;
+    cfg : Tracker_intf.config;
+  }
+
+  type 'a handle = {
+    t : 'a t;
+    tid : int;
+    mutable alloc_counter : int;
+    mutable retire_counter : int;
+    retired : 'a Tracker_common.Retired.t;
+  }
+
+  type 'a ptr = 'a P.ptr
+
+  let create ~threads (cfg : Tracker_intf.config) = {
+    epoch = Epoch.create ();
+    res = Tracker_common.Interval_res.create threads;
+    alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
+    cfg;
+  }
+
+  let register t ~tid =
+    { t; tid; alloc_counter = 0; retire_counter = 0;
+      retired = Tracker_common.Retired.create () }
+
+  (* Fig. 5 lines 30–36: epoch tick on allocation, tag birth epoch. *)
+  let alloc h payload =
+    h.alloc_counter <- h.alloc_counter + 1;
+    if h.t.cfg.epoch_freq > 0 && h.alloc_counter mod h.t.cfg.epoch_freq = 0
+    then Epoch.advance h.t.epoch;
+    let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
+    Block.set_birth_epoch b (Epoch.read h.t.epoch);
+    b
+
+  let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
+
+  (* Fig. 5 lines 22–29: interval-intersection sweep. *)
+  let empty h =
+    let conflict =
+      Tracker_common.Interval_res.conflict_with_snapshot h.t.res in
+    Tracker_common.Retired.sweep h.retired ~conflict
+      ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
+
+  let retire h b =
+    Block.transition_retire b;
+    Block.set_retire_epoch b (Epoch.read h.t.epoch);
+    Tracker_common.Retired.add h.retired b;
+    h.retire_counter <- h.retire_counter + 1;
+    if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
+    then empty h
+
+  let start_op h =
+    let e = Epoch.read h.t.epoch in
+    Tracker_common.Interval_res.start h.t.res ~tid:h.tid e
+
+  let end_op h = Tracker_common.Interval_res.clear h.t.res ~tid:h.tid
+
+  let make_ptr _ ?tag target = P.make_ptr ?tag target
+
+  let read h ~slot:_ p =
+    let upper = Tracker_common.Interval_res.upper_cell h.t.res ~tid:h.tid in
+    P.read ~epoch:h.t.epoch ~upper p
+
+  let read_root h p = read h ~slot:0 p
+
+  let write _ p ?tag target = P.write p ?tag target
+  let cas _ p ~expected ?tag target = P.cas p ~expected ?tag target
+  let unreserve _ ~slot:_ = ()
+  let reassign _ ~src:_ ~dst:_ = ()
+
+  let retired_count h = Tracker_common.Retired.count h.retired
+  let force_empty h = empty h
+  let allocator t = t.alloc
+  let epoch_value t = Epoch.peek t.epoch
+end

@@ -1,0 +1,56 @@
+(* The "No MM" baseline of §5: retire is recorded but nothing is ever
+   reclaimed.  Fastest possible (zero instrumentation), leaks
+   everything — the throughput ceiling in Fig. 8. *)
+
+let name = "NoMM"
+
+let props = {
+  Tracker_intf.robust = false;
+  needs_unreserve = false;
+  mutable_pointers = true;
+  bounded_slots = false;
+  pointer_tag_words = 0;
+  fence_per_read = false;
+  summary = "never reclaims; throughput ceiling, unbounded space";
+}
+
+type 'a t = {
+  alloc : 'a Alloc.t;
+}
+
+type 'a handle = {
+  t : 'a t;
+  tid : int;
+  retired : 'a Tracker_common.Retired.t;
+}
+
+type 'a ptr = 'a Plain_ptr.t
+
+let create ~threads (cfg : Tracker_intf.config) =
+  { alloc = Alloc.create ~reuse:cfg.reuse ~threads () }
+
+let register t ~tid = { t; tid; retired = Tracker_common.Retired.create () }
+
+let alloc h payload = Alloc.alloc h.t.alloc ~tid:h.tid payload
+
+let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
+
+let retire h b =
+  Block.transition_retire b;
+  Tracker_common.Retired.add h.retired b
+
+let start_op _ = ()
+let end_op _ = ()
+
+let make_ptr _ ?tag target = Plain_ptr.make ?tag target
+let read _ ~slot:_ p = Plain_ptr.read p
+let read_root h p = read h ~slot:0 p
+let write _ p ?tag target = Plain_ptr.write p ?tag target
+let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
+let unreserve _ ~slot:_ = ()
+let reassign _ ~src:_ ~dst:_ = ()
+
+let retired_count h = Tracker_common.Retired.count h.retired
+let force_empty _ = ()
+let allocator t = t.alloc
+let epoch_value _ = 0

@@ -1,0 +1,6 @@
+(** The No-MM baseline of §5: retire is recorded, nothing is reclaimed (throughput ceiling, unbounded space).
+
+    Sealed to the common memory-manager signature of Fig. 1; see
+    {!Tracker_intf.TRACKER} for the operations. *)
+
+include Tracker_intf.TRACKER

@@ -1,0 +1,17 @@
+(* Untagged shared pointer cell: a single atomic holding a view.
+   Shared by every scheme except TagIBR (which adds a born_before
+   word) and TagIBR-WCAS (which packs both into one cell). *)
+
+type 'a t = 'a View.t Atomic.t
+
+let make ?tag target = Atomic.make (View.make ?tag target)
+
+let read (p : 'a t) = Prim.read p
+
+let write (p : 'a t) ?tag target = Prim.write p (View.make ?tag target)
+
+let cas (p : 'a t) ~expected ?tag target =
+  Prim.cas p expected (View.make ?tag target)
+
+(* Uncharged read for constructors and assertions. *)
+let peek (p : 'a t) = Atomic.get p

@@ -1,0 +1,15 @@
+(** Untagged shared pointer cell: one atomic holding a {!View.t}.
+    Used by every scheme except TagIBR (extra born_before word) and
+    TagIBR-WCAS (packed cell). *)
+
+type 'a t = 'a View.t Atomic.t
+
+val make : ?tag:int -> 'a Block.t option -> 'a t
+val read : 'a t -> 'a View.t
+val write : 'a t -> ?tag:int -> 'a Block.t option -> unit
+
+val cas : 'a t -> expected:'a View.t -> ?tag:int -> 'a Block.t option -> bool
+(** Succeeds only against the physically identical expected view. *)
+
+val peek : 'a t -> 'a View.t
+(** Uncharged read, for constructors and assertions. *)

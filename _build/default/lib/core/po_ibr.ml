@@ -1,0 +1,118 @@
+(* Persistent-object IBR (paper §3.1, Fig. 4).
+
+   For data structures where every pointer except the root is
+   immutable.  A single reserved epoch per thread, posted with the
+   snapshot idiom when the root is read: because the root is the
+   newest block and all interior pointers are immutable, an epoch that
+   intersects the root's lifetime intersects the lifetime of
+   everything reachable from it.  Interior reads are completely
+   uninstrumented — cheaper even than EBR's reads. *)
+
+let name = "POIBR"
+
+let props = {
+  Tracker_intf.robust = true;
+  needs_unreserve = false;
+  mutable_pointers = false;
+  bounded_slots = false;
+  pointer_tag_words = 0;
+  fence_per_read = false;
+  summary =
+    "start epoch covers everything reachable from the root at start \
+     time; all pointers but the root must be immutable";
+}
+
+type 'a t = {
+  epoch : Epoch.t;
+  reservations : int Atomic.t array;
+  alloc : 'a Alloc.t;
+  cfg : Tracker_intf.config;
+}
+
+type 'a handle = {
+  t : 'a t;
+  tid : int;
+  mutable alloc_counter : int;
+  mutable retire_counter : int;
+  retired : 'a Tracker_common.Retired.t;
+}
+
+type 'a ptr = 'a Plain_ptr.t
+
+let create ~threads (cfg : Tracker_intf.config) = {
+  epoch = Epoch.create ();
+  reservations = Array.init threads (fun _ -> Atomic.make max_int);
+  alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
+  cfg;
+}
+
+let register t ~tid =
+  { t; tid; alloc_counter = 0; retire_counter = 0;
+    retired = Tracker_common.Retired.create () }
+
+(* Fig. 4 lines 9–15: epoch tick on allocation, tag the birth epoch. *)
+let alloc h payload =
+  h.alloc_counter <- h.alloc_counter + 1;
+  if h.t.cfg.epoch_freq > 0 && h.alloc_counter mod h.t.cfg.epoch_freq = 0
+  then Epoch.advance h.t.epoch;
+  let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
+  Block.set_birth_epoch b (Epoch.read h.t.epoch);
+  b
+
+let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
+
+(* Fig. 4 lines 1–8: a block is protected iff some reserved epoch lies
+   within its lifetime. *)
+let empty h =
+  let reservations = Tracker_common.snapshot_reservations h.t.reservations in
+  let conflict b =
+    let birth = Block.birth_epoch b and retire = Block.retire_epoch b in
+    Array.exists (fun res -> birth <= res && res <= retire) reservations
+  in
+  Tracker_common.Retired.sweep h.retired ~conflict
+    ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
+
+let retire h b =
+  Block.transition_retire b;
+  Block.set_retire_epoch b (Epoch.read h.t.epoch);
+  Tracker_common.Retired.add h.retired b;
+  h.retire_counter <- h.retire_counter + 1;
+  if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
+  then empty h
+
+let start_op h =
+  let e = Epoch.read h.t.epoch in
+  Prim.write h.t.reservations.(h.tid) e
+
+let end_op h = Prim.write h.t.reservations.(h.tid) max_int
+
+let make_ptr _ ?tag target = Plain_ptr.make ?tag target
+
+(* Interior pointers are immutable, so a plain read is already safe:
+   the root reservation covers the whole reachable set. *)
+let read _ ~slot:_ p = Plain_ptr.read p
+
+(* Fig. 4 lines 25–30: reserve the epoch, fence, read the root, and
+   verify the epoch is unchanged — the "snapshot" idiom that pins the
+   root's contents inside the reserved epoch. *)
+let read_root h p =
+  let cell = h.t.reservations.(h.tid) in
+  let rec loop () =
+    let e = Epoch.read h.t.epoch in
+    Prim.write cell e;
+    Prim.fence ();
+    let v = Plain_ptr.read p in
+    let e' = Epoch.read h.t.epoch in
+    if e = e' then v else loop ()
+  in
+  loop ()
+
+let write _ p ?tag target = Plain_ptr.write p ?tag target
+let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
+let unreserve _ ~slot:_ = ()
+let reassign _ ~src:_ ~dst:_ = ()
+
+let retired_count h = Tracker_common.Retired.count h.retired
+let force_empty h = empty h
+let allocator t = t.alloc
+let epoch_value t = Epoch.peek t.epoch

@@ -1,0 +1,6 @@
+(** Persistent-object IBR (§3.1, Fig. 4): one guarded root-read reservation covers the whole reachable (immutable) version.
+
+    Sealed to the common memory-manager signature of Fig. 1; see
+    {!Tracker_intf.TRACKER} for the operations. *)
+
+include Tracker_intf.TRACKER

@@ -1,0 +1,60 @@
+(* Cost-charged shared-memory primitives.
+
+   All tracker and data-structure code performs its shared accesses
+   through these wrappers so that (a) the simulator charges each
+   primitive its modelled latency and gets a preemption point, and
+   (b) the per-scheme instruction mix — the thing the paper's
+   throughput differences come from — is faithfully accounted: an HP
+   read pays a fence, a TagIBR write pays an extra CAS, an EBR read
+   pays nothing extra.
+
+   The active cost model is a global; experiments set it once before a
+   run (the simulator is single-domain, and the real-domains backend
+   ignores costs). *)
+
+open Ibr_runtime
+
+let costs = ref Cost.default
+
+let set_costs c = costs := c
+
+let read a =
+  Hooks.step !costs.Cost.read;
+  Atomic.get a
+
+(* Read of a read-mostly global (epoch counter, born_before tag):
+   cheaper than a general shared load — see Cost.hot_read. *)
+let hot_read a =
+  Hooks.step !costs.Cost.hot_read;
+  Atomic.get a
+
+let write a v =
+  Hooks.step !costs.Cost.write;
+  Atomic.set a v
+
+let cas a expected desired =
+  let ok = Atomic.compare_and_set a expected desired in
+  Hooks.step (if ok then !costs.Cost.cas else !costs.Cost.cas_fail);
+  ok
+
+let faa a n =
+  Hooks.step !costs.Cost.faa;
+  Atomic.fetch_and_add a n
+
+(* Write-read (store-load) fence.  On the real-domains backend OCaml's
+   seq-cst atomics already order everything, so only the cost matters. *)
+let fence () = Hooks.step !costs.Cost.fence
+
+(* Thread-local bookkeeping of [n] conceptual steps. *)
+let local n = Hooks.step (n * !costs.Cost.local)
+
+(* Payload dereference: same latency class as a read, and — crucially
+   for fault detection — a preemption point between reading a pointer
+   and touching what it points to. *)
+let charge_deref () = Hooks.step !costs.Cost.read
+
+let charge_alloc ~reused =
+  Hooks.step (if reused then !costs.Cost.alloc_reuse else !costs.Cost.alloc_fresh)
+
+let charge_free () = Hooks.step !costs.Cost.free
+let charge_scan () = Hooks.step !costs.Cost.scan_reservation

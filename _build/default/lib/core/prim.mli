@@ -1,0 +1,42 @@
+(** Cost-charged shared-memory primitives.
+
+    All tracker and data-structure code performs shared accesses
+    through these wrappers so that (a) the simulator charges each
+    primitive its modelled latency and gains a preemption point, and
+    (b) the per-scheme instruction mix — where the paper's throughput
+    differences come from — is faithfully accounted. *)
+
+val costs : Ibr_runtime.Cost.t ref
+(** The active cost model (global; experiments set it once per run). *)
+
+val set_costs : Ibr_runtime.Cost.t -> unit
+
+val read : 'a Atomic.t -> 'a
+val hot_read : 'a Atomic.t -> 'a
+(** Load of a read-mostly global (epoch counter, born_before);
+    cheaper per {!Ibr_runtime.Cost.t.hot_read}. *)
+
+val write : 'a Atomic.t -> 'a -> unit
+
+val cas : 'a Atomic.t -> 'a -> 'a -> bool
+(** Physical-equality compare-and-set; charges success or failure
+    cost accordingly. *)
+
+val faa : int Atomic.t -> int -> int
+
+val fence : unit -> unit
+(** Write-read fence.  OCaml atomics are already sequentially
+    consistent, so only the cost matters (the simulator does not
+    reorder). *)
+
+val local : int -> unit
+(** [n] thread-local bookkeeping steps. *)
+
+val charge_deref : unit -> unit
+(** Payload dereference: read-class latency and — crucially for fault
+    detection — a preemption point between reading a pointer and
+    touching its target. *)
+
+val charge_alloc : reused:bool -> unit
+val charge_free : unit -> unit
+val charge_scan : unit -> unit

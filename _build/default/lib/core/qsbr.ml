@@ -1,0 +1,128 @@
+(* Quiescent-state-based reclamation (Hart et al. [15]; paper §2.2).
+
+   The RCU-style member of the epoch family: instead of posting a
+   reservation at operation start, each thread announces *quiescent
+   states* — moments when it holds no references (here: operation
+   end).  The classic three-epoch construction:
+
+   - a thread copies the global epoch E into its slot at each
+     quiescent point;
+   - a thread that observes every online slot equal to E advances E;
+   - a block retired in epoch e is reclaimable once E >= e + 2: every
+     thread has passed a quiescent state since the retirement.
+
+   Like EBR it has zero per-read overhead; like EBR it is not robust —
+   one thread that stops announcing quiescent states freezes the
+   epoch and pins all future retirements. *)
+
+let name = "QSBR"
+
+let props = {
+  Tracker_intf.robust = false;
+  needs_unreserve = false;
+  mutable_pointers = true;
+  bounded_slots = false;
+  pointer_tag_words = 0;
+  fence_per_read = false;
+  summary =
+    "RCU-style quiescent states at op end; zero read overhead, epoch \
+     frozen by any non-quiescing thread";
+}
+
+type 'a t = {
+  epoch : Epoch.t;
+  (* Last epoch each thread has passed a quiescent state in. *)
+  quiescent : int Atomic.t array;
+  alloc : 'a Alloc.t;
+  cfg : Tracker_intf.config;
+  threads : int;
+}
+
+type 'a handle = {
+  t : 'a t;
+  tid : int;
+  mutable retire_counter : int;
+  retired : 'a Tracker_common.Retired.t;
+}
+
+type 'a ptr = 'a Plain_ptr.t
+
+let create ~threads (cfg : Tracker_intf.config) = {
+  epoch = Epoch.create ();
+  (* Initially every thread is quiescent in epoch 1. *)
+  quiescent = Array.init threads (fun _ -> Atomic.make 1);
+  alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
+  cfg;
+  threads;
+}
+
+let register t ~tid =
+  { t; tid; retire_counter = 0; retired = Tracker_common.Retired.create () }
+
+let alloc h payload =
+  let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
+  Block.set_birth_epoch b (Epoch.peek h.t.epoch);
+  b
+
+let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
+
+(* Advance the global epoch if every thread has quiesced in it. *)
+let try_advance h =
+  let e = Epoch.read h.t.epoch in
+  let all_quiescent =
+    Array.for_all
+      (fun slot ->
+         Prim.charge_scan ();
+         Atomic.get slot >= e)
+      h.t.quiescent
+  in
+  (* Strictly e -> e+1: racing unconditional increments would skip a
+     grace period and free blocks whose readers have not quiesced. *)
+  if all_quiescent then ignore (Epoch.advance_cas h.t.epoch ~expected:e)
+
+let empty h =
+  let e = Epoch.read h.t.epoch in
+  Tracker_common.Retired.sweep h.retired
+    ~conflict:(fun b -> Block.retire_epoch b > e - 2)
+    ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
+
+let retire h b =
+  Block.transition_retire b;
+  Block.set_retire_epoch b (Epoch.read h.t.epoch);
+  Tracker_common.Retired.add h.retired b;
+  h.retire_counter <- h.retire_counter + 1;
+  if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
+  then begin
+    try_advance h;
+    empty h
+  end
+
+let start_op _ = ()
+
+(* The quiescent state: no references held from here on. *)
+let end_op h =
+  let e = Epoch.read h.t.epoch in
+  Prim.write h.t.quiescent.(h.tid) e
+
+let make_ptr _ ?tag target = Plain_ptr.make ?tag target
+let read _ ~slot:_ p = Plain_ptr.read p
+let read_root h p = read h ~slot:0 p
+let write _ p ?tag target = Plain_ptr.write p ?tag target
+let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
+let unreserve _ ~slot:_ = ()
+let reassign _ ~src:_ ~dst:_ = ()
+
+let retired_count h = Tracker_common.Retired.count h.retired
+
+(* The caller of force_empty is between operations, i.e. quiescent:
+   announce that, then drive up to two grace periods so that blocks
+   whose other readers have all quiesced become reclaimable. *)
+let force_empty h =
+  end_op h;
+  try_advance h;
+  end_op h;
+  try_advance h;
+  empty h
+
+let allocator t = t.alloc
+let epoch_value t = Epoch.peek t.epoch

@@ -1,0 +1,8 @@
+(** Quiescent-state-based reclamation (RCU-style; paper Â§2.2):
+    threads announce quiescent states at operation end; a block is
+    reclaimed two grace periods after retirement.  Zero read overhead;
+    not robust.
+
+    Sealed to the common memory-manager signature of Fig. 1. *)
+
+include Tracker_intf.TRACKER

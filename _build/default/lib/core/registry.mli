@@ -1,0 +1,50 @@
+(** Name-indexed registry of the reclamation schemes, mirroring the
+    artifact's tracker menu.  [paper_set] is the lineup of §5's
+    figures. *)
+
+type entry = {
+  name : string;
+  tracker : Tracker_intf.packed;
+}
+
+val no_mm : entry
+val ebr : entry
+val hp : entry
+val he : entry
+val po_ibr : entry
+val tag_ibr : entry
+val tag_ibr_faa : entry
+val tag_ibr_wcas : entry
+val tag_ibr_tpa : entry
+val two_ge_ibr : entry
+val qsbr : entry
+val fraser_ebr : entry
+
+val unsafe_free : entry
+(** The deliberately broken oracle (free on retire); not in {!all}. *)
+
+val two_ge_unfenced : entry
+(** The literal (unsound) Fig. 6 read ordering; demonstration only. *)
+
+val oracles : entry list
+(** The deliberately broken demonstration schemes. *)
+
+val all : entry list
+(** Every correct scheme. *)
+
+val paper_set : entry list
+(** The schemes plotted in Fig. 8–10. *)
+
+val ibr_family : entry list
+(** The interval-based schemes the paper introduces. *)
+
+val find : string -> entry option
+(** Case-insensitive lookup (includes [unsafe_free]). *)
+
+val find_exn : string -> entry
+(** @raise Invalid_argument on unknown names. *)
+
+val props : entry -> Tracker_intf.properties
+
+val fig7_rows : unit -> (string * Tracker_intf.properties) list
+(** One row per scheme for the Fig. 7 tradeoff table (NoMM omitted). *)

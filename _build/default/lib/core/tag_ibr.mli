@@ -1,0 +1,18 @@
+(** Tagged-pointer IBR (paper §3.2, Fig. 5).
+
+    Each shared pointer carries a monotonically increasing
+    [born_before] word, no less than the birth epoch of the pointer's
+    target; reads extend the thread's interval reservation to cover
+    it.  Two strategies for raising the word (§3.2.1):
+
+    - {!Cas}: CAS loop — precise, but a second CAS on every pointer
+      write and quadratic steps under contention;
+    - {!Faa}: one wait-free fetch-and-add of the deficit — cheaper
+      under contention, but concurrent adds overshoot ("slack"),
+      coarsening reservations. *)
+
+module Cas : Tracker_intf.TRACKER
+(** The paper's default TagIBR. *)
+
+module Faa : Tracker_intf.TRACKER
+(** TagIBR-FAA. *)

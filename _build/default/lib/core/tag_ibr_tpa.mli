@@ -1,0 +1,6 @@
+(** TagIBR-TPA (§3.2.1): birth epochs read from block headers under a type-preserving allocator; plain-sized pointers.
+
+    Sealed to the common memory-manager signature of Fig. 1; see
+    {!Tracker_intf.TRACKER} for the operations. *)
+
+include Tracker_intf.TRACKER

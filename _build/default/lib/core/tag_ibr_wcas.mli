@@ -1,0 +1,6 @@
+(** TagIBR-WCAS (§3.2.1): born_before and address updated together by a double-width CAS; exact birth epochs, wait-free writes.
+
+    Sealed to the common memory-manager signature of Fig. 1; see
+    {!Tracker_intf.TRACKER} for the operations. *)
+
+include Tracker_intf.TRACKER

@@ -1,0 +1,83 @@
+(* Pieces shared by all trackers: the per-thread retired list and its
+   sweep, and the reservation-table snapshot used by [empty]. *)
+
+module Retired = struct
+  (* Thread-local list of retired-but-unreclaimed blocks.  Only its
+     owning thread touches it, so no atomics are needed; the count is
+     sampled by the harness from the same simulated thread. *)
+  type 'a t = {
+    mutable blocks : 'a Block.t list;
+    mutable count : int;
+    mutable total_retired : int;
+    mutable total_reclaimed : int;
+  }
+
+  let create () =
+    { blocks = []; count = 0; total_retired = 0; total_reclaimed = 0 }
+
+  let add t b =
+    t.blocks <- b :: t.blocks;
+    t.count <- t.count + 1;
+    t.total_retired <- t.total_retired + 1
+
+  let count t = t.count
+
+  (* Keep blocks satisfying [conflict]; hand the rest to [free].
+     Charges one local step per examined block (list walk). *)
+  let sweep t ~conflict ~free =
+    let kept = ref [] and n = ref 0 in
+    List.iter (fun b ->
+      Prim.local 1;
+      if conflict b then begin kept := b :: !kept; incr n end
+      else begin free b; t.total_reclaimed <- t.total_reclaimed + 1 end)
+      t.blocks;
+    t.blocks <- !kept;
+    t.count <- !n
+
+  (* Drop everything without freeing (No-MM teardown). *)
+  let iter t f = List.iter f t.blocks
+end
+
+(* Snapshot an [int Atomic.t array] reservation table, charging the
+   cross-thread scan cost per entry. *)
+let snapshot_reservations (arr : int Atomic.t array) =
+  Array.map (fun a -> Prim.charge_scan (); Atomic.get a) arr
+
+(* Per-thread [lower, upper] interval reservations, shared by the
+   TagIBR variants and 2GEIBR (Fig. 5 lines 1–2, 16–17). *)
+module Interval_res = struct
+  type t = {
+    lower : int Atomic.t array;
+    upper : int Atomic.t array;
+  }
+
+  let create threads = {
+    lower = Array.init threads (fun _ -> Atomic.make max_int);
+    upper = Array.init threads (fun _ -> Atomic.make max_int);
+  }
+
+  (* start_op: lower = upper = current epoch (Fig. 5 line 43). *)
+  let start t ~tid e =
+    Prim.write t.lower.(tid) e;
+    Prim.write t.upper.(tid) e
+
+  let clear t ~tid =
+    Prim.write t.lower.(tid) max_int;
+    Prim.write t.upper.(tid) max_int
+
+  let upper_cell t ~tid = t.upper.(tid)
+
+  (* Snapshot both endpoint arrays and return a conflict predicate: a
+     block is protected if some thread's reserved interval intersects
+     its lifetime (Fig. 5 line 26, inclusive endpoints for safety). *)
+  let conflict_with_snapshot t =
+    let lower = snapshot_reservations t.lower in
+    let upper = snapshot_reservations t.upper in
+    fun b ->
+      let birth = Block.birth_epoch b and retire = Block.retire_epoch b in
+      let n = Array.length lower in
+      let rec check i =
+        i < n && ((birth <= upper.(i) && retire >= lower.(i)) || check (i + 1))
+      in
+      check 0
+end

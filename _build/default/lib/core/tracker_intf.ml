@@ -1,0 +1,102 @@
+(* The memory-manager API of the paper's Fig. 1, as an OCaml module
+   type, plus tuning knobs and capability metadata (used to pair
+   schemes with data structures and to regenerate the Fig. 7 table). *)
+
+type config = {
+  epoch_freq : int;
+  (* Advance the global epoch every [epoch_freq] allocations per
+     thread.  The paper uses n_threads * k so the wall-clock epoch
+     rate is independent of thread count (§5); their k = 150 makes
+     the epoch period ~100us — hundreds of ops, far below a preemption
+     slice, with ~10^5 periods per 10-second run.  Our simulated runs
+     are ~10^5..10^6 cycles, so k is scaled down to preserve the
+     ordering op length < epoch period << block lifetime << stall
+     length *and* keep many epoch periods per run.  (A k so large that
+     per-thread counters never reach n*k would freeze the epoch and
+     spuriously pin everything.) *)
+  empty_freq : int;
+  (* Attempt reclamation every [empty_freq] retirements (the paper's
+     k; k = 30 in their experiments). *)
+  slots : int;
+  (* Hazard slots per thread for pointer-based schemes (HP, HE). *)
+  max_cas_failures : int;
+  (* Data-structure operations restart with a fresh reservation after
+     this many failed CASes — the starvation bound of §4.3.1.
+     0 disables restarting. *)
+  reuse : bool;
+  (* Allocator reuse (benchmark mode) vs. precise-UAF mode (tests). *)
+}
+
+let default_config ?(threads = 1) () = {
+  epoch_freq = 2 * threads;
+  empty_freq = 30;
+  slots = 8;
+  max_cas_failures = 128;
+  reuse = true;
+}
+
+(* Fig. 7 row: qualitative properties of a scheme. *)
+type properties = {
+  robust : bool;           (* stalled thread blocks only bounded memory *)
+  needs_unreserve : bool;  (* programmer must release reservations *)
+  mutable_pointers : bool; (* arbitrary nonblocking structures supported *)
+  bounded_slots : bool;    (* needs a per-read slot budget (HP/HE) *)
+  pointer_tag_words : int; (* extra words per shared pointer *)
+  fence_per_read : bool;   (* write-read fence on (almost) every read *)
+  summary : string;        (* prose for the Fig. 7 table *)
+}
+
+module type TRACKER = sig
+  val name : string
+  val props : properties
+
+  type 'a t
+  (* A manager instance: global epoch, reservation table, allocator. *)
+
+  type 'a handle
+  (* Per-thread session: reservation slots, retired list, counters. *)
+
+  type 'a ptr
+  (* A shared mutable pointer cell holding an ['a View.t]. *)
+
+  val create : threads:int -> config -> 'a t
+  val register : 'a t -> tid:int -> 'a handle
+
+  (* Fig. 1 API *)
+  val alloc : 'a handle -> 'a -> 'a Block.t
+  val dealloc : 'a handle -> 'a Block.t -> unit
+  (* Free a block that was never published (lost its install CAS). *)
+
+  val retire : 'a handle -> 'a Block.t -> unit
+  val start_op : 'a handle -> unit
+  val end_op : 'a handle -> unit
+
+  val make_ptr : 'a t -> ?tag:int -> 'a Block.t option -> 'a ptr
+  val read : 'a handle -> slot:int -> 'a ptr -> 'a View.t
+  (* Protected pointer read.  [slot] is meaningful only for schemes
+     with per-pointer reservations (HP, HE); others ignore it. *)
+
+  val read_root : 'a handle -> 'a ptr -> 'a View.t
+  (* POIBR's guarded root read (Fig. 4); for every other scheme this
+     is [read ~slot:0]. *)
+
+  val write : 'a handle -> 'a ptr -> ?tag:int -> 'a Block.t option -> unit
+  val cas :
+    'a handle -> 'a ptr -> expected:'a View.t -> ?tag:int ->
+    'a Block.t option -> bool
+
+  val unreserve : 'a handle -> slot:int -> unit
+  (* Release a per-pointer reservation (no-op unless HP/HE). *)
+
+  val reassign : 'a handle -> src:int -> dst:int -> unit
+  (* Move a reservation between slots without re-validation (hand-
+     over-hand traversal); no-op unless HP/HE. *)
+
+  (* Observability *)
+  val retired_count : 'a handle -> int
+  val force_empty : 'a handle -> unit
+  val allocator : 'a t -> 'a Alloc.t
+  val epoch_value : 'a t -> int   (* 0 for epoch-less schemes *)
+end
+
+type packed = (module TRACKER)

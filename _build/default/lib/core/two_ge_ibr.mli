@@ -1,0 +1,6 @@
+(** Two-global-epochs IBR (§3.3, Fig. 6): interval reservations whose upper endpoint tracks the global epoch observed while reading.
+
+    Sealed to the common memory-manager signature of Fig. 1; see
+    {!Tracker_intf.TRACKER} for the operations. *)
+
+include Tracker_intf.TRACKER

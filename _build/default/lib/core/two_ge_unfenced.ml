@@ -1,0 +1,57 @@
+(* The *literal* Fig. 6 reading of 2GEIBR — deliberately kept as a
+   separate, documented-unsound variant.
+
+   Fig. 6's pseudocode reads the pointer (line 3), then extends the
+   upper endpoint (line 4), then verifies the epoch is unchanged
+   (line 5) and returns the pointer read *before* the reservation was
+   published.  The window between line 3 and line 4 admits a race: a
+   reclaimer can snapshot this thread's stale upper endpoint, decide a
+   just-read young block is uncovered, and free it before the
+   extension lands — even though the epoch never changes, so line 5
+   passes.  (The sound implementation, [Two_ge_ibr], returns a pointer
+   only when it was read under an already-published covering
+   reservation, re-reading after publish+fence — the discipline of
+   HE's protect and POIBR's Fig. 4.)
+
+   This module exists so the failure is demonstrable rather than
+   hypothetical: the simulator's fault checker catches it under
+   adversarial schedules (see test_safety / EXPERIMENTS.md).  Never
+   use it for real work. *)
+
+module Ops = struct
+  let name = "2GEIBR-unfenced"
+
+  let props = {
+    Tracker_intf.robust = true;
+    needs_unreserve = false;
+    mutable_pointers = true;
+    bounded_slots = false;
+    pointer_tag_words = 0;
+    fence_per_read = false;
+    summary =
+      "UNSOUND literal Fig. 6 ordering: pointer read escapes before \
+       its reservation publishes; kept as a demonstration oracle";
+  }
+
+  type 'a ptr = 'a Plain_ptr.t
+
+  let make_ptr ?tag target = Plain_ptr.make ?tag target
+
+  (* Fig. 6 lines 2-5, verbatim ordering. *)
+  let read ~epoch ~upper p =
+    let rec loop () =
+      let v = Plain_ptr.read p in                         (* line 3 *)
+      let e = Epoch.read epoch in
+      let cur = Atomic.get upper in
+      if e > cur then Prim.write upper e;                 (* line 4 *)
+      let e' = Epoch.read epoch in
+      if max cur e = e' then v                            (* line 5 *)
+      else loop ()
+    in
+    loop ()
+
+  let write p ?tag target = Plain_ptr.write p ?tag target
+  let cas p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
+end
+
+include Interval_ibr.Make (Ops)

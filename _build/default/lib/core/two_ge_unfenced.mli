@@ -1,0 +1,6 @@
+(** The literal Fig. 6 ordering of 2GEIBR â deliberately UNSOUND
+    demonstration variant (the pointer read escapes before its
+    reservation is published).  The fault checker catches it under
+    adversarial schedules; see [Two_ge_ibr] for the sound version. *)
+
+include Tracker_intf.TRACKER

@@ -1,0 +1,51 @@
+(* A deliberately *incorrect* scheme: retire frees immediately,
+   without waiting for readers.  It exists to validate the fault
+   checker — under adversarial schedules it must produce
+   use-after-free faults where every correct scheme produces none —
+   and to demonstrate in examples what reclamation safety buys. *)
+
+let name = "UnsafeFree"
+
+let props = {
+  Tracker_intf.robust = true;  (* vacuously: it never defers anything *)
+  needs_unreserve = false;
+  mutable_pointers = true;
+  bounded_slots = false;
+  pointer_tag_words = 0;
+  fence_per_read = false;
+  summary = "INCORRECT test oracle: frees on retire, no reader protection";
+}
+
+type 'a t = { alloc : 'a Alloc.t }
+
+type 'a handle = { t : 'a t; tid : int }
+
+type 'a ptr = 'a Plain_ptr.t
+
+let create ~threads (cfg : Tracker_intf.config) =
+  { alloc = Alloc.create ~reuse:cfg.reuse ~threads () }
+
+let register t ~tid = { t; tid }
+
+let alloc h payload = Alloc.alloc h.t.alloc ~tid:h.tid payload
+let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
+
+let retire h b =
+  Block.transition_retire b;
+  Alloc.free h.t.alloc ~tid:h.tid b
+
+let start_op _ = ()
+let end_op _ = ()
+
+let make_ptr _ ?tag target = Plain_ptr.make ?tag target
+let read _ ~slot:_ p = Plain_ptr.read p
+let read_root h p = read h ~slot:0 p
+let write _ p ?tag target = Plain_ptr.write p ?tag target
+let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
+let unreserve _ ~slot:_ = ()
+let reassign _ ~src:_ ~dst:_ = ()
+
+let retired_count _ = 0
+let force_empty _ = ()
+let allocator t = t.alloc
+let epoch_value _ = 0

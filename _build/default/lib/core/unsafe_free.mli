@@ -1,0 +1,6 @@
+(** Deliberately INCORRECT oracle: frees on retire with no reader protection. Exists to prove the fault checker has teeth.
+
+    Sealed to the common memory-manager signature of Fig. 1; see
+    {!Tracker_intf.TRACKER} for the operations. *)
+
+include Tracker_intf.TRACKER

@@ -1,0 +1,39 @@
+(* The value stored in a shared pointer cell: a block reference plus a
+   small tag (Harris-style mark bits, Natarajan–Mittal flag/tag bits).
+
+   In C these bits are stolen from pointer alignment; here they ride
+   along in the cell value.  Views are *physically* compared by CAS:
+   every write allocates a fresh view box, so a CAS succeeds only
+   against the exact value a thread previously read.  (This makes
+   cell-level ABA impossible — strictly stronger than C++; see
+   DESIGN.md §1.) *)
+
+type 'a t = {
+  target : 'a Block.t option;
+  tag : int;
+}
+
+let make ?(tag = 0) target = { target; tag }
+
+let target v = v.target
+let tag v = v.tag
+
+let is_null v = v.target = None
+
+(* Dereference: payload of the target, detecting use-after-free. *)
+let deref_exn v =
+  match v.target with
+  | None -> invalid_arg "View.deref_exn: null pointer"
+  | Some b -> Block.get b
+
+let equal_contents a b =
+  a.tag = b.tag
+  && (match a.target, b.target with
+      | None, None -> true
+      | Some x, Some y -> x == y
+      | None, Some _ | Some _, None -> false)
+
+let pp ppf v =
+  match v.target with
+  | None -> Fmt.pf ppf "null/%d" v.tag
+  | Some b -> Fmt.pf ppf "%a/%d" Block.pp b v.tag

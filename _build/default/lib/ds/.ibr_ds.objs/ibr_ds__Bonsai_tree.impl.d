@@ -1,0 +1,1 @@
+lib/ds/bonsai_tree.ml: Alloc Block Ds_common Ibr_core List Option Tracker_intf View

@@ -1,0 +1,1 @@
+lib/ds/ds_registry.ml: Bonsai_tree Ds_intf Harris_list Ibr_core List Michael_hashmap Nm_tree Printf String Tracker_intf

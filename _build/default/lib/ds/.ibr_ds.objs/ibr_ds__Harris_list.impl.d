@@ -1,0 +1,1 @@
+lib/ds/harris_list.ml: Alloc Block Ds_common Ibr_core List Obj Tracker_intf View

@@ -1,0 +1,1 @@
+lib/ds/michael_hashmap.ml: Alloc Array Ds_common Harris_list Ibr_core List Tracker_intf

@@ -1,0 +1,1 @@
+lib/ds/nm_tree.ml: Alloc Block Ds_common Ibr_core List Tracker_intf View

@@ -1,0 +1,1 @@
+lib/ds/treiber_stack.ml: Alloc Block Ds_common Ibr_core List Tracker_intf View

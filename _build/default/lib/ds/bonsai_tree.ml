@@ -1,0 +1,289 @@
+(* A lock-free variant of the Bonsai tree [6]: a *persistent*
+   weight-balanced binary search tree under a single mutable root
+   pointer, the paper's fourth rideable (Fig. 8d/9d).
+
+   Persistence discipline (§3.1): every pointer except the root is
+   immutable — an update builds a new path (plus rebalancing copies)
+   that shares everything else with the old version, then CASes the
+   root.  On success the superseded nodes are retired; on failure the
+   speculative nodes are deallocated unpublished.  This is exactly the
+   structure POIBR exploits: one guarded root read covers everything
+   reachable.
+
+   Balancing is Adams' weight-balanced scheme (the one in Haskell's
+   Data.Map): subtree sizes are stored in nodes; a node is rebuilt
+   with single/double rotations when one side outweighs the other by
+   more than [delta].
+
+   HP and HE are excluded, as in the paper: a lookup or rebuild
+   traverses an unbounded number of nodes, which per-pointer schemes
+   cannot cover with a fixed slot budget. *)
+
+open Ibr_core
+
+let delta = 3    (* imbalance trigger *)
+let ratio = 2    (* single vs. double rotation *)
+
+module Make (T : Tracker_intf.TRACKER) = struct
+  let name = "bonsai-tree"
+  let compatible (p : Tracker_intf.properties) = not p.bounded_slots
+  let slots_needed = 1
+
+  type node = {
+    key : int;
+    value : int;
+    size : int;                (* nodes in this subtree, self included *)
+    left : node T.ptr;         (* immutable after construction *)
+    right : node T.ptr;
+  }
+
+  type t = {
+    tracker : node T.t;
+    root : node T.ptr;         (* the only mutable pointer *)
+    cfg : Tracker_intf.config;
+  }
+
+  type handle = {
+    tree : t;
+    th : node T.handle;
+    stats : Ds_common.op_stats;
+  }
+
+  let create ~threads cfg =
+    let tracker = T.create ~threads cfg in
+    { tracker; root = T.make_ptr tracker None; cfg }
+
+  let register tree ~tid =
+    { tree; th = T.register tree.tracker ~tid;
+      stats = Ds_common.make_op_stats () }
+
+  (* Per-operation rewrite context: which blocks were allocated by
+     this attempt, which existing blocks it supersedes, and which of
+     its own allocations it consumed while rebalancing. *)
+  type ctx = {
+    mutable created : node Block.t list;
+    mutable replaced : node Block.t list;
+    mutable discarded : node Block.t list;
+  }
+
+  let size_of = function
+    | None -> 0
+    | Some b -> (Block.get b).size
+
+  let child h edge = View.target (T.read h.th ~slot:0 edge)
+
+  (* Consume [b] during a rotation: a node of ours is discarded, an
+     original is superseded. *)
+  let consume ctx b =
+    if List.memq b ctx.created then ctx.discarded <- b :: ctx.discarded
+    else ctx.replaced <- b :: ctx.replaced
+
+  let mk h ctx ~left ~key ~value ~right =
+    let size = 1 + size_of left + size_of right in
+    let b =
+      T.alloc h.th
+        { key; value; size;
+          left = T.make_ptr h.tree.tracker left;
+          right = T.make_ptr h.tree.tracker right }
+    in
+    ctx.created <- b :: ctx.created;
+    b
+
+  (* Rebuild a node from parts, restoring the weight invariant.  The
+     shapes follow Adams: rotate toward the light side; double-rotate
+     when the inner grandchild is the heavy one. *)
+  let balance h ctx ~left ~key ~value ~right =
+    let ls = size_of left and rs = size_of right in
+    if ls + rs <= 1 then mk h ctx ~left ~key ~value ~right
+    else if rs > delta * ls then begin
+      let rb = Option.get right in
+      let rn = Block.get rb in
+      let rl = child h rn.left and rr = child h rn.right in
+      consume ctx rb;
+      if size_of rl < ratio * size_of rr then
+        (* single left rotation *)
+        let inner = mk h ctx ~left ~key ~value ~right:rl in
+        mk h ctx ~left:(Some inner) ~key:rn.key ~value:rn.value ~right:rr
+      else begin
+        (* double left rotation through rl *)
+        let rlb = Option.get rl in
+        let rln = Block.get rlb in
+        let rll = child h rln.left and rlr = child h rln.right in
+        consume ctx rlb;
+        let a = mk h ctx ~left ~key ~value ~right:rll in
+        let b = mk h ctx ~left:rlr ~key:rn.key ~value:rn.value ~right:rr in
+        mk h ctx ~left:(Some a) ~key:rln.key ~value:rln.value ~right:(Some b)
+      end
+    end
+    else if ls > delta * rs then begin
+      let lb = Option.get left in
+      let ln = Block.get lb in
+      let ll = child h ln.left and lr = child h ln.right in
+      consume ctx lb;
+      if size_of lr < ratio * size_of ll then
+        let inner = mk h ctx ~left:lr ~key ~value ~right in
+        mk h ctx ~left:ll ~key:ln.key ~value:ln.value ~right:(Some inner)
+      else begin
+        let lrb = Option.get lr in
+        let lrn = Block.get lrb in
+        let lrl = child h lrn.left and lrr = child h lrn.right in
+        consume ctx lrb;
+        let a = mk h ctx ~left:ll ~key:ln.key ~value:ln.value ~right:lrl in
+        let b = mk h ctx ~left:lrr ~key ~value ~right in
+        mk h ctx ~left:(Some a) ~key:lrn.key ~value:lrn.value ~right:(Some b)
+      end
+    end
+    else mk h ctx ~left ~key ~value ~right
+
+  exception Unchanged
+  (* The operation is a no-op (insert of a present key / remove of an
+     absent one); raised before anything is allocated. *)
+
+  let rec insert_at h ctx key value = function
+    | None -> mk h ctx ~left:None ~key ~value ~right:None
+    | Some b ->
+      let n = Block.get b in
+      if key = n.key then raise Unchanged
+      else begin
+        consume ctx b;
+        if key < n.key then
+          let l' = insert_at h ctx key value (child h n.left) in
+          balance h ctx ~left:(Some l') ~key:n.key ~value:n.value
+            ~right:(child h n.right)
+        else
+          let r' = insert_at h ctx key value (child h n.right) in
+          balance h ctx ~left:(child h n.left) ~key:n.key ~value:n.value
+            ~right:(Some r')
+      end
+
+  (* Remove and return the minimum of a non-empty subtree. *)
+  let rec take_min h ctx b =
+    let n = Block.get b in
+    consume ctx b;
+    match child h n.left with
+    | None -> ((n.key, n.value), child h n.right)
+    | Some lb ->
+      let (kv, l') = take_min h ctx lb in
+      (kv, Some (balance h ctx ~left:l' ~key:n.key ~value:n.value
+                   ~right:(child h n.right)))
+
+  let rec remove_at h ctx key = function
+    | None -> raise Unchanged
+    | Some b ->
+      let n = Block.get b in
+      if key = n.key then begin
+        consume ctx b;
+        match child h n.left, child h n.right with
+        | None, r -> r
+        | l, None -> l
+        | l, Some rb ->
+          let ((k, v), r') = take_min h ctx rb in
+          Some (balance h ctx ~left:l ~key:k ~value:v ~right:r')
+      end
+      else begin
+        consume ctx b;
+        if key < n.key then
+          let l' = remove_at h ctx key (child h n.left) in
+          Some (balance h ctx ~left:l' ~key:n.key ~value:n.value
+                  ~right:(child h n.right))
+        else
+          let r' = remove_at h ctx key (child h n.right) in
+          Some (balance h ctx ~left:(child h n.left) ~key:n.key
+                  ~value:n.value ~right:r')
+      end
+
+  let wrap h f =
+    Ds_common.with_op ~stats:h.stats
+      ~start_op:(fun () -> T.start_op h.th)
+      ~end_op:(fun () -> T.end_op h.th)
+      ~max_cas_failures:h.tree.cfg.max_cas_failures
+      f
+
+  (* Run one copy-and-swing-root update. *)
+  let update h rewrite =
+    let ctx = { created = []; replaced = []; discarded = [] } in
+    let rootv = T.read_root h.th h.tree.root in
+    match rewrite ctx (View.target rootv) with
+    | exception Unchanged -> false
+    | new_root ->
+      if T.cas h.th h.tree.root ~expected:rootv new_root then begin
+        List.iter (fun b -> T.retire h.th b) ctx.replaced;
+        List.iter (fun b -> T.dealloc h.th b) ctx.discarded;
+        true
+      end
+      else begin
+        List.iter (fun b -> T.dealloc h.th b) ctx.created;
+        raise Ds_common.Restart
+      end
+
+  let insert h ~key ~value =
+    wrap h (fun () ->
+      update h (fun ctx root ->
+        Some (insert_at h ctx key value root)))
+
+  let remove h ~key =
+    wrap h (fun () -> update h (fun ctx root -> remove_at h ctx key root))
+
+  let get h ~key =
+    wrap h (fun () ->
+      let rootv = T.read_root h.th h.tree.root in
+      let rec go = function
+        | None -> None
+        | Some b ->
+          let n = Block.get b in
+          if key = n.key then Some n.value
+          else if key < n.key then go (child h n.left)
+          else go (child h n.right)
+      in
+      go (View.target rootv))
+
+  let contains h ~key = get h ~key <> None
+
+  let retired_count h = T.retired_count h.th
+  let force_empty h = T.force_empty h.th
+  let allocator_stats t = Alloc.stats (T.allocator t.tracker)
+  let epoch_value t = T.epoch_value t.tracker
+
+  let with_temp_handle t f =
+    let h = register t ~tid:0 in
+    T.start_op h.th;
+    let r = f h in
+    T.end_op h.th;
+    r
+
+  let to_sorted_list t =
+    with_temp_handle t (fun h ->
+      (* Right-to-left in-order with an accumulator yields ascending
+         key order directly. *)
+      let rec go acc = function
+        | None -> acc
+        | Some b ->
+          let n = Block.get b in
+          let acc = go acc (child h n.right) in
+          go ((n.key, n.value) :: acc) (child h n.left)
+      in
+      go [] (View.target (T.read_root h.th t.root)))
+
+  (* BST order, size bookkeeping, weight balance, and liveness of the
+     whole reachable version. *)
+  let check_invariants t =
+    with_temp_handle t (fun h ->
+      let rec go ~lo ~hi = function
+        | None -> 0
+        | Some b ->
+          if Block.is_reclaimed b then
+            failwith "bonsai invariant: reachable reclaimed block";
+          let n = Block.get b in
+          if not (lo < n.key && n.key < hi) then
+            failwith "bonsai invariant: keys out of order";
+          let ls = go ~lo ~hi:n.key (child h n.left) in
+          let rs = go ~lo:n.key ~hi (child h n.right) in
+          if n.size <> ls + rs + 1 then
+            failwith "bonsai invariant: size field wrong";
+          if ls + rs > 1 && (ls > delta * rs || rs > delta * ls) then
+            failwith "bonsai invariant: weight balance violated";
+          n.size
+      in
+      ignore (go ~lo:min_int ~hi:max_int
+                (View.target (T.read_root h.th t.root))))
+end

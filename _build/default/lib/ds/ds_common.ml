@@ -1,0 +1,50 @@
+(* The operation wrapper shared by all structures.
+
+   A data-structure method raises [Restart] when a CAS loses a race
+   and the traversal must begin again.  The wrapper counts restarts
+   and, after [max_cas_failures] of them, ends and re-starts the
+   operation at the tracker level — refreshing the reservation's
+   lower endpoint.  This is the paper's §4.3.1 fix: without it a
+   *starving* (not stalled) thread could reserve an unbounded number
+   of blocks. *)
+
+exception Restart
+
+type op_stats = {
+  mutable ops : int;
+  mutable restarts : int;
+  mutable reservation_refreshes : int;
+}
+
+let make_op_stats () = { ops = 0; restarts = 0; reservation_refreshes = 0 }
+
+let with_op ~stats ~start_op ~end_op ~max_cas_failures f =
+  start_op ();
+  stats.ops <- stats.ops + 1;
+  let rec attempt fails =
+    match f () with
+    | result -> result
+    | exception Restart ->
+      stats.restarts <- stats.restarts + 1;
+      let fails = fails + 1 in
+      if max_cas_failures > 0 && fails >= max_cas_failures then begin
+        (* Starvation bound: drop and re-acquire the reservation. *)
+        end_op ();
+        start_op ();
+        stats.reservation_refreshes <- stats.reservation_refreshes + 1;
+        attempt 0
+      end
+      else attempt fails
+  in
+  match attempt 0 with
+  | result -> end_op (); result
+  | exception e -> end_op (); raise e
+
+(* Debug hook: invoked before every retire a data structure performs,
+   with (site, block id, incarnation).  Used by fault-diagnosis tests;
+   a no-op in production. *)
+let retire_trace : (string -> int -> int -> unit) ref = ref (fun _ _ _ -> ())
+
+(* Companion debug hook passing the raw prev cell and expected box. *)
+let unlink_trace : (string -> Obj.t -> Obj.t -> int -> int -> unit) ref =
+  ref (fun _ _ _ _ _ -> ())

@@ -1,0 +1,60 @@
+(* Instantiate rideables over reclamation schemes by name — the OCaml
+   analogue of the artifact's rideable menu.  A [maker] closes over a
+   functor application; the harness composes it with a tracker from
+   [Ibr_core.Registry]. *)
+
+open Ibr_core
+
+type maker = {
+  ds_name : string;
+  instantiate : Tracker_intf.packed -> (module Ds_intf.SET);
+}
+
+let list_maker = {
+  ds_name = "list";
+  instantiate =
+    (fun (module T : Tracker_intf.TRACKER) ->
+       (module Harris_list.Make (T) : Ds_intf.SET));
+}
+
+let hashmap_maker = {
+  ds_name = "hashmap";
+  instantiate =
+    (fun (module T : Tracker_intf.TRACKER) ->
+       (module Michael_hashmap.Make (T) : Ds_intf.SET));
+}
+
+let nm_tree_maker = {
+  ds_name = "nmtree";
+  instantiate =
+    (fun (module T : Tracker_intf.TRACKER) ->
+       (module Nm_tree.Make (T) : Ds_intf.SET));
+}
+
+let bonsai_maker = {
+  ds_name = "bonsai";
+  instantiate =
+    (fun (module T : Tracker_intf.TRACKER) ->
+       (module Bonsai_tree.Make (T) : Ds_intf.SET));
+}
+
+(* The paper's four rideables, in Fig. 8 order. *)
+let all = [ list_maker; hashmap_maker; nm_tree_maker; bonsai_maker ]
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun m -> String.lowercase_ascii m.ds_name = target) all
+
+let find_exn name =
+  match find name with
+  | Some m -> m
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Ds_registry.find_exn: unknown rideable %S (known: %s)"
+         name (String.concat ", " (List.map (fun m -> m.ds_name) all)))
+
+(* Can [ds] run under [tracker]?  (Checked via the instantiated
+   module's own [compatible] predicate.) *)
+let compatible maker (module T : Tracker_intf.TRACKER) =
+  let (module S : Ds_intf.SET) = maker.instantiate (module T) in
+  S.compatible T.props

@@ -1,0 +1,200 @@
+(* The ordered lock-free linked list of Harris [14] as refined by
+   Michael [20] — the refinement matters here because Michael's
+   version is compatible with hazard pointers: instead of Harris'
+   batched physical deletion, marked nodes are unlinked one at a time
+   during traversal, so a traversal holds at most three protected
+   references (prev-node, cur, next).
+
+   Marking: tag bit 1 on a node's [next] pointer marks the node as
+   logically deleted.  A node is retired by whichever thread performs
+   its physical unlink, after the unlink — satisfying the §4.1 proviso
+   (all shared pointers to a block are overwritten before retire).
+
+   The [Raw] operations take an explicit head cell so that Michael's
+   hash map can reuse them per bucket. *)
+
+open Ibr_core
+
+let marked = 1
+
+module Make (T : Tracker_intf.TRACKER) = struct
+  let name = "harris-michael-list"
+  let compatible (p : Tracker_intf.properties) = p.mutable_pointers
+  let slots_needed = 3
+
+  type node = {
+    key : int;
+    mutable value : int;
+    next : node T.ptr;
+  }
+
+  type t = {
+    tracker : node T.t;
+    head : node T.ptr;
+    cfg : Tracker_intf.config;
+  }
+
+  type handle = {
+    list : t;
+    th : node T.handle;
+    stats : Ds_common.op_stats;
+  }
+
+  let create ~threads cfg =
+    let tracker = T.create ~threads cfg in
+    { tracker; head = T.make_ptr tracker None; cfg }
+
+  let register list ~tid =
+    { list; th = T.register list.tracker ~tid;
+      stats = Ds_common.make_op_stats () }
+
+  (* Hazard-slot roles during traversal. *)
+  let slot_prev = 0   (* node containing the [prev] cell *)
+  let slot_cur = 1
+  let slot_next = 2
+
+  (* Michael's find: position (prev, cur) such that cur is the first
+     node with key >= [key]; unlinks marked nodes encountered on the
+     way.  Returns the prev cell, the view of cur stored in it, and,
+     when cur is a real node, its block, payload and next-view. *)
+  let find th head key =
+    let rec walk prev curv =
+      (* A marked box read from [prev] means prev's own node was
+         logically deleted under us: its next pointer is frozen and
+         must never be CASed back to an unmarked value (doing so would
+         resurrect a dead path and permit double unlinks).  Restart
+         from the head, as Michael's algorithm does. *)
+      if View.tag curv = marked then raise Ds_common.Restart;
+      match View.target curv with
+      | None -> (prev, curv, None)
+      | Some bcur ->
+        let n = Block.get bcur in
+        let nextv = T.read th ~slot:slot_next n.next in
+        if View.tag nextv = marked then begin
+          (* cur is logically deleted: unlink it before moving on. *)
+          if T.cas th prev ~expected:curv (View.target nextv) then begin
+            !Ds_common.unlink_trace "helper" (Obj.repr prev) (Obj.repr curv)
+              (Block.id bcur) (Block.incarnation bcur);
+            !Ds_common.retire_trace "find-helper" (Block.id bcur)
+              (Block.incarnation bcur);
+            T.retire th bcur;
+            walk prev (T.read th ~slot:slot_cur prev)
+          end
+          else raise Ds_common.Restart
+        end
+        else if n.key >= key then (prev, curv, Some (bcur, n, nextv))
+        else begin
+          (* Advance hand over hand: cur's protection becomes prev's,
+             next's becomes cur's. *)
+          T.reassign th ~src:slot_cur ~dst:slot_prev;
+          T.reassign th ~src:slot_next ~dst:slot_cur;
+          walk n.next nextv
+        end
+    in
+    walk head (T.read th ~slot:slot_cur head)
+
+  module Raw = struct
+    let insert tracker th head ~key ~value =
+      let prev, curv, found = find th head key in
+      match found with
+      | Some (_, n, _) when n.key = key -> false
+      | Some _ | None ->
+        let b =
+          T.alloc th
+            { key; value; next = T.make_ptr tracker (View.target curv) }
+        in
+        if T.cas th prev ~expected:curv (Some b) then true
+        else begin
+          T.dealloc th b;
+          raise Ds_common.Restart
+        end
+
+    let remove _tracker th head ~key =
+      let prev, curv, found = find th head key in
+      match found with
+      | Some (bcur, n, nextv) when n.key = key ->
+        (* Logical deletion: set the mark on cur's next pointer. *)
+        if not (T.cas th n.next ~expected:nextv ~tag:marked (View.target nextv))
+        then raise Ds_common.Restart
+        else begin
+          (* Physical unlink; if it fails a later traversal helps. *)
+          (if T.cas th prev ~expected:curv (View.target nextv) then begin
+             !Ds_common.retire_trace "list-unlink" (Block.id bcur)
+               (Block.incarnation bcur);
+             T.retire th bcur
+           end);
+          true
+        end
+      | Some _ | None -> false
+
+    let get _tracker th head ~key =
+      let _, _, found = find th head key in
+      match found with
+      | Some (_, n, _) when n.key = key -> Some n.value
+      | Some _ | None -> None
+  end
+
+  let wrap h f =
+    Ds_common.with_op ~stats:h.stats
+      ~start_op:(fun () -> T.start_op h.th)
+      ~end_op:(fun () -> T.end_op h.th)
+      ~max_cas_failures:h.list.cfg.max_cas_failures
+      f
+
+  let insert h ~key ~value =
+    wrap h (fun () -> Raw.insert h.list.tracker h.th h.list.head ~key ~value)
+
+  let remove h ~key =
+    wrap h (fun () -> Raw.remove h.list.tracker h.th h.list.head ~key)
+
+  let get h ~key =
+    wrap h (fun () -> Raw.get h.list.tracker h.th h.list.head ~key)
+
+  let contains h ~key = get h ~key <> None
+
+  let retired_count h = T.retired_count h.th
+  let force_empty h = T.force_empty h.th
+  let allocator_stats t = Alloc.stats (T.allocator t.tracker)
+  let epoch_value t = T.epoch_value t.tracker
+
+  (* Sequential-context walk over a single chain; shared with the
+     hash map's per-bucket dumps. *)
+  let dump_chain tracker head =
+    let th = T.register tracker ~tid:0 in
+    T.start_op th;
+    let rec walk acc v =
+      match View.target v with
+      | None -> List.rev acc
+      | Some b ->
+        let n = Block.get b in
+        let nextv = T.read th ~slot:slot_next n.next in
+        let acc =
+          if View.tag nextv = marked then acc
+          else (n.key, n.value) :: acc
+        in
+        walk acc nextv
+    in
+    let result = walk [] (T.read th ~slot:slot_cur head) in
+    T.end_op th;
+    result
+
+  let check_chain tracker head =
+    let th = T.register tracker ~tid:0 in
+    T.start_op th;
+    let rec walk last v =
+      match View.target v with
+      | None -> ()
+      | Some b ->
+        if Block.is_reclaimed b then
+          failwith "harris-list invariant: reachable reclaimed block";
+        let n = Block.get b in
+        if n.key <= last then
+          failwith "harris-list invariant: keys not strictly increasing";
+        walk n.key (T.read th ~slot:slot_next n.next)
+    in
+    walk min_int (T.read th ~slot:slot_cur head);
+    T.end_op th
+
+  let to_sorted_list t = dump_chain t.tracker t.head
+  let check_invariants t = check_chain t.tracker t.head
+end

@@ -1,0 +1,113 @@
+(* Treiber's lock-free stack [26] — the paper's §3.1 example of a
+   persistent structure (immutable [next] pointers, all mutation
+   through the top-of-stack pointer), and the simplest illustration
+   of the reclamation problem: a pop must not free a node another
+   thread's pop is still inspecting.
+
+   Not part of the figure lineup (the paper benchmarks maps); used by
+   the quickstart, the POIBR examples, and the tests. *)
+
+open Ibr_core
+
+module Make (T : Tracker_intf.TRACKER) = struct
+  let name = "treiber-stack"
+  let compatible (_ : Tracker_intf.properties) = true
+  let slots_needed = 2
+
+  type node = {
+    value : int;
+    next : node T.ptr;    (* immutable after construction *)
+  }
+
+  type t = {
+    tracker : node T.t;
+    top : node T.ptr;
+    cfg : Tracker_intf.config;
+  }
+
+  type handle = {
+    stack : t;
+    th : node T.handle;
+    stats : Ds_common.op_stats;
+  }
+
+  let create ~threads cfg =
+    let tracker = T.create ~threads cfg in
+    { tracker; top = T.make_ptr tracker None; cfg }
+
+  let register stack ~tid =
+    { stack; th = T.register stack.tracker ~tid;
+      stats = Ds_common.make_op_stats () }
+
+  let wrap h f =
+    Ds_common.with_op ~stats:h.stats
+      ~start_op:(fun () -> T.start_op h.th)
+      ~end_op:(fun () -> T.end_op h.th)
+      ~max_cas_failures:h.stack.cfg.max_cas_failures
+      f
+
+  let push h value =
+    wrap h (fun () ->
+      let rec attempt () =
+        let topv = T.read_root h.th h.stack.top in
+        let b =
+          T.alloc h.th
+            { value; next = T.make_ptr h.stack.tracker (View.target topv) }
+        in
+        if T.cas h.th h.stack.top ~expected:topv (Some b) then ()
+        else begin
+          T.dealloc h.th b;
+          attempt ()
+        end
+      in
+      attempt ())
+
+  let pop h =
+    wrap h (fun () ->
+      let rec attempt () =
+        let topv = T.read_root h.th h.stack.top in
+        match View.target topv with
+        | None -> None
+        | Some b ->
+          let n = Block.get b in
+          (* Slot 1: slot 0 still protects [b] (its cell is read during
+             validation of this next-read). *)
+          let nextv = T.read h.th ~slot:1 n.next in
+          if T.cas h.th h.stack.top ~expected:topv (View.target nextv)
+          then begin
+            T.retire h.th b;
+            Some n.value
+          end
+          else attempt ()
+      in
+      attempt ())
+
+  let peek h =
+    wrap h (fun () ->
+      let topv = T.read_root h.th h.stack.top in
+      match View.target topv with
+      | None -> None
+      | Some b -> Some (Block.get b).value)
+
+  let is_empty h = peek h = None
+
+  let retired_count h = T.retired_count h.th
+  let force_empty h = T.force_empty h.th
+  let allocator_stats t = Alloc.stats (T.allocator t.tracker)
+  let epoch_value t = T.epoch_value t.tracker
+
+  (* Sequential-context dump, top first. *)
+  let to_list t =
+    let th = T.register t.tracker ~tid:0 in
+    T.start_op th;
+    let rec go acc v =
+      match View.target v with
+      | None -> List.rev acc
+      | Some b ->
+        let n = Block.get b in
+        go (n.value :: acc) (T.read th ~slot:0 n.next)
+    in
+    let r = go [] (T.read th ~slot:0 t.top) in
+    T.end_op th;
+    r
+end

@@ -1,0 +1,1 @@
+lib/harness/csv_out.ml: Chart Fun List Printf Stats

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Buffer Chart Fun Ibr_core Ibr_ds Ibr_runtime List Option Prim Printf Registry Runner_sim Stats Tracker_intf Workload

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Chart Ibr_core Stats Workload

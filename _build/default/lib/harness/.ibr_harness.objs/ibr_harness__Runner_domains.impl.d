@@ -1,0 +1,1 @@
+lib/harness/runner_domains.ml: Domain Ds_intf Ds_registry Ibr_core Ibr_ds Ibr_runtime Int64 List Stats Unix Workload

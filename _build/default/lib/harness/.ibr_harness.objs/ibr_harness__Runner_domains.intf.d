@@ -1,0 +1,1 @@
+lib/harness/runner_domains.mli: Ibr_core Ibr_ds Stats Workload

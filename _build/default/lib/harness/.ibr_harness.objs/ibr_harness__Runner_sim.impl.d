@@ -1,0 +1,1 @@
+lib/harness/runner_sim.ml: Array Ds_intf Ds_registry Ibr_core Ibr_ds Ibr_runtime Rng Sched Stats Workload

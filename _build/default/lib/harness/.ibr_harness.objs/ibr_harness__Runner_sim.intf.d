@@ -1,0 +1,1 @@
+lib/harness/runner_sim.mli: Ibr_core Ibr_ds Ibr_runtime Stats Workload

@@ -1,0 +1,1 @@
+lib/harness/stats.ml: Alloc Fmt Ibr_core List Printf

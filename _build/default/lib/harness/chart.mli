@@ -1,0 +1,20 @@
+(** Terminal rendering of figure data: a table per figure plus a
+    sparkline per series, so curve shapes are visible straight from
+    bench output. *)
+
+type series = {
+  label : string;
+  points : (int * float) list;  (** x (e.g. thread count) -> y *)
+}
+
+type figure = {
+  fig_id : string;
+  title : string;
+  ylabel : string;
+  series : series list;
+}
+
+val sparkline : float list -> string
+val xs_of : figure -> int list
+val render : Format.formatter -> figure -> unit
+val to_string : figure -> string

@@ -1,0 +1,29 @@
+(* CSV output, matching the artifact's workflow of dumping rows and
+   post-processing externally. *)
+
+let write_rows path rows =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+    output_string oc Stats.csv_header;
+    output_char oc '\n';
+    List.iter (fun r ->
+      output_string oc (Stats.to_csv_row r);
+      output_char oc '\n')
+      rows)
+
+let append_figure oc (fig : Chart.figure) =
+  List.iter (fun (s : Chart.series) ->
+    List.iter (fun (x, y) ->
+      output_string oc
+        (Printf.sprintf "%s,%s,%d,%.6f\n" fig.fig_id s.label x y))
+      s.points)
+    fig.series
+
+let write_figures path figs =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+    output_string oc "fig,series,threads,value\n";
+    List.iter (append_figure oc) figs)
+
+(* A figure as tidy CSV: fig_id,series,x,y. *)
+let write_figure path fig = write_figures path [ fig ]

@@ -1,0 +1,10 @@
+(** CSV output, matching the artifact's dump-rows-then-post-process
+    workflow. *)
+
+val write_rows : string -> Stats.t list -> unit
+(** Full result rows with header. *)
+
+val write_figure : string -> Chart.figure -> unit
+(** Tidy format: [fig,series,threads,value]. *)
+
+val write_figures : string -> Chart.figure list -> unit

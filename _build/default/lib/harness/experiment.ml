@@ -1,0 +1,259 @@
+(* The paper's evaluation, experiment by experiment (see DESIGN.md §3
+   for the index).  Each entry produces [Chart.figure]s plus the raw
+   [Stats.t] rows.
+
+   Scaling knobs: [scale] multiplies the simulated run length; the
+   default thread ladder spans both sides of the 72-core mark so the
+   oversubscription regime of Fig. 9 is exercised. *)
+
+open Ibr_core
+
+let default_threads = [ 1; 2; 4; 8; 16; 24; 36; 48; 60; 72; 84; 96 ]
+let quick_threads = [ 1; 4; 16; 36; 72; 96 ]
+
+type sweep_result = {
+  throughput_fig : Chart.figure;
+  space_fig : Chart.figure;
+  rows : Stats.t list;
+}
+
+(* Trackers plotted for a given rideable: the paper's lineup filtered
+   by compatibility (no HP/HE on Bonsai, POIBR only on Bonsai). *)
+let lineup ds_name =
+  let maker = Ibr_ds.Ds_registry.find_exn ds_name in
+  List.filter
+    (fun (e : Registry.entry) -> Ibr_ds.Ds_registry.compatible maker e.tracker)
+    Registry.paper_set
+
+(* Oversubscribed runs need a horizon several stall-lengths long to
+   reach the steady state Fig. 9 plots; undersubscribed runs converge
+   much sooner. *)
+let horizon_for ?(cores = 72) threads =
+  if threads > cores then 600_000 else 130_000
+
+(* One Fig. 8/9 panel: sweep thread counts for every tracker on one
+   rideable; the same runs yield the throughput and space curves. *)
+let sweep ?(threads_list = default_threads) ?horizon
+    ?(seed = 0xf16) ?(mix = Workload.write_dominated) ~fig_thr ~fig_spc
+    ds_name =
+  let spec = Workload.spec_for ~mix ds_name in
+  let rows = ref [] in
+  let series_of metric =
+    List.filter_map
+      (fun (e : Registry.entry) ->
+         let points =
+           List.filter_map
+             (fun threads ->
+                let horizon =
+                  match horizon with
+                  | Some h -> h
+                  | None -> horizon_for threads
+                in
+                let cfg =
+                  Runner_sim.default_config ~threads ~horizon
+                    ~seed:(seed + threads) ~spec ()
+                in
+                match
+                  Runner_sim.run_named ~tracker_name:e.name ~ds_name cfg
+                with
+                | None -> None
+                | Some r ->
+                  rows := r :: !rows;
+                  Some (threads, metric r))
+             threads_list
+         in
+         if points = [] then None
+         else Some { Chart.label = e.name; points })
+      (lineup ds_name)
+  in
+  (* Run the sweep once; collect throughput, then reuse rows for the
+     space metric to avoid a second pass. *)
+  let thr_series = series_of (fun r -> r.Stats.throughput) in
+  let collected = List.rev !rows in
+  let spc_series =
+    List.filter_map
+      (fun (e : Registry.entry) ->
+         if e.name = "NoMM" then None  (* Fig. 9 omits the leaking baseline *)
+         else
+           let points =
+             List.filter_map
+               (fun r ->
+                  if r.Stats.tracker = e.name then
+                    Some (r.Stats.threads, r.Stats.avg_unreclaimed)
+                  else None)
+               collected
+           in
+           if points = [] then None
+           else Some { Chart.label = e.name; points })
+      (lineup ds_name)
+  in
+  {
+    throughput_fig =
+      { Chart.fig_id = fig_thr;
+        title =
+          Printf.sprintf "throughput, %s, %s" ds_name (Workload.mix_name mix);
+        ylabel = "ops per Mcycle";
+        series = thr_series };
+    space_fig =
+      { Chart.fig_id = fig_spc;
+        title =
+          Printf.sprintf "retired-unreclaimed, %s, %s" ds_name
+            (Workload.mix_name mix);
+        ylabel = "avg blocks at op start";
+        series = spc_series };
+    rows = collected;
+  }
+
+let panel_ids =
+  [ ("list", "8a", "9a"); ("hashmap", "8b", "9b"); ("nmtree", "8c", "9c");
+    ("bonsai", "8d", "9d") ]
+
+let fig8_9 ?threads_list ?horizon ?seed ds_name =
+  let _, fig_thr, fig_spc =
+    List.find (fun (d, _, _) -> d = ds_name) panel_ids in
+  sweep ?threads_list ?horizon ?seed ~fig_thr:("fig" ^ fig_thr)
+    ~fig_spc:("fig" ^ fig_spc) ds_name
+
+(* Fig. 10: NM tree, read-dominated, space metric. *)
+let fig10 ?threads_list ?horizon ?seed () =
+  sweep ?threads_list ?horizon ?seed ~mix:Workload.read_dominated
+    ~fig_thr:"fig10-thr" ~fig_spc:"fig10" "nmtree"
+
+(* Fig. 7: the qualitative tradeoff table. *)
+let fig7_table () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-12s %-6s %-9s %-8s %-6s %-7s %s\n" "scheme" "robust"
+       "unreserve" "mutable" "slots" "ptr+w" "fence/read");
+  List.iter
+    (fun (name, (p : Tracker_intf.properties)) ->
+       Buffer.add_string b
+         (Printf.sprintf "%-12s %-6b %-9b %-8b %-6b %-7d %b\n" name p.robust
+            p.needs_unreserve p.mutable_pointers p.bounded_slots
+            p.pointer_tag_words p.fence_per_read))
+    (Registry.fig7_rows ());
+  Buffer.contents b
+
+(* §5 tuning discussion: sweep the empty_freq knob k — space should
+   grow roughly linearly in k while throughput stays flat for small k. *)
+let empty_freq_sweep ?(ks = [ 1; 5; 10; 20; 30; 40; 50 ]) ?(threads = 16)
+    ?(horizon = 150_000) ?(tracker_name = "2GEIBR") ?(ds_name = "hashmap") ()
+  =
+  let spec = Workload.spec_for ds_name in
+  let results =
+    List.filter_map
+      (fun k ->
+         let base = Runner_sim.default_config ~threads ~horizon ~spec () in
+         let cfg =
+           { base with
+             tracker_cfg = { base.tracker_cfg with empty_freq = k } }
+         in
+         Option.map (fun r -> (k, r))
+           (Runner_sim.run_named ~tracker_name ~ds_name cfg))
+      ks
+  in
+  let fig metric ylabel suffix =
+    { Chart.fig_id = "k-sweep-" ^ suffix;
+      title =
+        Printf.sprintf "empty_freq sweep, %s on %s, %d threads" tracker_name
+          ds_name threads;
+      ylabel;
+      series =
+        [ { Chart.label = tracker_name;
+            points = List.map (fun (k, r) -> (k, metric r)) results } ] }
+  in
+  ( fig (fun r -> r.Stats.throughput) "ops per Mcycle" "throughput",
+    fig (fun r -> r.Stats.avg_unreclaimed) "avg unreclaimed" "space",
+    List.map snd results )
+
+(* Ablation: sensitivity of the HP-vs-IBR gap to the fence cost. *)
+let fence_cost_sweep ?(fences = [ 5; 20; 55; 120; 250 ]) ?(threads = 16)
+    ?(horizon = 120_000) ?(ds_name = "hashmap") () =
+  let spec = Workload.spec_for ds_name in
+  let saved = !Prim.costs in
+  Fun.protect ~finally:(fun () -> Prim.set_costs saved) (fun () ->
+    let series name =
+      { Chart.label = name;
+        points =
+          List.filter_map
+            (fun fence ->
+               Prim.set_costs (Ibr_runtime.Cost.with_fence saved fence);
+               let cfg =
+                 Runner_sim.default_config ~threads ~horizon ~spec () in
+               Option.map
+                 (fun r -> (fence, r.Stats.throughput))
+                 (Runner_sim.run_named ~tracker_name:name ~ds_name cfg))
+            fences }
+    in
+    { Chart.fig_id = "ablation-fence";
+      title =
+        Printf.sprintf "fence-cost sensitivity, %s, %d threads" ds_name
+          threads;
+      ylabel = "ops per Mcycle (x = fence cost)";
+      series = [ series "HP"; series "HE"; series "2GEIBR"; series "EBR" ] })
+
+(* Ablation: born_before update strategy under list contention. *)
+let tagibr_strategy_sweep ?(threads_list = [ 4; 16; 36; 72 ])
+    ?(horizon = 120_000) () =
+  let spec = { (Workload.spec_for "list") with key_range = 48 } in
+  let series name =
+    { Chart.label = name;
+      points =
+        List.filter_map
+          (fun threads ->
+             let cfg =
+               Runner_sim.default_config ~threads ~horizon ~spec () in
+             Option.map
+               (fun r -> (threads, r.Stats.throughput))
+               (Runner_sim.run_named ~tracker_name:name ~ds_name:"list" cfg))
+          threads_list }
+  in
+  { Chart.fig_id = "ablation-tagibr";
+    title = "born_before strategies on a contended 48-key list";
+    ylabel = "ops per Mcycle";
+    series =
+      [ series "TagIBR"; series "TagIBR-FAA"; series "TagIBR-WCAS";
+        series "TagIBR-TPA" ] }
+
+(* A.6's acceptance claims, checked mechanically from sweep rows:
+   (1) IBR throughput between HP-likes and EBR, within ~tens of
+       percent of EBR;
+   (2) when oversubscribed, IBR space sits above HP-likes and below
+       EBR. *)
+type check = { claim : string; holds : bool; detail : string }
+
+let headline_checks (rows : Stats.t list) =
+  let thr tracker threads =
+    List.find_opt
+      (fun r -> r.Stats.tracker = tracker && r.Stats.threads = threads)
+      rows
+    |> Option.map (fun r -> r.Stats.throughput)
+  in
+  let spc tracker threads =
+    List.find_opt
+      (fun r -> r.Stats.tracker = tracker && r.Stats.threads = threads)
+      rows
+    |> Option.map (fun r -> r.Stats.avg_unreclaimed)
+  in
+  let mid = 36 and over = 96 in
+  let checks = ref [] in
+  (match thr "EBR" mid, thr "2GEIBR" mid, thr "HP" mid with
+   | Some ebr, Some ibr, Some hp ->
+     checks :=
+       { claim = "throughput: HP <= IBR <= ~EBR (36 threads)";
+         holds = hp <= ibr && ibr <= ebr *. 1.15;
+         detail =
+           Printf.sprintf "HP=%.2f 2GEIBR=%.2f EBR=%.2f" hp ibr ebr }
+       :: !checks
+   | _ -> ());
+  (match spc "EBR" over, spc "2GEIBR" over, spc "HP" over with
+   | Some ebr, Some ibr, Some hp ->
+     checks :=
+       { claim =
+           "space oversubscribed: HP-like <= IBR <= EBR (96 threads)";
+         holds = hp <= ibr *. 1.05 && ibr <= ebr *. 1.05;
+         detail =
+           Printf.sprintf "HP=%.1f 2GEIBR=%.1f EBR=%.1f" hp ibr ebr }
+       :: !checks
+   | _ -> ());
+  List.rev !checks

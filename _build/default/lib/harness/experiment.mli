@@ -1,0 +1,65 @@
+(** The paper's evaluation, experiment by experiment (index in
+    DESIGN.md §3). *)
+
+val default_threads : int list
+(** The full thread ladder, spanning both sides of the 72-core mark. *)
+
+val quick_threads : int list
+(** Coarse ladder for fast runs. *)
+
+val horizon_for : ?cores:int -> int -> int
+(** Run length per thread count: oversubscribed runs need several
+    stall-lengths to reach the Fig. 9 steady state. *)
+
+val lineup : string -> Ibr_core.Registry.entry list
+(** Schemes plotted for a rideable (paper set filtered by
+    compatibility). *)
+
+type sweep_result = {
+  throughput_fig : Chart.figure;
+  space_fig : Chart.figure;
+  rows : Stats.t list;
+}
+
+val sweep :
+  ?threads_list:int list -> ?horizon:int -> ?seed:int ->
+  ?mix:Workload.mix -> fig_thr:string -> fig_spc:string -> string ->
+  sweep_result
+(** One Fig. 8/9 panel: thread sweep of every compatible scheme on one
+    rideable; one pass yields both the throughput and space curves. *)
+
+val panel_ids : (string * string * string) list
+(** rideable -> (Fig. 8 panel, Fig. 9 panel). *)
+
+val fig8_9 :
+  ?threads_list:int list -> ?horizon:int -> ?seed:int -> string ->
+  sweep_result
+(** The named panel for a rideable ("list" -> fig8a/fig9a, ...). *)
+
+val fig10 :
+  ?threads_list:int list -> ?horizon:int -> ?seed:int -> unit ->
+  sweep_result
+(** NM tree, read-dominated (space metric is the paper's Fig. 10). *)
+
+val fig7_table : unit -> string
+(** The qualitative tradeoff table. *)
+
+val empty_freq_sweep :
+  ?ks:int list -> ?threads:int -> ?horizon:int -> ?tracker_name:string ->
+  ?ds_name:string -> unit -> Chart.figure * Chart.figure * Stats.t list
+(** §5's tuning discussion: space grows ~linearly in k, throughput
+    stays flat for small k. *)
+
+val fence_cost_sweep :
+  ?fences:int list -> ?threads:int -> ?horizon:int -> ?ds_name:string ->
+  unit -> Chart.figure
+(** Ablation: sensitivity of the HP-vs-IBR gap to the fence cost. *)
+
+val tagibr_strategy_sweep :
+  ?threads_list:int list -> ?horizon:int -> unit -> Chart.figure
+(** Ablation: born_before update strategies under list contention. *)
+
+(** A mechanically checked acceptance claim (appendix A.6). *)
+type check = { claim : string; holds : bool; detail : string }
+
+val headline_checks : Stats.t list -> check list

@@ -1,0 +1,89 @@
+(* The real-parallelism backend: the same tracker / data-structure
+   code on OCaml 5 domains with wall-clock timing and no cost
+   accounting (the [Hooks] handler stays a no-op).
+
+   On the evaluation container (1 hardware core) this measures the
+   schemes' native instruction overhead under preemptive interleaving
+   rather than parallel speedup; its role in the reproduction is race
+   stress (tests run it with 2–4 domains) and a sanity check that the
+   library is not simulator-bound. *)
+
+open Ibr_ds
+
+type config = {
+  threads : int;               (* domains *)
+  duration_s : float;
+  seed : int;
+  tracker_cfg : Ibr_core.Tracker_intf.config;
+  spec : Workload.spec;
+}
+
+let default_config ?(threads = 4) ?(duration_s = 0.2) ?(seed = 0xd0e5) ~spec
+    () =
+  { threads; duration_s; seed;
+    tracker_cfg = Ibr_core.Tracker_intf.default_config ~threads ();
+    spec }
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
+  let t = S.create ~threads:cfg.threads cfg.tracker_cfg in
+  let h0 = S.register t ~tid:0 in
+  let prefill_rng = Ibr_runtime.Rng.create (cfg.seed lxor 0x5eed) in
+  Workload.prefill ~rng:prefill_rng ~spec:cfg.spec
+    ~insert:(fun ~key ~value -> S.insert h0 ~key ~value);
+  let faults_before = Ibr_core.Fault.total () in
+  let start = now_ns () in
+  let deadline = Unix.gettimeofday () +. cfg.duration_s in
+  let worker tid () =
+    let h = S.register t ~tid in
+    let rng = Ibr_runtime.Rng.stream ~seed:cfg.seed ~index:tid in
+    let sampler = Stats.make_sampler () in
+    let ops = ref 0 in
+    (* Check the clock every [batch] ops to keep Unix.gettimeofday off
+       the hot path. *)
+    let batch = 64 in
+    let continue_ = ref true in
+    while !continue_ do
+      for _ = 1 to batch do
+        Stats.sample sampler (S.retired_count h);
+        let key = Workload.pick_key rng cfg.spec in
+        (match Workload.pick_op rng cfg.spec.mix with
+         | Workload.Insert -> ignore (S.insert h ~key ~value:key)
+         | Workload.Remove -> ignore (S.remove h ~key)
+         | Workload.Get -> ignore (S.get h ~key));
+        incr ops
+      done;
+      if Unix.gettimeofday () >= deadline then continue_ := false
+    done;
+    (!ops, sampler)
+  in
+  let domains =
+    List.init cfg.threads (fun tid -> Domain.spawn (worker tid)) in
+  let results = List.map Domain.join domains in
+  let makespan = now_ns () - start in
+  let total_ops = List.fold_left (fun n (o, _) -> n + o) 0 results in
+  let merged = Stats.merge_samplers (List.map snd results) in
+  {
+    Stats.tracker = tracker_name;
+    ds = ds_name;
+    threads = cfg.threads;
+    mix = Workload.mix_name cfg.spec.mix;
+    ops = total_ops;
+    makespan;
+    throughput = Stats.throughput ~ops:total_ops ~makespan;
+    avg_unreclaimed = Stats.mean merged;
+    peak_unreclaimed = merged.peak;
+    samples = merged.n;
+    alloc = S.allocator_stats t;
+    epoch = S.epoch_value t;
+    faults = Ibr_core.Fault.total () - faults_before;
+  }
+
+let run_named ~tracker_name ~ds_name cfg =
+  let tracker = (Ibr_core.Registry.find_exn tracker_name).tracker in
+  let maker = Ds_registry.find_exn ds_name in
+  let (module S : Ds_intf.SET) = maker.instantiate tracker in
+  let (module T : Ibr_core.Tracker_intf.TRACKER) = tracker in
+  if not (S.compatible T.props) then None
+  else Some (run ~tracker_name:T.name ~ds_name (module S) cfg)

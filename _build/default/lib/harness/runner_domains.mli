@@ -1,0 +1,23 @@
+(** The real-parallelism backend: the same tracker / data-structure
+    code on OCaml 5 domains, wall-clock timed, with the cost hooks
+    inactive.  Used for race stress tests and as a sanity check that
+    the library is not simulator-bound. *)
+
+type config = {
+  threads : int;            (** domains *)
+  duration_s : float;
+  seed : int;
+  tracker_cfg : Ibr_core.Tracker_intf.config;
+  spec : Workload.spec;
+}
+
+val default_config :
+  ?threads:int -> ?duration_s:float -> ?seed:int -> spec:Workload.spec ->
+  unit -> config
+
+val run :
+  tracker_name:string -> ds_name:string -> (module Ibr_ds.Ds_intf.SET) ->
+  config -> Stats.t
+
+val run_named :
+  tracker_name:string -> ds_name:string -> config -> Stats.t option

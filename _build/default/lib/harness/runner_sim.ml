@@ -1,0 +1,94 @@
+(* The simulator backend: runs one (tracker × rideable × threads ×
+   workload) configuration on the discrete-event machine and returns a
+   [Stats.t] row.
+
+   The paper's methodology is followed exactly: prefill, then a
+   fixed-duration free-for-all where each thread samples its local
+   retired-but-unreclaimed count at the start of every operation
+   (the Fig. 9 metric) and operation completions are counted for
+   throughput (Fig. 8).  Threads beyond the simulated core count queue
+   for cores, reproducing the oversubscription (stall) regime to the
+   right of the 72-thread mark in the paper's plots. *)
+
+open Ibr_runtime
+open Ibr_ds
+
+type config = {
+  threads : int;
+  horizon : int;               (* virtual run length *)
+  sched : Sched.config;
+  seed : int;
+  tracker_cfg : Ibr_core.Tracker_intf.config;
+  spec : Workload.spec;
+}
+
+let default_config ?(threads = 8) ?(horizon = 200_000) ?(seed = 0xbeef)
+    ?(cores = 72) ~spec () =
+  {
+    threads;
+    horizon;
+    sched = { Sched.default_config with cores; seed };
+    seed;
+    tracker_cfg = Ibr_core.Tracker_intf.default_config ~threads ();
+    spec;
+  }
+
+let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
+  let t = S.create ~threads:cfg.threads cfg.tracker_cfg in
+  (* Prefill from a registration outside the measured run. *)
+  let h0 = S.register t ~tid:0 in
+  let prefill_rng = Rng.create (cfg.seed lxor 0x5eed) in
+  Workload.prefill ~rng:prefill_rng ~spec:cfg.spec
+    ~insert:(fun ~key ~value -> S.insert h0 ~key ~value);
+  (* Measured phase. *)
+  let sched = Sched.create cfg.sched in
+  let ops = Array.make cfg.threads 0 in
+  let samplers = Array.init cfg.threads (fun _ -> Stats.make_sampler ()) in
+  for i = 0 to cfg.threads - 1 do
+    ignore
+      (Sched.spawn sched (fun tid ->
+         let h = S.register t ~tid in
+         let rng = Rng.stream ~seed:cfg.seed ~index:tid in
+         (* Runs until the scheduler unwinds it at the horizon. *)
+         let rec loop () =
+           Stats.sample samplers.(tid) (S.retired_count h);
+           let key = Workload.pick_key rng cfg.spec in
+           (match Workload.pick_op rng cfg.spec.mix with
+            | Workload.Insert -> ignore (S.insert h ~key ~value:key)
+            | Workload.Remove -> ignore (S.remove h ~key)
+            | Workload.Get -> ignore (S.get h ~key));
+           ops.(tid) <- ops.(tid) + 1;
+           loop ()
+         in
+         ignore i;
+         loop ()))
+  done;
+  let faults_before = Ibr_core.Fault.total () in
+  Sched.run ~horizon:cfg.horizon sched;
+  let total_ops = Array.fold_left ( + ) 0 ops in
+  let merged = Stats.merge_samplers (Array.to_list samplers) in
+  let makespan = min (Sched.makespan sched) cfg.horizon in
+  {
+    Stats.tracker = tracker_name;
+    ds = ds_name;
+    threads = cfg.threads;
+    mix = Workload.mix_name cfg.spec.mix;
+    ops = total_ops;
+    makespan;
+    throughput = Stats.throughput ~ops:total_ops ~makespan;
+    avg_unreclaimed = Stats.mean merged;
+    peak_unreclaimed = merged.peak;
+    samples = merged.n;
+    alloc = S.allocator_stats t;
+    epoch = S.epoch_value t;
+    faults = Ibr_core.Fault.total () - faults_before;
+  }
+
+(* Convenience: resolve names through the registries and run. *)
+let run_named ~tracker_name ~ds_name cfg =
+  let tracker = (Ibr_core.Registry.find_exn tracker_name).tracker in
+  let maker = Ds_registry.find_exn ds_name in
+  let (module S : Ds_intf.SET) = maker.instantiate tracker in
+  let (module T : Ibr_core.Tracker_intf.TRACKER) = tracker in
+  if not (S.compatible T.props) then None
+  else Some (run ~tracker_name:T.name ~ds_name (module S) cfg)

@@ -1,0 +1,31 @@
+(** The simulator backend: run one (tracker x rideable x threads x
+    workload) configuration on the discrete-event machine.
+
+    Methodology follows §5: prefill, then a fixed-duration
+    free-for-all in which each thread samples its local
+    retired-but-unreclaimed count at every operation start (Fig. 9)
+    while completions are counted for throughput (Fig. 8).  Threads
+    beyond the core count queue for cores, reproducing the paper's
+    oversubscription regime. *)
+
+type config = {
+  threads : int;
+  horizon : int;                 (** virtual run length *)
+  sched : Ibr_runtime.Sched.config;
+  seed : int;
+  tracker_cfg : Ibr_core.Tracker_intf.config;
+  spec : Workload.spec;
+}
+
+val default_config :
+  ?threads:int -> ?horizon:int -> ?seed:int -> ?cores:int ->
+  spec:Workload.spec -> unit -> config
+
+val run :
+  tracker_name:string -> ds_name:string -> (module Ibr_ds.Ds_intf.SET) ->
+  config -> Stats.t
+
+val run_named :
+  tracker_name:string -> ds_name:string -> config -> Stats.t option
+(** Resolve names through the registries; [None] if the pairing is
+    incompatible (e.g. POIBR on a mutable-pointer structure). *)

@@ -1,0 +1,67 @@
+(* Result record for one benchmark run — the row the artifact's CSV
+   output carried, extended with the allocator and fault telemetry our
+   substrate provides. *)
+
+open Ibr_core
+
+type t = {
+  tracker : string;
+  ds : string;
+  threads : int;
+  mix : string;
+  ops : int;
+  makespan : int;              (* virtual ns (sim) or wall ns (domains) *)
+  throughput : float;          (* ops per million time units *)
+  avg_unreclaimed : float;     (* paper Fig. 9 metric *)
+  peak_unreclaimed : int;
+  samples : int;
+  alloc : Alloc.stats;
+  epoch : int;
+  faults : int;
+}
+
+let throughput ~ops ~makespan =
+  if makespan <= 0 then 0.0
+  else float_of_int ops /. (float_of_int makespan /. 1_000_000.0)
+
+let pp ppf r =
+  Fmt.pf ppf
+    "%-12s %-8s t=%-3d %-15s ops=%-8d thr=%8.3f Mops/Ms unrec=%8.1f \
+     peak=%-6d live=%-7d epoch=%-6d faults=%d"
+    r.tracker r.ds r.threads r.mix r.ops r.throughput r.avg_unreclaimed
+    r.peak_unreclaimed r.alloc.live r.epoch r.faults
+
+let csv_header =
+  "tracker,ds,threads,mix,ops,makespan,throughput,avg_unreclaimed,\
+   peak_unreclaimed,samples,allocated,freed,live,cached,epoch,faults"
+
+let to_csv_row r =
+  Printf.sprintf "%s,%s,%d,%s,%d,%d,%.6f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d"
+    r.tracker r.ds r.threads r.mix r.ops r.makespan r.throughput
+    r.avg_unreclaimed r.peak_unreclaimed r.samples r.alloc.allocated
+    r.alloc.freed r.alloc.live r.alloc.cached r.epoch r.faults
+
+(* Incremental mean/peak accumulator for the unreclaimed metric. *)
+type sampler = {
+  mutable sum : float;
+  mutable n : int;
+  mutable peak : int;
+}
+
+let make_sampler () = { sum = 0.0; n = 0; peak = 0 }
+
+let sample s v =
+  s.sum <- s.sum +. float_of_int v;
+  s.n <- s.n + 1;
+  if v > s.peak then s.peak <- v
+
+let merge_samplers ss =
+  let m = make_sampler () in
+  List.iter (fun s ->
+    m.sum <- m.sum +. s.sum;
+    m.n <- m.n + s.n;
+    if s.peak > m.peak then m.peak <- s.peak)
+    ss;
+  m
+
+let mean s = if s.n = 0 then 0.0 else s.sum /. float_of_int s.n

@@ -1,0 +1,38 @@
+(** Result record for one benchmark run, plus the sampling helpers
+    used to compute the paper's Fig. 9 metric (average
+    retired-but-unreclaimed blocks at operation start). *)
+
+type t = {
+  tracker : string;
+  ds : string;
+  threads : int;
+  mix : string;
+  ops : int;
+  makespan : int;           (** virtual (sim) or wall (domains) time *)
+  throughput : float;       (** ops per million time units *)
+  avg_unreclaimed : float;  (** the Fig. 9 metric *)
+  peak_unreclaimed : int;
+  samples : int;
+  alloc : Ibr_core.Alloc.stats;
+  epoch : int;
+  faults : int;
+}
+
+val throughput : ops:int -> makespan:int -> float
+
+val pp : Format.formatter -> t -> unit
+
+val csv_header : string
+val to_csv_row : t -> string
+
+(** Incremental mean/peak accumulator. *)
+type sampler = {
+  mutable sum : float;
+  mutable n : int;
+  mutable peak : int;
+}
+
+val make_sampler : unit -> sampler
+val sample : sampler -> int -> unit
+val merge_samplers : sampler list -> sampler
+val mean : sampler -> float

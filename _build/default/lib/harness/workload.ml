@@ -1,0 +1,75 @@
+(* Workload generation (paper §5).
+
+   Fixed-time microbenchmark: threads call random operations with
+   random keys on a shared key-value structure.  The paper prefills
+   three quarters of the key range, then runs either the
+   write-dominated mix (50% insert / 50% remove) or the read-dominated
+   mix (90% get / 5% insert / 5% remove).
+
+   Key ranges: the paper uses 2^16 for every structure.  Under the
+   instruction-level simulator a 2^16-key ordered list would spend
+   ~10^5 cycles per traversal, so per-structure ranges are scaled to
+   keep per-op work in a realistic band while preserving structure
+   size ratios; see DESIGN.md §1 and the [spec_for] table. *)
+
+open Ibr_runtime
+
+type op = Insert | Remove | Get
+
+type mix = {
+  insert_pct : int;
+  remove_pct : int;
+  (* remainder = Get *)
+}
+
+let write_dominated = { insert_pct = 50; remove_pct = 50 }
+let read_dominated = { insert_pct = 5; remove_pct = 5 }
+
+let mix_name m =
+  if m = write_dominated then "write-dominated"
+  else if m = read_dominated then "read-dominated"
+  else Printf.sprintf "%din/%drm" m.insert_pct m.remove_pct
+
+type spec = {
+  key_range : int;
+  prefill_fraction : float;
+  mix : mix;
+}
+
+let default_spec = {
+  key_range = 65536;
+  prefill_fraction = 0.75;
+  mix = write_dominated;
+}
+
+(* Simulator-scaled key ranges per rideable. *)
+let sim_key_range = function
+  | "list" -> 256
+  | "hashmap" -> 16384
+  | "nmtree" -> 4096
+  | "bonsai" -> 2048
+  | _ -> 4096
+
+let spec_for ?(mix = write_dominated) ds_name =
+  { default_spec with key_range = sim_key_range ds_name; mix }
+
+let pick_op rng mix =
+  let r = Rng.int rng 100 in
+  if r < mix.insert_pct then Insert
+  else if r < mix.insert_pct + mix.remove_pct then Remove
+  else Get
+
+let pick_key rng spec = Rng.int rng spec.key_range
+
+(* Deterministic prefill: insert each key independently with
+   probability [prefill_fraction], in shuffled order — sorted-order
+   insertion would degenerate the unbalanced external BST into a
+   spine and distort every figure it appears in. *)
+let prefill ~rng ~spec ~insert =
+  let keys = Array.init spec.key_range Fun.id in
+  Rng.shuffle_in_place rng keys;
+  Array.iter
+    (fun key ->
+       if Rng.chance rng spec.prefill_fraction then
+         ignore (insert ~key ~value:key))
+    keys

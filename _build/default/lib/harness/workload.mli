@@ -1,0 +1,41 @@
+(** Workload generation (paper §5): fixed-time microbenchmarks of
+    random operations with random keys, prefill of 3/4 of the key
+    range, write-dominated or read-dominated mixes. *)
+
+type op = Insert | Remove | Get
+
+type mix = {
+  insert_pct : int;
+  remove_pct : int;   (** remainder of 100 is [Get] *)
+}
+
+val write_dominated : mix
+(** 50% insert / 50% remove (the paper's main workload). *)
+
+val read_dominated : mix
+(** 90% get / 5% insert / 5% remove (the Fig. 10 workload). *)
+
+val mix_name : mix -> string
+
+type spec = {
+  key_range : int;
+  prefill_fraction : float;
+  mix : mix;
+}
+
+val default_spec : spec
+(** The paper's parameters: 2^16 keys, 3/4 prefilled, write-dominated. *)
+
+val sim_key_range : string -> int
+(** Simulator-scaled key range per rideable (see DESIGN.md §1). *)
+
+val spec_for : ?mix:mix -> string -> spec
+(** Simulator-scaled spec for a rideable name. *)
+
+val pick_op : Ibr_runtime.Rng.t -> mix -> op
+val pick_key : Ibr_runtime.Rng.t -> spec -> int
+
+val prefill :
+  rng:Ibr_runtime.Rng.t -> spec:spec ->
+  insert:(key:int -> value:int -> bool) -> unit
+(** Insert each key with probability [prefill_fraction]. *)

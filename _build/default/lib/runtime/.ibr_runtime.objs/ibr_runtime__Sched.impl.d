@@ -1,0 +1,1 @@
+lib/runtime/sched.ml: Array Effect Hooks List Rng

@@ -1,0 +1,61 @@
+(* Cost model for simulated shared-memory primitives.
+
+   Units are abstract "cycles".  The absolute values are calibrated so
+   that the *relative* ordering of reclamation schemes matches the
+   paper's x86 measurements: a write-read fence (mfence / seq-cst
+   store-load) is an order of magnitude more expensive than a plain
+   cached access; CAS and FAA sit in between; allocation from a
+   thread-local free list is cheap, a fresh allocation slightly less so.
+
+   The sensitivity of headline results to these constants is itself an
+   ablation bench (see DESIGN.md §4): the HP-vs-IBR throughput gap
+   scales with [fence], while the IBR-vs-EBR gap scales with
+   [cas] (TagIBR) and [read] (2GEIBR). *)
+
+type t = {
+  read : int;          (* plain shared-memory load *)
+  hot_read : int;      (* load of a read-mostly, cache-resident global
+                          (epoch counter, born_before): overlaps with
+                          dependent loads on an OOO core *)
+  write : int;         (* plain shared-memory store *)
+  cas : int;           (* successful compare-and-swap *)
+  cas_fail : int;      (* failed compare-and-swap (no store, still RFO) *)
+  faa : int;           (* fetch-and-add *)
+  fence : int;         (* write-read (store-load) fence *)
+  alloc_fresh : int;   (* allocation miss: fresh block from the arena *)
+  alloc_reuse : int;   (* allocation hit: pop from local free list *)
+  free : int;          (* returning a block to the free list *)
+  scan_reservation : int; (* reading one other thread's reservation *)
+  local : int;         (* thread-local bookkeeping step *)
+}
+
+let default = {
+  read = 2;
+  hot_read = 1;
+  write = 3;
+  cas = 14;
+  cas_fail = 10;
+  faa = 10;
+  fence = 55;
+  alloc_fresh = 30;
+  alloc_reuse = 12;
+  free = 8;
+  scan_reservation = 4;
+  local = 1;
+}
+
+(* A uniform-cost model: every primitive costs one cycle.  Used by
+   tests that check schedule-independent properties, where we want
+   maximal interleaving diversity rather than realism. *)
+let uniform = {
+  read = 1; hot_read = 1; write = 1; cas = 1; cas_fail = 1; faa = 1; fence = 1;
+  alloc_fresh = 1; alloc_reuse = 1; free = 1; scan_reservation = 1; local = 1;
+}
+
+let with_fence t fence = { t with fence }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "{read=%d/%d; write=%d; cas=%d/%d; faa=%d; fence=%d; alloc=%d/%d; free=%d; scan=%d; local=%d}"
+    t.read t.hot_read t.write t.cas t.cas_fail t.faa t.fence t.alloc_fresh
+    t.alloc_reuse t.free t.scan_reservation t.local

@@ -1,0 +1,36 @@
+(** Cost model for simulated shared-memory primitives.
+
+    Units are abstract "cycles", calibrated so the {e relative}
+    ordering of reclamation schemes matches the paper's x86
+    measurements: a write-read fence is an order of magnitude more
+    expensive than a cached load; CAS and FAA sit between; loads of
+    read-mostly globals (the epoch counter, born_before words) are
+    cheaper than general shared loads because an out-of-order core
+    overlaps them with the dependent pointer loads. *)
+
+type t = {
+  read : int;          (** plain shared-memory load *)
+  hot_read : int;      (** load of a read-mostly, cache-resident global *)
+  write : int;         (** plain shared-memory store *)
+  cas : int;           (** successful compare-and-swap *)
+  cas_fail : int;      (** failed compare-and-swap *)
+  faa : int;           (** fetch-and-add *)
+  fence : int;         (** write-read (store-load) fence *)
+  alloc_fresh : int;   (** allocation served by a fresh block *)
+  alloc_reuse : int;   (** allocation served from a local free list *)
+  free : int;          (** returning a block to the free list *)
+  scan_reservation : int;  (** reading one other thread's reservation *)
+  local : int;         (** thread-local bookkeeping step *)
+}
+
+val default : t
+(** The calibrated model used by all experiments (see DESIGN.md §1). *)
+
+val uniform : t
+(** Every primitive costs one cycle; used by schedule-diversity tests. *)
+
+val with_fence : t -> int -> t
+(** [with_fence t f] overrides the fence cost (fence-sensitivity
+    ablation). *)
+
+val pp : Format.formatter -> t -> unit

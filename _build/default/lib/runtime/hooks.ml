@@ -1,0 +1,40 @@
+(* Bridge between reclamation/data-structure code and the execution
+   backend.
+
+   Tracker and data-structure code is written once and runs under two
+   backends:
+   - the discrete-event simulator ([Sched]), where every shared-memory
+     primitive must charge its cost and offer a preemption point; and
+   - real OCaml domains, where primitives execute natively and the
+     hook is a no-op.
+
+   The hook is domain-local state so that the simulator (which runs in
+   one domain) and concurrently running real domains never interfere. *)
+
+type handler = {
+  step : int -> unit;        (* charge [cost] cycles; may deschedule *)
+  current_tid : unit -> int; (* logical thread id of the caller *)
+  now : unit -> int;         (* caller's elapsed virtual time (cycles) *)
+  global_now : unit -> int;  (* machine-wide event-order timestamp *)
+}
+
+let default =
+  { step = (fun _ -> ()); current_tid = (fun () -> 0); now = (fun () -> 0);
+    global_now = (fun () -> 0) }
+
+let key : handler Domain.DLS.key = Domain.DLS.new_key (fun () -> default)
+
+let set h = Domain.DLS.set key h
+let reset () = Domain.DLS.set key default
+
+let step cost = (Domain.DLS.get key).step cost
+let current_tid () = (Domain.DLS.get key).current_tid ()
+let now () = (Domain.DLS.get key).now ()
+let global_now () = (Domain.DLS.get key).global_now ()
+
+(* Run [f] with handler [h] installed, restoring the previous handler
+   afterwards (exception-safe). *)
+let with_handler h f =
+  let old = Domain.DLS.get key in
+  Domain.DLS.set key h;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key old) f

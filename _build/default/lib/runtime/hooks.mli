@@ -1,0 +1,36 @@
+(** Bridge between reclamation / data-structure code and the execution
+    backend.
+
+    The same tracker and data-structure code runs under the
+    discrete-event simulator (where every shared-memory primitive
+    charges a cost and yields a preemption point) and on real OCaml
+    domains (where the hook is a no-op).  The active handler is
+    domain-local state. *)
+
+type handler = {
+  step : int -> unit;        (** charge cycles; may deschedule the caller *)
+  current_tid : unit -> int; (** logical thread id of the caller *)
+  now : unit -> int;         (** caller's elapsed virtual time *)
+  global_now : unit -> int;  (** machine-wide virtual wall-clock time *)
+}
+
+val default : handler
+(** No-op handler (native execution). *)
+
+val set : handler -> unit
+val reset : unit -> unit
+
+val step : int -> unit
+(** Charge [cost] cycles through the current handler. *)
+
+val current_tid : unit -> int
+val now : unit -> int
+
+val global_now : unit -> int
+(** Machine-wide event-sequence timestamp, consistent with the order
+    in which shared-memory effects execute (used to timestamp
+    linearizability histories). *)
+
+val with_handler : handler -> (unit -> 'a) -> 'a
+(** Run with a handler installed; restores the previous one
+    (exception-safe). *)

@@ -1,0 +1,68 @@
+(* Deterministic splitmix64 PRNG.
+
+   Every randomized component of the simulator (schedules, workloads,
+   stall injection) draws from an [Rng.t] seeded from the experiment
+   seed, so whole experiments replay bit-identically.  splitmix64 is
+   chosen for speed and for cheap stream splitting: each simulated
+   thread gets an independent stream derived from the root seed. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* Core splitmix64 step: advance state, mix output. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A non-negative OCaml int (62 significant bits on 64-bit systems). *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  (* 53 uniform bits mapped to [0, 1). *)
+  let mask53 = (1 lsl 53) - 1 in
+  float_of_int (Int64.to_int (Int64.logand (next_int64 t) (Int64.of_int mask53)))
+  /. float_of_int (1 lsl 53)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Probability check: true with probability [p]. *)
+let chance t p = if p <= 0.0 then false else if p >= 1.0 then true else float t < p
+
+(* Derive an independent stream; mixing with a large odd constant keeps
+   child streams decorrelated from the parent and from each other. *)
+let split t =
+  let s = next_int64 t in
+  { state = Int64.mul s 0xDA942042E4DD58B5L }
+
+let stream ~seed ~index =
+  let root = create seed in
+  let rec skip i r = if i = 0 then r else (ignore (next_int64 r); skip (i - 1) r) in
+  ignore (skip (index land 0xff) root);
+  let r = split root in
+  r.state <- Int64.logxor r.state (Int64.of_int ((index + 1) * 0x2545F491));
+  ignore (next_int64 r);
+  r
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,48 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    Every randomized component of the simulator (schedules, workloads,
+    stall injection) draws from an explicit [t], so whole experiments
+    replay bit-identically from a seed. *)
+
+type t
+(** A generator; mutable state, not thread-safe — use one per
+    simulated thread (see {!stream}). *)
+
+val create : int -> t
+(** [create seed] makes a generator from an integer seed. *)
+
+val copy : t -> t
+(** Independent copy continuing the same sequence. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit draw. *)
+
+val bits : t -> int
+(** Next non-negative OCaml [int] (62 uniform bits). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [\[lo, hi\]].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)] (53 bits). *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] (clamped to [0, 1]). *)
+
+val split : t -> t
+(** Derive a decorrelated child generator (advances the parent). *)
+
+val stream : seed:int -> index:int -> t
+(** [stream ~seed ~index] is the [index]-th independent stream of the
+    experiment [seed] — used to give each simulated thread its own
+    reproducible randomness. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)

@@ -1,0 +1,271 @@
+(* Discrete-event multiprocessor scheduler.
+
+   Simulated threads are effect-handler coroutines ("fibers").  Every
+   shared-memory primitive in tracker / data-structure code calls
+   [Hooks.step cost]; inside the simulator this performs the [Step]
+   effect, suspending the fiber so the scheduler can charge the cost
+   and decide whether to keep the thread on its core or preempt it.
+
+   The machine model: [cores] identical cores, each with a next-free
+   virtual timestamp.  A dispatch picks the runnable thread that has
+   been ready longest and the earliest-free core; the thread then runs
+   for up to one [quantum] of cost units.  When there are more threads
+   than cores, threads queue for cores — which is exactly how the
+   paper's >72-thread oversubscription region produces stalled
+   reservations.  Random involuntary stalls (long preemptions) can be
+   injected on top, and tests can pin a thread into a permanent stall
+   to measure robustness.
+
+   Determinism: given the same config (including seed) and the same
+   thread bodies, a run is bit-reproducible.  Ties are broken by
+   thread id and core index. *)
+
+type _ Effect.t += Step : unit Effect.t
+
+exception Stopped
+(* Raised into still-paused fibers when the run ends, so that their
+   cleanup handlers execute.  Thread bodies must not swallow it. *)
+
+type config = {
+  cores : int;          (* simulated hardware parallelism *)
+  quantum : int;        (* cost units a thread may run before preemption *)
+  ctx_switch : int;     (* core-side cost of a thread switch *)
+  stall_prob : float;   (* chance per quantum of an involuntary stall *)
+  stall_len : int;      (* virtual length of an injected stall *)
+  perform_threshold : int; (* min accumulated cost between suspensions *)
+  seed : int;
+}
+
+(* Defaults calibrated against the paper's machine regime (see
+   DESIGN.md §1): the OS timeslice (quantum) holds a few hundred
+   data-structure operations, and an involuntary stall — which is
+   injected only when threads outnumber cores, since the paper pins
+   one thread per hardware context below that — lasts an order of
+   magnitude longer than the global epoch period.  That ratio is what
+   produces Fig. 9's divergence beyond 72 threads. *)
+let default_config = {
+  cores = 72;
+  quantum = 15_000;
+  ctx_switch = 400;
+  stall_prob = 0.002;
+  stall_len = 240_000;
+  perform_threshold = 12;
+  seed = 0xf00d;
+}
+
+(* A config for tests that want maximal interleaving: single step per
+   suspension, tiny quanta, no injected stalls (tests inject their
+   own). *)
+let test_config ?(cores = 4) ?(seed = 42) () = {
+  cores;
+  quantum = 40;
+  ctx_switch = 1;
+  stall_prob = 0.0;
+  stall_len = 0;
+  perform_threshold = 1;
+  seed;
+}
+
+type status = Done | Yielded
+
+type fiber =
+  | Not_started of (int -> unit)
+  | Paused of (unit, status) Effect.Deep.continuation
+  | Finished
+
+type thread = {
+  tid : int;
+  mutable fiber : fiber;
+  mutable ready_at : int;   (* virtual time at which it may next run *)
+  mutable vtime : int;      (* total cycles this thread has executed *)
+  mutable acc : int;        (* cost accrued since last suspension *)
+  mutable stalled : bool;   (* permanently stalled by the harness *)
+  mutable quanta : int;     (* quanta received (observability) *)
+}
+
+type t = {
+  cfg : config;
+  mutable threads : thread list; (* reverse spawn order *)
+  mutable n_threads : int;
+  rng : Rng.t;
+  mutable running : thread option;
+  mutable makespan : int;
+  mutable ran : bool;
+  (* Global event sequence: bumped on every charged step, it gives a
+     machine-wide timestamp consistent with the order in which shared
+     -memory effects actually execute (virtual per-core times can
+     reorder across cores; this cannot).  Used to timestamp
+     linearizability histories. *)
+  mutable gseq : int;
+}
+
+let create cfg =
+  if cfg.cores < 1 then invalid_arg "Sched.create: cores must be >= 1";
+  if cfg.quantum < 1 then invalid_arg "Sched.create: quantum must be >= 1";
+  { cfg; threads = []; n_threads = 0; rng = Rng.create cfg.seed;
+    running = None; makespan = 0; ran = false; gseq = 0 }
+
+let spawn t body =
+  if t.ran then invalid_arg "Sched.spawn: scheduler already ran";
+  let tid = t.n_threads in
+  t.threads <- { tid; fiber = Not_started body; ready_at = 0; vtime = 0;
+                 acc = 0; stalled = false; quanta = 0 } :: t.threads;
+  t.n_threads <- tid + 1;
+  tid
+
+let thread_array t =
+  let arr = Array.of_list t.threads in
+  (* [t.threads] is in reverse spawn order. *)
+  Array.sort (fun a b -> compare a.tid b.tid) arr;
+  arr
+
+let find_thread t tid =
+  match List.find_opt (fun th -> th.tid = tid) t.threads with
+  | Some th -> th
+  | None -> invalid_arg "Sched: no such thread"
+
+let stall t tid = (find_thread t tid).stalled <- true
+let unstall t tid = (find_thread t tid).stalled <- false
+
+let makespan t = t.makespan
+let thread_vtime t tid = (find_thread t tid).vtime
+let thread_quanta t tid = (find_thread t tid).quanta
+
+(* Resume a fiber for its next segment.  The deep handler converts the
+   fiber's next suspension (or termination) into a [status]. *)
+let resume_segment th =
+  match th.fiber with
+  | Finished -> Done
+  | Paused k ->
+    th.fiber <- Finished; (* overwritten on next suspension *)
+    Effect.Deep.continue k ()
+  | Not_started body ->
+    th.fiber <- Finished;
+    let handler = {
+      Effect.Deep.retc = (fun () -> Done);
+      exnc = (function Stopped -> Done | e -> raise e);
+      effc = (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Step -> Some (fun (k : (a, status) Effect.Deep.continuation) ->
+            th.fiber <- Paused k;
+            Yielded)
+        | _ -> None);
+    } in
+    Effect.Deep.match_with (fun () -> body th.tid) () handler
+
+(* Run thread [th] for one quantum starting at virtual time [start].
+   Returns the number of cycles consumed. *)
+let run_quantum t th ~start:_ =
+  let cfg = t.cfg in
+  let consumed = ref 0 in
+  let continue_ = ref true in
+  t.running <- Some th;
+  while !continue_ do
+    match resume_segment th with
+    | Done ->
+      (* Flush trailing accrued cost. *)
+      consumed := !consumed + th.acc;
+      th.vtime <- th.vtime + th.acc;
+      th.acc <- 0;
+      th.fiber <- Finished;
+      continue_ := false
+    | Yielded ->
+      consumed := !consumed + th.acc;
+      th.vtime <- th.vtime + th.acc;
+      th.acc <- 0;
+      if !consumed >= cfg.quantum then continue_ := false
+  done;
+  t.running <- None;
+  th.quanta <- th.quanta + 1;
+  !consumed
+
+let runnable th = (not th.stalled) && th.fiber <> Finished
+
+(* Main loop.  [horizon] bounds *virtual wall-clock* time: no quantum
+   is dispatched at or after it, mirroring the paper's fixed-duration
+   runs. *)
+let run ?(horizon = max_int) t =
+  if t.ran then invalid_arg "Sched.run: scheduler already ran";
+  t.ran <- true;
+  let threads = thread_array t in
+  let cores = Array.make t.cfg.cores 0 in
+  let hooks = {
+    Hooks.step = (fun cost ->
+      match t.running with
+      | None -> ()
+      | Some th ->
+        t.gseq <- t.gseq + 1;
+        th.acc <- th.acc + cost;
+        if th.acc >= t.cfg.perform_threshold then Effect.perform Step);
+    current_tid = (fun () ->
+      match t.running with Some th -> th.tid | None -> 0);
+    now = (fun () ->
+      match t.running with Some th -> th.vtime + th.acc | None -> 0);
+    global_now = (fun () -> t.gseq);
+  } in
+  Hooks.with_handler hooks (fun () ->
+    let continue_loop = ref true in
+    while !continue_loop do
+      (* Earliest-ready runnable thread; ties by tid. *)
+      let best = ref None in
+      Array.iter (fun th ->
+        if runnable th then
+          match !best with
+          | None -> best := Some th
+          | Some b -> if th.ready_at < b.ready_at then best := Some th)
+        threads;
+      match !best with
+      | None -> continue_loop := false
+      | Some th ->
+        (* Earliest-free core; ties by index. *)
+        let core = ref 0 in
+        for i = 1 to Array.length cores - 1 do
+          if cores.(i) < cores.(!core) then core := i
+        done;
+        let start = max th.ready_at cores.(!core) in
+        if start >= horizon then begin
+          (* Past the horizon: unwind the fiber so cleanups run. *)
+          (match th.fiber with
+           | Paused k ->
+             t.running <- Some th;
+             (try ignore (Effect.Deep.discontinue k Stopped)
+              with Stopped -> ());
+             t.running <- None
+           | Not_started _ | Finished -> ());
+          th.fiber <- Finished
+        end else begin
+          let used = run_quantum t th ~start in
+          let finish = start + used in
+          cores.(!core) <- finish + t.cfg.ctx_switch;
+          th.ready_at <- finish;
+          if t.makespan < finish then t.makespan <- finish;
+          (* Involuntary stall injection: only meaningful when threads
+             outnumber cores (below that, the paper's methodology pins
+             each thread to a dedicated hardware context). *)
+          if
+            t.n_threads > t.cfg.cores
+            && t.cfg.stall_prob > 0.0
+            && Rng.chance t.rng t.cfg.stall_prob
+          then th.ready_at <- th.ready_at + t.cfg.stall_len
+        end
+    done;
+    (* Unwind permanently stalled / never-dispatched fibers. *)
+    Array.iter (fun th ->
+      match th.fiber with
+      | Paused k ->
+        t.running <- Some th;
+        (try ignore (Effect.Deep.discontinue k Stopped) with Stopped -> ());
+        t.running <- None;
+        th.fiber <- Finished
+      | Not_started _ -> th.fiber <- Finished
+      | Finished -> ())
+      threads)
+
+(* Convenience: build, spawn [n] copies of [body], run, return sched. *)
+let run_threads ?(cfg = default_config) ?horizon ~n body =
+  let t = create cfg in
+  for i = 0 to n - 1 do
+    ignore (spawn t (fun tid -> body ~tid ~index:i))
+  done;
+  run ?horizon t;
+  t

@@ -1,0 +1,74 @@
+(** Deterministic discrete-event multiprocessor scheduler.
+
+    Simulated threads are effect-handler coroutines; every
+    shared-memory primitive calls {!Hooks.step}, which suspends the
+    fiber so the scheduler can charge its cost and decide whether to
+    keep the thread on its core.  The machine model has [cores]
+    identical cores with next-free timestamps; threads beyond the
+    core count queue — reproducing the paper's >72-thread
+    oversubscription (stalled-reservation) regime.  Runs are
+    bit-reproducible from the config. *)
+
+type _ Effect.t += Step : unit Effect.t
+(** Performed (via {!Hooks.step}) by code running inside a fiber. *)
+
+exception Stopped
+(** Raised into still-running fibers when the run ends so their
+    cleanup handlers execute; thread bodies must not swallow it. *)
+
+type config = {
+  cores : int;              (** simulated hardware parallelism *)
+  quantum : int;            (** cost units per scheduling quantum *)
+  ctx_switch : int;         (** core-side cost of a thread switch *)
+  stall_prob : float;       (** chance per quantum of an involuntary
+                                stall; applied only when threads
+                                outnumber cores *)
+  stall_len : int;          (** virtual length of an injected stall *)
+  perform_threshold : int;  (** min accumulated cost between
+                                suspensions (interleaving granularity) *)
+  seed : int;
+}
+
+val default_config : config
+(** Calibrated to the paper's machine regime: 72 cores, quanta holding
+    a few hundred operations, stalls an order of magnitude longer than
+    the epoch period. *)
+
+val test_config : ?cores:int -> ?seed:int -> unit -> config
+(** Maximal interleaving: single-step suspensions, tiny quanta, no
+    injected stalls. *)
+
+type t
+
+val create : config -> t
+
+val spawn : t -> (int -> unit) -> int
+(** [spawn t body] registers a thread; [body tid] runs when the
+    scheduler dispatches it.  Returns the thread id.  Must be called
+    before {!run}. *)
+
+val run : ?horizon:int -> t -> unit
+(** Dispatch until every thread finishes or [horizon] (virtual
+    wall-clock time) is reached; past the horizon remaining fibers are
+    unwound with {!Stopped}.  Single-shot. *)
+
+val stall : t -> int -> unit
+(** Permanently prevent a thread from being dispatched (robustness
+    experiments). *)
+
+val unstall : t -> int -> unit
+
+val makespan : t -> int
+(** Virtual completion time of the run (max over cores). *)
+
+val thread_vtime : t -> int -> int
+(** Total virtual cycles executed by one thread. *)
+
+val thread_quanta : t -> int -> int
+(** Number of scheduling quanta a thread received. *)
+
+val run_threads :
+  ?cfg:config -> ?horizon:int -> n:int ->
+  (tid:int -> index:int -> unit) -> t
+(** Convenience: create, spawn [n] threads, run, return the
+    scheduler. *)

@@ -1,0 +1,1 @@
+test/test_block_alloc.ml: Alcotest Alloc Block Fault Fun Ibr_core List

@@ -1,0 +1,1 @@
+test/test_domains.ml: Alcotest Fault Ibr_core Ibr_harness List Printf Registry

@@ -1,0 +1,1 @@
+test/test_epoch_view.ml: Alcotest Block Epoch Ibr_core Plain_ptr QCheck QCheck_alcotest View

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Astring_contains Chart Experiment Ibr_core Ibr_harness Ibr_runtime List Option Runner_sim Stats String Workload

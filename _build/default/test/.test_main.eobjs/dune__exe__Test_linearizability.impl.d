@@ -1,0 +1,1 @@
+test/test_linearizability.ml: Alcotest Array Bool Ds_intf Ds_registry Hashtbl Hooks Ibr_core Ibr_ds Ibr_runtime List Printf Registry Rng Sched Tracker_intf

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Astring_contains Atomic Ebr Fmt Gen Hooks Ibr_core Ibr_ds Ibr_harness Ibr_runtime List Option Po_ibr Printf QCheck QCheck_alcotest Registry Rng Sched String Tracker_intf

@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Fault Ibr_core Ibr_ds Ibr_runtime List Printf Registry Rng Sched Tracker_intf

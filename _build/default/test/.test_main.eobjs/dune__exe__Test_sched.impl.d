@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Buffer Char Fun Hooks Ibr_runtime Printf Sched String

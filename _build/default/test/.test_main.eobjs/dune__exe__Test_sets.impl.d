@@ -1,0 +1,1 @@
+test/test_sets.ml: Alcotest Array Ds_intf Ds_registry Gen Hashtbl Ibr_core Ibr_ds Ibr_runtime List Printf QCheck QCheck_alcotest Registry Rng Sched Tracker_intf

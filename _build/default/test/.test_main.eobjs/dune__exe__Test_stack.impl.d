@@ -1,0 +1,1 @@
+test/test_stack.ml: Alcotest Array Fault Ibr_core Ibr_ds Ibr_runtime List Registry Rng Sched Tracker_intf

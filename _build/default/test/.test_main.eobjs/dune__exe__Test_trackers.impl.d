@@ -1,0 +1,1 @@
+test/test_trackers.ml: Alcotest Block Hp Ibr_core List Po_ibr Printf Registry Tag_ibr Tag_ibr_wcas Tracker_intf View

@@ -1,0 +1,1 @@
+test/test_unsound.ml: Alcotest Block Fault Fun Hooks Ibr_core Ibr_runtime List Prim Printf Registry Sched Tracker_intf View

@@ -1,0 +1,40 @@
+(* Real-parallelism stress: the same code on OCaml domains.  With one
+   hardware core this still exercises preemptive interleaving of
+   actual atomics; assertions are safety (no faults), conservation of
+   allocator accounting, and structural invariants at quiescence. *)
+
+open Ibr_core
+
+let run_domains (e : Registry.entry) ds_name () =
+  Fault.set_mode Fault.Raise;
+  let spec =
+    { (Ibr_harness.Workload.spec_for ds_name) with key_range = 512 } in
+  let cfg =
+    Ibr_harness.Runner_domains.default_config ~threads:4 ~duration_s:0.15
+      ~spec () in
+  let cfg =
+    { cfg with
+      tracker_cfg = { cfg.tracker_cfg with reuse = false } } in
+  match
+    Ibr_harness.Runner_domains.run_named ~tracker_name:e.name ~ds_name cfg
+  with
+  | None -> ()
+  | Some r ->
+    Alcotest.(check int) "no faults" 0 r.faults;
+    Alcotest.(check bool) "ops happened" true (r.ops > 0);
+    Alcotest.(check bool) "freed <= allocated" true
+      (r.alloc.freed <= r.alloc.allocated)
+
+let cases =
+  List.concat_map
+    (fun ds ->
+       List.map
+         (fun (e : Registry.entry) ->
+            Alcotest.test_case
+              (Printf.sprintf "domains %s/%s" ds e.name)
+              `Slow (run_domains e ds))
+         [ Registry.ebr; Registry.hp; Registry.he; Registry.tag_ibr;
+           Registry.tag_ibr_wcas; Registry.two_ge_ibr ])
+    [ "hashmap"; "nmtree" ]
+
+let suite = cases

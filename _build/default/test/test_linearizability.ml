@@ -1,0 +1,193 @@
+(* Linearizability checking of concurrent histories.
+
+   The simulator provides a machine-wide virtual clock
+   ([Hooks.global_now]), so each operation gets a real-time interval
+   [invoke, response].  Set operations on distinct keys commute, so a
+   history is linearizable iff each per-key subhistory is linearizable
+   against boolean-register-with-membership semantics:
+
+     insert -> true iff absent (then present)
+     remove -> true iff present (then absent)
+     contains -> reports the current state
+
+   Each per-key subhistory is checked with Wing–Gong DFS: repeatedly
+   linearize some minimal-by-real-time pending operation whose result
+   is consistent with the abstract state, memoizing (done-set, state)
+   pairs.  Keys receive few enough operations for the bitmask to fit
+   an int.
+
+   This subsumes the balance test in test_sets: it additionally
+   catches ordering anomalies (e.g. a contains that misses a key
+   which was continuously present). *)
+
+open Ibr_core
+open Ibr_runtime
+open Ibr_ds
+
+type op_kind = Ins | Rem | Has
+
+type event = {
+  kind : op_kind;
+  result : bool;
+  t_inv : int;
+  t_resp : int;
+}
+
+(* Wing–Gong over one key's events (must be <= 62 of them). *)
+let check_key events =
+  let n = Array.length events in
+  assert (n <= 62);
+  let full = (1 lsl n) - 1 in
+  let memo = Hashtbl.create 256 in
+  (* An event is eligible to linearize next if no *pending* event
+     finished strictly before it began. *)
+  let rec go mask state =
+    if mask = full then true
+    else
+      let key = (mask * 2) + Bool.to_int state in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+        let min_resp = ref max_int in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) = 0 && events.(i).t_resp < !min_resp then
+            min_resp := events.(i).t_resp
+        done;
+        let ok = ref false in
+        for i = 0 to n - 1 do
+          if (not !ok)
+             && mask land (1 lsl i) = 0
+             && events.(i).t_inv <= !min_resp
+          then begin
+            let e = events.(i) in
+            let fits, state' =
+              match e.kind, e.result with
+              | Ins, true -> (not state, true)
+              | Ins, false -> (state, state)
+              | Rem, true -> (state, false)
+              | Rem, false -> (not state, state)
+              | Has, r -> (r = state, state)
+            in
+            if fits && go (mask lor (1 lsl i)) state' then ok := true
+          end
+        done;
+        Hashtbl.add memo key !ok;
+        !ok
+  in
+  go 0 false
+
+(* Run a concurrent workload recording a history; check every key. *)
+let run_and_check (module S : Ds_intf.SET) ~prefill ~seed ~threads ~key_range
+    ~ops_per_thread =
+  let cfg =
+    { (Tracker_intf.default_config ~threads ()) with
+      reuse = false; epoch_freq = 2; empty_freq = 8 } in
+  let t = S.create ~threads cfg in
+  (* Optional sequential prefill, recorded as instantaneous history
+     prefix so the checker knows the initial state. *)
+  let history : (int * event) list ref = ref [] in
+  if prefill then begin
+    let h0 = S.register t ~tid:0 in
+    for key = 0 to key_range - 1 do
+      if key mod 2 = 0 then begin
+        ignore (S.insert h0 ~key ~value:key);
+        history :=
+          (key, { kind = Ins; result = true; t_inv = -2; t_resp = -1 })
+          :: !history
+      end
+    done
+  end;
+  let sched =
+    Sched.create
+      { (Sched.test_config ~cores:3 ~seed ()) with
+        stall_prob = 0.02; stall_len = 1_500; quantum = 120 } in
+  let logs = Array.make threads [] in
+  for i = 0 to threads - 1 do
+    ignore
+      (Sched.spawn sched (fun tid ->
+         let h = S.register t ~tid in
+         let rng = Rng.stream ~seed:(seed * 1299721 + i) ~index:i in
+         for _ = 1 to ops_per_thread do
+           let key = Rng.int rng key_range in
+           let t_inv = Hooks.global_now () in
+           let kind, result =
+             match Rng.int rng 3 with
+             | 0 -> (Ins, S.insert h ~key ~value:key)
+             | 1 -> (Rem, S.remove h ~key)
+             | _ -> (Has, S.contains h ~key)
+           in
+           let t_resp = Hooks.global_now () in
+           logs.(tid) <- (key, { kind; result; t_inv; t_resp }) :: logs.(tid)
+         done))
+  done;
+  Sched.run sched;
+  Array.iter (fun l -> history := l @ !history) logs;
+  (* Per-key check. *)
+  for key = 0 to key_range - 1 do
+    let events =
+      List.filter_map
+        (fun (k, e) -> if k = key then Some e else None)
+        !history
+      |> Array.of_list
+    in
+    if Array.length events > 62 then
+      Alcotest.failf "key %d has %d events; shrink the workload" key
+        (Array.length events);
+    if not (check_key events) then
+      Alcotest.failf "history of key %d is not linearizable (%d events)" key
+        (Array.length events)
+  done
+
+let test_pair (maker : Ds_registry.maker) (e : Registry.entry) () =
+  let s = maker.instantiate e.tracker in
+  (* Two configurations: cold structure and prefilled structure. *)
+  run_and_check s ~prefill:false ~seed:11 ~threads:6 ~key_range:48
+    ~ops_per_thread:160;
+  run_and_check s ~prefill:true ~seed:23 ~threads:6 ~key_range:48
+    ~ops_per_thread:160
+
+(* The checker itself must reject broken histories (meta-test). *)
+let test_checker_rejects () =
+  let ev kind result t_inv t_resp = { kind; result; t_inv; t_resp } in
+  (* contains=true on a key never inserted *)
+  Alcotest.(check bool) "phantom contains rejected" false
+    (check_key [| ev Has true 0 1 |]);
+  (* double successful insert with no remove between *)
+  Alcotest.(check bool) "double insert rejected" false
+    (check_key [| ev Ins true 0 1; ev Ins true 2 3 |]);
+  (* remove=true after remove=true *)
+  Alcotest.(check bool) "double remove rejected" false
+    (check_key [| ev Ins true 0 1; ev Rem true 2 3; ev Rem true 4 5 |]);
+  (* contains=false while provably present *)
+  Alcotest.(check bool) "stale contains rejected" false
+    (check_key [| ev Ins true 0 1; ev Has false 2 3 |]);
+  (* ...but overlapping operations may order either way *)
+  Alcotest.(check bool) "overlap accepted" true
+    (check_key [| ev Ins true 0 5; ev Has false 1 2 |]);
+  Alcotest.(check bool) "sequential happy path" true
+    (check_key
+       [| ev Ins true 0 1; ev Has true 2 3; ev Rem true 4 5;
+          ev Has false 6 7; ev Ins true 8 9 |])
+
+let pairs =
+  (* Representative cross-section: every rideable, several schemes. *)
+  List.concat_map
+    (fun (maker : Ds_registry.maker) ->
+       List.filter_map
+         (fun (e : Registry.entry) ->
+            if Ds_registry.compatible maker e.tracker then Some (maker, e)
+            else None)
+         [ Registry.ebr; Registry.hp; Registry.he; Registry.po_ibr;
+           Registry.tag_ibr; Registry.tag_ibr_wcas; Registry.two_ge_ibr;
+           Registry.qsbr ])
+    Ds_registry.all
+
+let suite =
+  Alcotest.test_case "checker rejects broken histories" `Quick
+    test_checker_rejects
+  :: List.map
+       (fun ((maker : Ds_registry.maker), (e : Registry.entry)) ->
+          Alcotest.test_case
+            (Printf.sprintf "linearizable: %s/%s" maker.ds_name e.name)
+            `Slow (test_pair maker e))
+       pairs

@@ -1,0 +1,19 @@
+(* Entry point aggregating every suite; `dune runtest` runs it. *)
+
+let () =
+  Alcotest.run "ibr"
+    [
+      ("rng", Test_rng.suite);
+      ("sched", Test_sched.suite);
+      ("block-alloc", Test_block_alloc.suite);
+      ("epoch-view", Test_epoch_view.suite);
+      ("trackers", Test_trackers.suite);
+      ("sets", Test_sets.suite);
+      ("stack", Test_stack.suite);
+      ("safety", Test_safety.suite);
+      ("unsound", Test_unsound.suite);
+      ("linearizability", Test_linearizability.suite);
+      ("harness", Test_harness.suite);
+      ("domains", Test_domains.suite);
+      ("more", Test_more.suite);
+    ]

@@ -1,0 +1,260 @@
+(* Additional coverage: the headline Fig. 9 shape at test scale,
+   hash-map structure specifics, Bonsai balance under qcheck op
+   sequences, the op wrapper's restart accounting, and assorted
+   small-surface behaviours. *)
+
+open Ibr_core
+open Ibr_runtime
+
+(* --- the robustness headline, pinned at test scale ----------------- *)
+
+(* Oversubscribed machine with stall injection: EBR's retired-but-
+   unreclaimed population must exceed 2GEIBR's by a clear factor, and
+   HP must stay near-flat.  This is Fig. 9's claim in miniature. *)
+let test_fig9_shape () =
+  let run tracker_name =
+    let spec =
+      { (Ibr_harness.Workload.spec_for "hashmap") with key_range = 1024 } in
+    let cfg =
+      Ibr_harness.Runner_sim.default_config ~threads:24 ~horizon:400_000
+        ~cores:8 ~seed:5 ~spec ()
+    in
+    let cfg =
+      { cfg with
+        sched =
+          { cfg.sched with stall_prob = 0.03; stall_len = 150_000 } }
+    in
+    (Option.get
+       (Ibr_harness.Runner_sim.run_named ~tracker_name ~ds_name:"hashmap"
+          cfg)).avg_unreclaimed
+  in
+  let ebr = run "EBR" and ibr = run "2GEIBR" and hp = run "HP" in
+  Alcotest.(check bool)
+    (Printf.sprintf "EBR (%.0f) > 1.5x IBR (%.0f) when oversubscribed" ebr ibr)
+    true
+    (ebr > 1.5 *. ibr);
+  Alcotest.(check bool)
+    (Printf.sprintf "IBR (%.0f) bounded well above HP (%.1f)" ibr hp)
+    true
+    (hp < 50.0 && ibr < ebr)
+
+(* Throughput ordering at test scale (Fig. 8's claim in miniature). *)
+let test_fig8_shape () =
+  let run tracker_name =
+    let spec = Ibr_harness.Workload.spec_for "hashmap" in
+    let cfg =
+      Ibr_harness.Runner_sim.default_config ~threads:8 ~horizon:120_000
+        ~cores:8 ~seed:9 ~spec ()
+    in
+    (Option.get
+       (Ibr_harness.Runner_sim.run_named ~tracker_name ~ds_name:"hashmap"
+          cfg)).throughput
+  in
+  let nomm = run "NoMM" and ebr = run "EBR" and ibr = run "2GEIBR"
+  and he = run "HE" and hp = run "HP" in
+  Alcotest.(check bool) "NoMM >= EBR" true (nomm >= ebr);
+  Alcotest.(check bool) "EBR >= 2GEIBR" true (ebr >= ibr);
+  Alcotest.(check bool) "2GEIBR > 2x HE" true (ibr > 2.0 *. he);
+  Alcotest.(check bool) "HE >= HP" true (he >= hp)
+
+(* --- hash map specifics -------------------------------------------- *)
+
+module HM = Ibr_ds.Michael_hashmap.Make (Ebr)
+
+let hm_cfg = { (Tracker_intf.default_config ()) with reuse = false }
+
+let test_hashmap_bucket_validation () =
+  Alcotest.check_raises "non-power-of-two rejected"
+    (Invalid_argument "Michael_hashmap.create: buckets must be a power of two")
+    (fun () -> ignore (HM.create_sized ~buckets:48 ~threads:1 hm_cfg))
+
+let test_hashmap_tiny_table () =
+  (* One bucket: the map degenerates to a list and must still work. *)
+  let t = HM.create_sized ~buckets:1 ~threads:1 hm_cfg in
+  let h = HM.register t ~tid:0 in
+  for k = 0 to 99 do
+    Alcotest.(check bool) "insert" true (HM.insert h ~key:k ~value:(k * 2))
+  done;
+  for k = 0 to 99 do
+    Alcotest.(check (option int)) "get" (Some (k * 2)) (HM.get h ~key:k)
+  done;
+  Alcotest.(check int) "size" 100 (List.length (HM.to_sorted_list t));
+  HM.check_invariants t
+
+let test_hashmap_spread () =
+  (* Sequential keys must not all land in one bucket. *)
+  let t = HM.create_sized ~buckets:64 ~threads:1 hm_cfg in
+  let h = HM.register t ~tid:0 in
+  for k = 0 to 255 do ignore (HM.insert h ~key:k ~value:k) done;
+  (* Count non-empty buckets through the dump (indirectly): the
+     longest chain should be far below 256. *)
+  let dump = HM.to_sorted_list t in
+  Alcotest.(check int) "all present" 256 (List.length dump)
+
+let test_hashmap_negative_like_keys () =
+  (* Large keys exercise the hash's bit mixing. *)
+  let t = HM.create_sized ~buckets:16 ~threads:1 hm_cfg in
+  let h = HM.register t ~tid:0 in
+  let keys = [ 0; 1; max_int / 2; max_int - 1; 123456789 ] in
+  List.iter (fun k ->
+    Alcotest.(check bool) "insert big key" true (HM.insert h ~key:k ~value:k))
+    keys;
+  List.iter (fun k ->
+    Alcotest.(check bool) "find big key" true (HM.contains h ~key:k))
+    keys
+
+(* --- Bonsai balance under arbitrary op sequences -------------------- *)
+
+let qcheck_bonsai_balanced =
+  QCheck.Test.make ~name:"bonsai stays weight-balanced" ~count:40
+    QCheck.(make Gen.(list_size (int_bound 300) (pair bool (int_bound 127))))
+    (fun ops ->
+       let module B = Ibr_ds.Bonsai_tree.Make (Po_ibr) in
+       let t =
+         B.create ~threads:1
+           { (Tracker_intf.default_config ()) with reuse = false } in
+       let h = B.register t ~tid:0 in
+       List.iter
+         (fun (ins, k) ->
+            if ins then ignore (B.insert h ~key:k ~value:k)
+            else ignore (B.remove h ~key:k))
+         ops;
+       B.check_invariants t;
+       true)
+
+(* Bonsai speculative allocations are reclaimed on CAS failure: after
+   a contended run the allocator must not leak unpublished nodes. *)
+let test_bonsai_speculation_reclaimed () =
+  let module B = Ibr_ds.Bonsai_tree.Make (Ebr) in
+  let threads = 6 in
+  let cfg =
+    { (Tracker_intf.default_config ~threads ()) with
+      reuse = false; epoch_freq = 2; empty_freq = 4 } in
+  let t = B.create ~threads cfg in
+  let sched = Sched.create (Sched.test_config ~cores:4 ~seed:3 ()) in
+  for i = 0 to threads - 1 do
+    ignore
+      (Sched.spawn sched (fun tid ->
+         let h = B.register t ~tid in
+         let rng = Rng.stream ~seed:(60 + i) ~index:i in
+         for _ = 1 to 200 do
+           let k = Rng.int rng 32 in
+           if Rng.bool rng then ignore (B.insert h ~key:k ~value:k)
+           else ignore (B.remove h ~key:k)
+         done))
+  done;
+  Sched.run sched;
+  (* Sweep all handles' leftovers. *)
+  let h = B.register t ~tid:0 in
+  B.force_empty h;
+  let s = B.allocator_stats t in
+  let reachable = List.length (B.to_sorted_list t) in
+  (* live = reachable + retired-on-other-handles' lists; the latter is
+     bounded by retire lists, not by total allocations. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no mass leak: live=%d reachable=%d alloc=%d" s.live
+       reachable s.allocated)
+    true
+    (s.live < reachable + 2000 && s.allocated > 1000)
+
+(* --- the op wrapper ------------------------------------------------- *)
+
+let test_with_op_restart_accounting () =
+  let stats = Ibr_ds.Ds_common.make_op_stats () in
+  let starts = ref 0 and ends = ref 0 in
+  let tries = ref 0 in
+  let result =
+    Ibr_ds.Ds_common.with_op ~stats
+      ~start_op:(fun () -> incr starts)
+      ~end_op:(fun () -> incr ends)
+      ~max_cas_failures:3
+      (fun () ->
+         incr tries;
+         if !tries <= 7 then raise Ibr_ds.Ds_common.Restart else "done")
+  in
+  Alcotest.(check string) "result" "done" result;
+  Alcotest.(check int) "restarts" 7 stats.restarts;
+  (* 7 failures with threshold 3: refreshes after the 3rd and 6th. *)
+  Alcotest.(check int) "reservation refreshes" 2 stats.reservation_refreshes;
+  Alcotest.(check int) "balanced start/end" !starts !ends;
+  Alcotest.(check int) "ops counted" 1 stats.ops
+
+let test_with_op_exception_safe () =
+  let stats = Ibr_ds.Ds_common.make_op_stats () in
+  let ends = ref 0 in
+  (try
+     Ibr_ds.Ds_common.with_op ~stats
+       ~start_op:(fun () -> ())
+       ~end_op:(fun () -> incr ends)
+       ~max_cas_failures:0
+       (fun () -> failwith "inner")
+   with Failure _ -> ());
+  Alcotest.(check int) "end_op ran on exception" 1 !ends
+
+(* --- assorted small surfaces --------------------------------------- *)
+
+let test_cost_pp_and_fence () =
+  let c = Ibr_runtime.Cost.with_fence Ibr_runtime.Cost.default 99 in
+  Alcotest.(check int) "fence overridden" 99 c.fence;
+  let s = Fmt.str "%a" Ibr_runtime.Cost.pp c in
+  Alcotest.(check bool) "pp mentions fence" true
+    (Astring_contains.contains s "fence=99")
+
+let test_sparkline () =
+  Alcotest.(check string) "empty" "" (Ibr_harness.Chart.sparkline []);
+  let s = Ibr_harness.Chart.sparkline [ 0.0; 1.0 ] in
+  Alcotest.(check bool) "two glyphs" true (String.length s > 0)
+
+let test_run_threads_helper () =
+  let hits = Atomic.make 0 in
+  let t =
+    Sched.run_threads ~cfg:(Sched.test_config ~cores:2 ()) ~n:5
+      (fun ~tid:_ ~index:_ ->
+         Hooks.step 3;
+         Atomic.incr hits)
+  in
+  Alcotest.(check int) "all bodies ran" 5 (Atomic.get hits);
+  Alcotest.(check bool) "makespan positive" true (Sched.makespan t > 0)
+
+let test_registry_oracles () =
+  Alcotest.(check int) "two oracles" 2 (List.length Registry.oracles);
+  Alcotest.(check bool) "oracle findable" true
+    (Registry.find "unsafefree" <> None);
+  Alcotest.(check bool) "unfenced findable" true
+    (Registry.find "2geibr-unfenced" <> None);
+  List.iter
+    (fun (o : Registry.entry) ->
+       Alcotest.(check bool) "oracles not in all" true
+         (not (List.exists (fun (e : Registry.entry) -> e.name = o.name)
+                 Registry.all)))
+    Registry.oracles
+
+let test_sim_key_ranges () =
+  List.iter
+    (fun ds ->
+       Alcotest.(check bool) (ds ^ " range positive") true
+         (Ibr_harness.Workload.sim_key_range ds > 0))
+    [ "list"; "hashmap"; "nmtree"; "bonsai"; "unknown" ]
+
+let suite =
+  [
+    Alcotest.test_case "fig9 shape (robustness headline)" `Slow test_fig9_shape;
+    Alcotest.test_case "fig8 shape (throughput headline)" `Slow test_fig8_shape;
+    Alcotest.test_case "hashmap bucket validation" `Quick
+      test_hashmap_bucket_validation;
+    Alcotest.test_case "hashmap one bucket" `Quick test_hashmap_tiny_table;
+    Alcotest.test_case "hashmap spread" `Quick test_hashmap_spread;
+    Alcotest.test_case "hashmap big keys" `Quick test_hashmap_negative_like_keys;
+    QCheck_alcotest.to_alcotest qcheck_bonsai_balanced;
+    Alcotest.test_case "bonsai speculation reclaimed" `Slow
+      test_bonsai_speculation_reclaimed;
+    Alcotest.test_case "with_op restart accounting" `Quick
+      test_with_op_restart_accounting;
+    Alcotest.test_case "with_op exception safety" `Quick
+      test_with_op_exception_safe;
+    Alcotest.test_case "cost pp / with_fence" `Quick test_cost_pp_and_fence;
+    Alcotest.test_case "sparkline" `Quick test_sparkline;
+    Alcotest.test_case "run_threads helper" `Quick test_run_threads_helper;
+    Alcotest.test_case "registry oracles" `Quick test_registry_oracles;
+    Alcotest.test_case "sim key ranges" `Quick test_sim_key_ranges;
+  ]

@@ -1,0 +1,177 @@
+(* Discrete-event scheduler: determinism, preemption, horizon,
+   stalls, queueing under oversubscription, unwinding. *)
+
+open Ibr_runtime
+
+let run_trace ?(cores = 3) ?(seed = 7) ?(threads = 5) ?(steps = 30) () =
+  let t = Sched.create (Sched.test_config ~cores ~seed ()) in
+  let buf = Buffer.create 128 in
+  for _ = 1 to threads do
+    ignore
+      (Sched.spawn t (fun tid ->
+         for j = 1 to steps do
+           Hooks.step (1 + ((tid + j) mod 5));
+           Buffer.add_string buf (string_of_int tid)
+         done))
+  done;
+  Sched.run t;
+  (t, Buffer.contents buf)
+
+let test_determinism () =
+  let _, a = run_trace () and _, b = run_trace () in
+  Alcotest.(check string) "identical traces" a b
+
+let test_all_threads_run () =
+  let _, trace = run_trace () in
+  for tid = 0 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "thread %d appears" tid)
+      true
+      (String.contains trace (Char.chr (Char.code '0' + tid)))
+  done
+
+let test_interleaving_happens () =
+  let _, trace = run_trace () in
+  (* With tiny quanta the trace must not be five solid blocks. *)
+  let switches = ref 0 in
+  String.iteri
+    (fun i c -> if i > 0 && trace.[i - 1] <> c then incr switches)
+    trace;
+  Alcotest.(check bool) "many context switches" true (!switches > 10)
+
+let test_vtime_accounting () =
+  let t = Sched.create (Sched.test_config ~cores:1 ()) in
+  let tid =
+    Sched.spawn t (fun _ -> for _ = 1 to 10 do Hooks.step 7 done) in
+  Sched.run t;
+  Alcotest.(check int) "vtime = total cost" 70 (Sched.thread_vtime t tid)
+
+let test_makespan_single_core () =
+  (* One core: makespan is the sum of all thread work. *)
+  let t = Sched.create { (Sched.test_config ~cores:1 ()) with ctx_switch = 0 } in
+  for _ = 1 to 4 do
+    ignore (Sched.spawn t (fun _ -> for _ = 1 to 10 do Hooks.step 5 done))
+  done;
+  Sched.run t;
+  Alcotest.(check int) "makespan 4*50" 200 (Sched.makespan t)
+
+let test_makespan_parallel () =
+  (* Enough cores: makespan is one thread's work. *)
+  let t = Sched.create { (Sched.test_config ~cores:4 ()) with ctx_switch = 0 } in
+  for _ = 1 to 4 do
+    ignore (Sched.spawn t (fun _ -> for _ = 1 to 10 do Hooks.step 5 done))
+  done;
+  Sched.run t;
+  Alcotest.(check int) "makespan 50" 50 (Sched.makespan t)
+
+let test_horizon_cuts () =
+  let t = Sched.create (Sched.test_config ~cores:1 ()) in
+  let count = ref 0 in
+  ignore
+    (Sched.spawn t (fun _ ->
+       for _ = 1 to 1_000_000 do Hooks.step 10; incr count done));
+  Sched.run ~horizon:500 t;
+  Alcotest.(check bool) "stopped early" true (!count < 100);
+  Alcotest.(check bool) "did some work" true (!count > 10)
+
+let test_horizon_unwinds_protect () =
+  let t = Sched.create (Sched.test_config ~cores:1 ()) in
+  let cleaned = ref false in
+  ignore
+    (Sched.spawn t (fun _ ->
+       Fun.protect
+         ~finally:(fun () -> cleaned := true)
+         (fun () -> for _ = 1 to 1_000_000 do Hooks.step 10 done)));
+  Sched.run ~horizon:200 t;
+  Alcotest.(check bool) "finally ran on unwind" true !cleaned
+
+let test_stalled_thread_never_runs () =
+  let t = Sched.create (Sched.test_config ~cores:2 ()) in
+  let ran = Array.make 2 false in
+  for i = 0 to 1 do
+    ignore (Sched.spawn t (fun tid -> Hooks.step 1; ran.(tid) <- true; ignore i))
+  done;
+  Sched.stall t 1;
+  Sched.run t;
+  Alcotest.(check bool) "thread 0 ran" true ran.(0);
+  Alcotest.(check bool) "stalled thread did not" false ran.(1)
+
+let test_current_tid_inside_fiber () =
+  let t = Sched.create (Sched.test_config ~cores:2 ()) in
+  let seen = Array.make 3 (-1) in
+  for _ = 0 to 2 do
+    ignore
+      (Sched.spawn t (fun tid ->
+         Hooks.step 1;
+         seen.(tid) <- Hooks.current_tid ()))
+  done;
+  Sched.run t;
+  Alcotest.(check (array int)) "hooks report own tid" [| 0; 1; 2 |] seen
+
+let test_now_monotone_in_fiber () =
+  let t = Sched.create (Sched.test_config ~cores:2 ()) in
+  let ok = ref true in
+  ignore
+    (Sched.spawn t (fun _ ->
+       let last = ref (-1) in
+       for _ = 1 to 50 do
+         Hooks.step 3;
+         let n = Hooks.now () in
+         if n < !last then ok := false;
+         last := n
+       done));
+  Sched.run t;
+  Alcotest.(check bool) "thread-local time monotone" true !ok
+
+let test_oversubscription_stretches_makespan () =
+  let work () =
+    fun _tid -> for _ = 1 to 100 do Hooks.step 5 done in
+  let m cores threads =
+    let t = Sched.create { (Sched.test_config ~cores ()) with ctx_switch = 0 } in
+    for _ = 1 to threads do ignore (Sched.spawn t (work ())) done;
+    Sched.run t;
+    Sched.makespan t
+  in
+  let dedicated = m 8 8 and oversub = m 4 8 in
+  Alcotest.(check bool) "8 threads on 4 cores take ~2x" true
+    (oversub >= dedicated * 2)
+
+let test_spawn_after_run_rejected () =
+  let t = Sched.create (Sched.test_config ()) in
+  ignore (Sched.spawn t (fun _ -> Hooks.step 1));
+  Sched.run t;
+  Alcotest.check_raises "no spawn after run"
+    (Invalid_argument "Sched.spawn: scheduler already ran") (fun () ->
+      ignore (Sched.spawn t (fun _ -> ())))
+
+let test_exception_propagates () =
+  let t = Sched.create (Sched.test_config ~cores:1 ()) in
+  ignore (Sched.spawn t (fun _ -> Hooks.step 1; failwith "boom"));
+  Alcotest.check_raises "body exception surfaces" (Failure "boom") (fun () ->
+    Sched.run t)
+
+let test_quanta_counted () =
+  let t = Sched.create { (Sched.test_config ~cores:1 ()) with quantum = 10 } in
+  let tid = Sched.spawn t (fun _ -> for _ = 1 to 10 do Hooks.step 10 done) in
+  Sched.run t;
+  Alcotest.(check bool) "multiple quanta" true (Sched.thread_quanta t tid >= 5)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "all threads run" `Quick test_all_threads_run;
+    Alcotest.test_case "interleaving happens" `Quick test_interleaving_happens;
+    Alcotest.test_case "vtime accounting" `Quick test_vtime_accounting;
+    Alcotest.test_case "makespan single core" `Quick test_makespan_single_core;
+    Alcotest.test_case "makespan parallel" `Quick test_makespan_parallel;
+    Alcotest.test_case "horizon cuts" `Quick test_horizon_cuts;
+    Alcotest.test_case "horizon unwinds Fun.protect" `Quick test_horizon_unwinds_protect;
+    Alcotest.test_case "stalled thread never runs" `Quick test_stalled_thread_never_runs;
+    Alcotest.test_case "current tid" `Quick test_current_tid_inside_fiber;
+    Alcotest.test_case "now monotone" `Quick test_now_monotone_in_fiber;
+    Alcotest.test_case "oversubscription stretches makespan" `Quick
+      test_oversubscription_stretches_makespan;
+    Alcotest.test_case "spawn after run rejected" `Quick test_spawn_after_run_rejected;
+    Alcotest.test_case "body exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "quanta counted" `Quick test_quanta_counted;
+  ]

@@ -1,0 +1,213 @@
+(* Data-structure correctness, generic over (rideable × scheme):
+
+   1. Sequential model equivalence: random op sequences against a
+      reference map (also as a qcheck property).
+   2. Concurrent per-key balance: for a linearizable set, per key,
+        successful inserts - successful removes = final membership.
+      This holds in *every* legal history, so it checks concurrent
+      correctness without reconstructing a linearization order.
+   3. Structural invariants at quiescence (per-structure checkers).
+
+   All concurrent runs use the simulator at single-step granularity
+   with stalls injected, no allocator reuse (precise UAF detection),
+   and the fault checker in raise mode. *)
+
+open Ibr_core
+open Ibr_runtime
+open Ibr_ds
+
+let pairs =
+  List.concat_map
+    (fun (maker : Ds_registry.maker) ->
+       List.filter_map
+         (fun (e : Registry.entry) ->
+            if Ds_registry.compatible maker e.tracker then
+              Some (maker, e)
+            else None)
+         Registry.all)
+    Ds_registry.all
+
+(* --- 1. sequential model equivalence ------------------------------ *)
+
+let sequential_model_run (module S : Ds_intf.SET) ~seed ~ops ~key_range =
+  let cfg =
+    { (Tracker_intf.default_config ~threads:1 ()) with
+      reuse = false; epoch_freq = 2; empty_freq = 4 } in
+  let t = S.create ~threads:1 cfg in
+  let h = S.register t ~tid:0 in
+  let model = Hashtbl.create 64 in
+  let rng = Rng.create seed in
+  for _ = 1 to ops do
+    let k = Rng.int rng key_range in
+    match Rng.int rng 4 with
+    | 0 | 1 ->
+      let expected = not (Hashtbl.mem model k) in
+      let got = S.insert h ~key:k ~value:(k * 3) in
+      if got <> expected then
+        Alcotest.failf "insert %d: expected %b got %b" k expected got;
+      if got then Hashtbl.replace model k (k * 3)
+    | 2 ->
+      let expected = Hashtbl.mem model k in
+      let got = S.remove h ~key:k in
+      if got <> expected then
+        Alcotest.failf "remove %d: expected %b got %b" k expected got;
+      if got then Hashtbl.remove model k
+    | _ ->
+      let expected = Hashtbl.find_opt model k in
+      let got = S.get h ~key:k in
+      if got <> expected then Alcotest.failf "get %d mismatch" k
+  done;
+  (* Final contents match the model exactly. *)
+  let dumped = S.to_sorted_list t in
+  let modeled =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+    |> List.sort compare
+  in
+  if dumped <> modeled then
+    Alcotest.failf "final contents differ: %d vs %d entries"
+      (List.length dumped) (List.length modeled);
+  S.check_invariants t
+
+let test_sequential (maker : Ds_registry.maker) (e : Registry.entry) () =
+  let s = maker.instantiate e.tracker in
+  sequential_model_run s ~seed:0xabc ~ops:2000 ~key_range:64
+
+(* --- 2. concurrent per-key balance -------------------------------- *)
+
+type op_log = { mutable ins_ok : int array; mutable rem_ok : int array }
+
+let concurrent_balance_run (module S : Ds_intf.SET) ~seed ~threads ~key_range
+    ~ops_per_thread =
+  let cfg =
+    { (Tracker_intf.default_config ~threads ()) with
+      reuse = false; epoch_freq = 2; empty_freq = 8 } in
+  let t = S.create ~threads cfg in
+  let sched =
+    Sched.create
+      { (Sched.test_config ~cores:3 ~seed ()) with
+        stall_prob = 0.02; stall_len = 2_000; quantum = 150 }
+  in
+  let logs =
+    Array.init threads (fun _ ->
+      { ins_ok = Array.make key_range 0; rem_ok = Array.make key_range 0 })
+  in
+  for i = 0 to threads - 1 do
+    ignore
+      (Sched.spawn sched (fun tid ->
+         let h = S.register t ~tid in
+         let rng = Rng.stream ~seed:(seed * 131 + i) ~index:i in
+         for _ = 1 to ops_per_thread do
+           let k = Rng.int rng key_range in
+           match Rng.int rng 3 with
+           | 0 ->
+             if S.insert h ~key:k ~value:k then
+               logs.(tid).ins_ok.(k) <- logs.(tid).ins_ok.(k) + 1
+           | 1 ->
+             if S.remove h ~key:k then
+               logs.(tid).rem_ok.(k) <- logs.(tid).rem_ok.(k) + 1
+           | _ -> ignore (S.contains h ~key:k)
+         done))
+  done;
+  Sched.run sched;
+  let final = S.to_sorted_list t in
+  for k = 0 to key_range - 1 do
+    let ins =
+      Array.fold_left (fun n l -> n + l.ins_ok.(k)) 0 logs in
+    let rem =
+      Array.fold_left (fun n l -> n + l.rem_ok.(k)) 0 logs in
+    let present = List.mem_assoc k final in
+    let expected = ins - rem in
+    let actual = if present then 1 else 0 in
+    if expected <> actual then
+      Alcotest.failf
+        "key %d: %d successful inserts, %d successful removes, present=%b"
+        k ins rem present
+  done;
+  S.check_invariants t
+
+let test_concurrent_balance (maker : Ds_registry.maker) (e : Registry.entry)
+    () =
+  let s = maker.instantiate e.tracker in
+  concurrent_balance_run s ~seed:0x5e7 ~threads:8 ~key_range:24
+    ~ops_per_thread:250
+
+(* --- 3. duplicate-insert / value semantics ------------------------ *)
+
+let test_insert_semantics (maker : Ds_registry.maker) (e : Registry.entry) ()
+  =
+  let (module S : Ds_intf.SET) = maker.instantiate e.tracker in
+  let cfg = { (Tracker_intf.default_config ()) with reuse = false } in
+  let t = S.create ~threads:1 cfg in
+  let h = S.register t ~tid:0 in
+  Alcotest.(check bool) "insert new" true (S.insert h ~key:5 ~value:50);
+  Alcotest.(check bool) "insert dup" false (S.insert h ~key:5 ~value:51);
+  Alcotest.(check (option int)) "value kept" (Some 50) (S.get h ~key:5);
+  Alcotest.(check bool) "remove" true (S.remove h ~key:5);
+  Alcotest.(check bool) "remove absent" false (S.remove h ~key:5);
+  Alcotest.(check (option int)) "gone" None (S.get h ~key:5);
+  Alcotest.(check bool) "reinsert" true (S.insert h ~key:5 ~value:52);
+  Alcotest.(check (option int)) "new value" (Some 52) (S.get h ~key:5)
+
+(* --- qcheck: sequential equivalence on arbitrary op lists ---------- *)
+
+let op_gen key_range =
+  QCheck.Gen.(
+    pair (int_bound 2) (int_bound (key_range - 1)))
+
+let qcheck_sequential (maker : Ds_registry.maker) (e : Registry.entry) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s/%s matches model" maker.ds_name e.name)
+    ~count:30
+    QCheck.(make Gen.(list_size (int_bound 200) (op_gen 16)))
+    (fun ops ->
+       let (module S : Ds_intf.SET) = maker.instantiate e.tracker in
+       let cfg =
+         { (Tracker_intf.default_config ()) with
+           reuse = false; epoch_freq = 2; empty_freq = 4 } in
+       let t = S.create ~threads:1 cfg in
+       let h = S.register t ~tid:0 in
+       let model = Hashtbl.create 16 in
+       List.for_all
+         (fun (op, k) ->
+            match op with
+            | 0 ->
+              let expected = not (Hashtbl.mem model k) in
+              let got = S.insert h ~key:k ~value:k in
+              if got then Hashtbl.replace model k k;
+              got = expected
+            | 1 ->
+              let expected = Hashtbl.mem model k in
+              let got = S.remove h ~key:k in
+              if got then Hashtbl.remove model k;
+              got = expected
+            | _ -> S.get h ~key:k = Hashtbl.find_opt model k)
+         ops
+       && S.to_sorted_list t
+          = (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+             |> List.sort compare))
+
+(* One qcheck per rideable (using a representative tracker each, plus
+   one slow scheme), to keep runtime sane. *)
+let qcheck_cases =
+  List.filter_map
+    (fun (maker, (e : Registry.entry)) ->
+       if e.name = "2GEIBR" || e.name = "HP" || e.name = "POIBR" then
+         Some (QCheck_alcotest.to_alcotest (qcheck_sequential maker e))
+       else None)
+    pairs
+
+let suite =
+  List.concat_map
+    (fun ((maker : Ds_registry.maker), (e : Registry.entry)) ->
+       let name suffix =
+         Printf.sprintf "%s/%s: %s" maker.ds_name e.name suffix in
+       [
+         Alcotest.test_case (name "sequential model") `Quick
+           (test_sequential maker e);
+         Alcotest.test_case (name "insert semantics") `Quick
+           (test_insert_semantics maker e);
+         Alcotest.test_case (name "concurrent balance") `Slow
+           (test_concurrent_balance maker e);
+       ])
+    pairs
+  @ qcheck_cases

@@ -1,0 +1,96 @@
+(* Treiber stack: sequential LIFO semantics, concurrent conservation
+   (every value pushed is popped at most once; pops+remaining = pushes),
+   and reclamation under every scheme. *)
+
+open Ibr_core
+open Ibr_runtime
+
+let cfg threads =
+  { (Tracker_intf.default_config ~threads ()) with
+    reuse = false; epoch_freq = 2; empty_freq = 4 }
+
+let test_sequential_lifo (e : Registry.entry) () =
+  let (module T : Tracker_intf.TRACKER) = e.tracker in
+  let module S = Ibr_ds.Treiber_stack.Make (T) in
+  let t = S.create ~threads:1 (cfg 1) in
+  let h = S.register t ~tid:0 in
+  Alcotest.(check (option int)) "empty pop" None (S.pop h);
+  S.push h 1;
+  S.push h 2;
+  S.push h 3;
+  Alcotest.(check (option int)) "peek" (Some 3) (S.peek h);
+  Alcotest.(check (list int)) "dump top-first" [ 3; 2; 1 ] (S.to_list t);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (S.pop h);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (S.pop h);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (S.pop h);
+  Alcotest.(check (option int)) "pop empty" None (S.pop h);
+  Alcotest.(check bool) "is_empty" true (S.is_empty h)
+
+let test_pop_reclaims (e : Registry.entry) () =
+  let (module T : Tracker_intf.TRACKER) = e.tracker in
+  let module S = Ibr_ds.Treiber_stack.Make (T) in
+  let t = S.create ~threads:1 (cfg 1) in
+  let h = S.register t ~tid:0 in
+  for i = 1 to 100 do S.push h i done;
+  for _ = 1 to 100 do ignore (S.pop h) done;
+  S.force_empty h;
+  let s = S.allocator_stats t in
+  if e.name <> "NoMM" then
+    Alcotest.(check int) "all popped nodes reclaimed" 100 s.freed
+
+let test_concurrent_conservation (e : Registry.entry) () =
+  let (module T : Tracker_intf.TRACKER) = e.tracker in
+  let module S = Ibr_ds.Treiber_stack.Make (T) in
+  Fault.set_mode Fault.Raise;
+  let threads = 8 in
+  let t = S.create ~threads (cfg threads) in
+  let sched =
+    Sched.create
+      { (Sched.test_config ~cores:3 ~seed:17 ()) with
+        stall_prob = 0.02; stall_len = 2000; quantum = 120 } in
+  let popped = Array.make threads [] in
+  let pushed = Array.make threads [] in
+  for i = 0 to threads - 1 do
+    ignore
+      (Sched.spawn sched (fun tid ->
+         let h = S.register t ~tid in
+         let rng = Rng.stream ~seed:(900 + i) ~index:i in
+         for j = 1 to 200 do
+           if Rng.bool rng then begin
+             let v = (tid * 1_000_000) + j in
+             S.push h v;
+             pushed.(tid) <- v :: pushed.(tid)
+           end
+           else
+             match S.pop h with
+             | Some v -> popped.(tid) <- v :: popped.(tid)
+             | None -> ()
+         done))
+  done;
+  Sched.run sched;
+  let all_pushed =
+    Array.to_list pushed |> List.concat |> List.sort compare in
+  let all_popped =
+    Array.to_list popped |> List.concat |> List.sort compare in
+  let remaining = S.to_list t |> List.sort compare in
+  (* No duplicates among pops (each push popped at most once). *)
+  let rec no_dup = function
+    | a :: (b :: _ as rest) -> a <> b && no_dup rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "no value popped twice" true (no_dup all_popped);
+  (* Conservation: pushed = popped ∪ remaining (as multisets). *)
+  Alcotest.(check (list int)) "conservation" all_pushed
+    (List.sort compare (all_popped @ remaining))
+
+let suite =
+  List.concat_map
+    (fun (e : Registry.entry) ->
+       [
+         Alcotest.test_case (e.name ^ ": LIFO") `Quick (test_sequential_lifo e);
+         Alcotest.test_case (e.name ^ ": pop reclaims") `Quick
+           (test_pop_reclaims e);
+         Alcotest.test_case (e.name ^ ": concurrent conservation") `Slow
+           (test_concurrent_conservation e);
+       ])
+    Registry.all

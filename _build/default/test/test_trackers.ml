@@ -1,0 +1,323 @@
+(* Unit tests of reclamation semantics, scheme by scheme, driven
+   directly through the tracker API with multiple handles (no
+   simulator: everything here is sequential, which makes the
+   reservation arithmetic exactly observable). *)
+
+open Ibr_core
+
+let cfg ~threads =
+  { (Tracker_intf.default_config ~threads ()) with
+    reuse = false; epoch_freq = 1; empty_freq = 1_000_000 }
+(* empty_freq huge: reclamation only on force_empty, so tests control
+   the sweep points.  epoch_freq 1: every alloc advances the epoch. *)
+
+(* --- generic properties, run against every scheme ----------------- *)
+
+let test_alloc_retire_reclaim (module T : Tracker_intf.TRACKER) () =
+  let t = T.create ~threads:1 (cfg ~threads:1) in
+  let h = T.register t ~tid:0 in
+  for i = 1 to 10 do
+    let b = T.alloc h i in
+    T.retire h b
+  done;
+  Alcotest.(check int) "10 retired" 10 (T.retired_count h);
+  T.force_empty h;
+  if T.name = "NoMM" then
+    Alcotest.(check int) "NoMM never reclaims" 10 (T.retired_count h)
+  else
+    Alcotest.(check int) "all reclaimed when no reservations" 0
+      (T.retired_count h)
+
+let test_dealloc_unpublished (module T : Tracker_intf.TRACKER) () =
+  let t = T.create ~threads:1 (cfg ~threads:1) in
+  let h = T.register t ~tid:0 in
+  let b = T.alloc h 42 in
+  T.dealloc h b;
+  Alcotest.(check bool) "reclaimed immediately" true (Block.is_reclaimed b)
+
+let test_ptr_read_write_cas (module T : Tracker_intf.TRACKER) () =
+  let t = T.create ~threads:1 (cfg ~threads:1) in
+  let h = T.register t ~tid:0 in
+  T.start_op h;
+  let b1 = T.alloc h 1 and b2 = T.alloc h 2 in
+  let p = T.make_ptr t (Some b1) in
+  let v = T.read h ~slot:0 p in
+  Alcotest.(check int) "deref" 1 (View.deref_exn v);
+  Alcotest.(check bool) "cas with stale expected fails" false
+    (T.cas h p ~expected:(View.make (Some b2)) (Some b2));
+  Alcotest.(check bool) "cas with read view succeeds" true
+    (T.cas h p ~expected:v (Some b2));
+  let v2 = T.read h ~slot:0 p in
+  Alcotest.(check int) "new target" 2 (View.deref_exn v2);
+  T.write h p ~tag:3 (Some b1);
+  let v3 = T.read h ~slot:0 p in
+  Alcotest.(check int) "tag carried" 3 (View.tag v3);
+  Alcotest.(check int) "write target" 1 (View.deref_exn v3);
+  T.end_op h
+
+let test_null_ptr (module T : Tracker_intf.TRACKER) () =
+  let t = T.create ~threads:1 (cfg ~threads:1) in
+  let h = T.register t ~tid:0 in
+  T.start_op h;
+  let p = T.make_ptr t None in
+  let v = T.read h ~slot:0 p in
+  Alcotest.(check bool) "null view" true (View.is_null v);
+  T.end_op h
+
+(* A reservation posted by a (never-ending) op in thread 1 must keep a
+   block alive that thread 1 could be reading; ending the op releases
+   it.  This is the core reclamation-safety contract. *)
+let test_reservation_blocks_reclaim (module T : Tracker_intf.TRACKER) () =
+  let t = T.create ~threads:2 (cfg ~threads:2) in
+  let h0 = T.register t ~tid:0 in
+  let h1 = T.register t ~tid:1 in
+  (* Shared structure: one published block. *)
+  let b = T.alloc h0 7 in
+  let root = T.make_ptr t (Some b) in
+  (* Thread 1 starts an op and reads the block — and then stalls,
+     never calling end_op. *)
+  T.start_op h1;
+  let v = T.read_root h1 root in
+  Alcotest.(check int) "reader sees block" 7 (View.deref_exn v);
+  (* Thread 0 detaches and retires the block. *)
+  T.start_op h0;
+  let b2 = T.alloc h0 8 in
+  Alcotest.(check bool) "detach" true (T.cas h0 root ~expected:v (Some b2));
+  T.retire h0 b;
+  T.end_op h0;
+  T.force_empty h0;
+  if T.name = "UnsafeFree" then
+    Alcotest.(check bool) "oracle frees unsafely" true (Block.is_reclaimed b)
+  else begin
+    Alcotest.(check bool) "block survives while reserved" false
+      (Block.is_reclaimed b);
+    (* Reader can still access it. *)
+    Alcotest.(check int) "stalled reader derefs safely" 7 (View.deref_exn v);
+    (* Reader finishes; now it may go. *)
+    T.end_op h1;
+    T.force_empty h0;
+    if T.name <> "NoMM" then
+      Alcotest.(check bool) "block reclaimed after release" true
+        (Block.is_reclaimed b)
+  end
+
+(* Robustness (Thm. 2): a thread stalled mid-op pins only blocks whose
+   lifetime intersects its reservation.  Blocks born after the stall
+   must remain reclaimable for robust schemes — and must NOT be for
+   EBR. *)
+let test_robustness (module T : Tracker_intf.TRACKER) () =
+  let t = T.create ~threads:2 (cfg ~threads:2) in
+  let h0 = T.register t ~tid:0 in
+  let h1 = T.register t ~tid:1 in
+  let b0 = T.alloc h0 0 in
+  let root = T.make_ptr t (Some b0) in
+  (* Thread 1 stalls mid-op holding a reservation. *)
+  T.start_op h1;
+  ignore (T.read_root h1 root);
+  (* Thread 0 churns: every alloc advances the epoch (freq 1). *)
+  for i = 1 to 100 do
+    let b = T.alloc h0 i in
+    T.start_op h0;
+    let v = T.read h0 ~slot:0 root in
+    ignore (T.cas h0 root ~expected:v (Some b));
+    T.end_op h0;
+    T.retire h0
+      (match View.target v with Some old -> old | None -> assert false)
+  done;
+  T.force_empty h0;
+  let pinned = T.retired_count h0 in
+  if T.props.robust then
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: stalled thread pins O(1) blocks (pinned=%d)"
+         T.name pinned)
+      true (pinned <= 5)
+  else if T.name = "EBR" then
+    Alcotest.(check bool)
+      (Printf.sprintf "EBR pins everything (pinned=%d)" pinned)
+      true (pinned >= 95)
+
+(* Epoch bookkeeping: birth and retire epochs bracket the lifetime. *)
+let test_epoch_tagging (module T : Tracker_intf.TRACKER) () =
+  if T.epoch_value (T.create ~threads:1 (cfg ~threads:1)) = 0 then ()
+  else begin
+    let t = T.create ~threads:1 (cfg ~threads:1) in
+    let h = T.register t ~tid:0 in
+    let b = T.alloc h 0 in
+    let birth = Block.birth_epoch b in
+    Alcotest.(check bool) "birth tagged" true (birth > 0);
+    for _ = 1 to 5 do ignore (T.alloc h 0) done;
+    T.retire h b;
+    Alcotest.(check bool) "retire after birth" true
+      (Block.retire_epoch b >= birth);
+    Alcotest.(check bool) "retire tagged" true (Block.retire_epoch b < max_int)
+  end
+
+(* --- scheme-specific tests ---------------------------------------- *)
+
+let test_hp_unreserve_releases () =
+  let module T = Hp in
+  let t = T.create ~threads:2 (cfg ~threads:2) in
+  let h0 = T.register t ~tid:0 and h1 = T.register t ~tid:1 in
+  let b = T.alloc h0 1 in
+  let root = T.make_ptr t (Some b) in
+  T.start_op h1;
+  let v = T.read h1 ~slot:0 root in
+  T.start_op h0;
+  let b2 = T.alloc h0 2 in
+  ignore (T.cas h0 root ~expected:v (Some b2));
+  T.retire h0 b;
+  T.force_empty h0;
+  Alcotest.(check bool) "hazard pins block" false (Block.is_reclaimed b);
+  (* Explicit unreserve releases just that slot, mid-op. *)
+  T.unreserve h1 ~slot:0;
+  T.force_empty h0;
+  Alcotest.(check bool) "unreserve frees it" true (Block.is_reclaimed b);
+  T.end_op h1;
+  T.end_op h0
+
+let test_hp_reassign_keeps_protection () =
+  let module T = Hp in
+  let t = T.create ~threads:2 (cfg ~threads:2) in
+  let h0 = T.register t ~tid:0 and h1 = T.register t ~tid:1 in
+  let b = T.alloc h0 1 in
+  let root = T.make_ptr t (Some b) in
+  T.start_op h1;
+  let v = T.read h1 ~slot:2 root in
+  T.reassign h1 ~src:2 ~dst:0;
+  T.unreserve h1 ~slot:2;
+  T.start_op h0;
+  ignore (T.cas h0 root ~expected:v None);
+  T.retire h0 b;
+  T.force_empty h0;
+  Alcotest.(check bool) "copied hazard still pins" false (Block.is_reclaimed b);
+  T.end_op h1;
+  T.force_empty h0;
+  Alcotest.(check bool) "end_op clears used slots" true (Block.is_reclaimed b)
+
+let test_tagibr_born_before_monotone () =
+  let module T = Tag_ibr.Cas in
+  let t = T.create ~threads:1 (cfg ~threads:1) in
+  let h = T.register t ~tid:0 in
+  T.start_op h;
+  let old = T.alloc h 1 in           (* early birth *)
+  for _ = 1 to 10 do ignore (T.alloc h 0) done;
+  let young = T.alloc h 2 in         (* late birth *)
+  let p = T.make_ptr t (Some young) in
+  let v = T.read h ~slot:0 p in
+  (* Swing the pointer back to the *older* block: born_before must not
+     decrease (Fig. 5's monotonic convention), which read tolerates. *)
+  Alcotest.(check bool) "swing to older block" true
+    (T.cas h p ~expected:v (Some old));
+  let v2 = T.read h ~slot:0 p in
+  Alcotest.(check int) "read still returns correct target" 1
+    (View.deref_exn v2);
+  T.end_op h
+
+let test_wcas_exact_birth () =
+  (* WCAS keeps born_before exact, so an interval reservation taken
+     after reading an old block does not cover younger blocks:
+     observable as reclamation precision. *)
+  let module T = Tag_ibr_wcas in
+  let t = T.create ~threads:2 (cfg ~threads:2) in
+  let h0 = T.register t ~tid:0 and h1 = T.register t ~tid:1 in
+  let old = T.alloc h0 1 in
+  let root = T.make_ptr t (Some old) in
+  T.start_op h1;
+  ignore (T.read h1 ~slot:0 root);   (* reserve around old's birth *)
+  (* Young block, born & retired entirely after h1's reservation. *)
+  T.start_op h0;
+  for _ = 1 to 5 do ignore (T.alloc h0 0) done;
+  let young = T.alloc h0 2 in
+  T.retire h0 young;
+  T.end_op h0;
+  T.force_empty h0;
+  Alcotest.(check bool) "younger block reclaims under stalled reader" true
+    (Block.is_reclaimed young);
+  T.end_op h1
+
+let test_poibr_interior_reads_uninstrumented () =
+  (* POIBR's read of a non-root pointer must be a plain read that is
+     still safe thanks to the root reservation. *)
+  let module T = Po_ibr in
+  let t = T.create ~threads:2 (cfg ~threads:2) in
+  let h0 = T.register t ~tid:0 and h1 = T.register t ~tid:1 in
+  (* Persistent chain root -> a -> b. *)
+  let b = T.alloc h0 2 in
+  let a = T.alloc h0 1 in
+  let interior = T.make_ptr t (Some b) in
+  let root = T.make_ptr t (Some a) in
+  T.start_op h1;
+  ignore (T.read_root h1 root);
+  let v = T.read h1 ~slot:0 interior in
+  Alcotest.(check int) "interior read" 2 (View.deref_exn v);
+  (* Replace the whole version; retire both old nodes. *)
+  T.start_op h0;
+  let a' = T.alloc h0 10 in
+  ignore (T.cas h0 root ~expected:(T.read h0 ~slot:0 root) (Some a'));
+  T.retire h0 a;
+  T.retire h0 b;
+  T.end_op h0;
+  T.force_empty h0;
+  Alcotest.(check bool) "old version protected by root epoch" false
+    (Block.is_reclaimed b);
+  T.end_op h1;
+  T.force_empty h0;
+  Alcotest.(check bool) "reclaimed after reader leaves" true
+    (Block.is_reclaimed b)
+
+let test_registry_lookup () =
+  Alcotest.(check bool) "find EBR" true (Registry.find "ebr" <> None);
+  Alcotest.(check bool) "find tagibr-wcas" true
+    (Registry.find "TAGIBR-WCAS" <> None);
+  Alcotest.(check bool) "unknown" true (Registry.find "nope" = None);
+  Alcotest.(check int) "paper set size" 9 (List.length Registry.paper_set);
+  Alcotest.(check int) "all size" 12 (List.length Registry.all)
+
+let test_fig7_rows () =
+  let rows = Registry.fig7_rows () in
+  Alcotest.(check int) "fig7 rows (all but NoMM)" 11 (List.length rows);
+  let ebr = List.assoc "EBR" rows in
+  Alcotest.(check bool) "EBR not robust" false ebr.Tracker_intf.robust;
+  let hp = List.assoc "HP" rows in
+  Alcotest.(check bool) "HP robust" true hp.Tracker_intf.robust;
+  Alcotest.(check bool) "HP needs unreserve" true hp.Tracker_intf.needs_unreserve;
+  let po = List.assoc "POIBR" rows in
+  Alcotest.(check bool) "POIBR immutable pointers" false
+    po.Tracker_intf.mutable_pointers
+
+let generic_cases =
+  List.concat_map
+    (fun (e : Registry.entry) ->
+       let (module T : Tracker_intf.TRACKER) = e.tracker in
+       [
+         Alcotest.test_case (e.name ^ ": alloc/retire/reclaim") `Quick
+           (test_alloc_retire_reclaim e.tracker);
+         Alcotest.test_case (e.name ^ ": dealloc unpublished") `Quick
+           (test_dealloc_unpublished e.tracker);
+         Alcotest.test_case (e.name ^ ": ptr ops") `Quick
+           (test_ptr_read_write_cas e.tracker);
+         Alcotest.test_case (e.name ^ ": null ptr") `Quick
+           (test_null_ptr e.tracker);
+         Alcotest.test_case (e.name ^ ": reservation blocks reclaim") `Quick
+           (test_reservation_blocks_reclaim e.tracker);
+         Alcotest.test_case (e.name ^ ": robustness") `Quick
+           (test_robustness e.tracker);
+         Alcotest.test_case (e.name ^ ": epoch tagging") `Quick
+           (test_epoch_tagging e.tracker);
+       ])
+    Registry.all
+
+let suite =
+  generic_cases
+  @ [
+      Alcotest.test_case "HP: unreserve releases" `Quick test_hp_unreserve_releases;
+      Alcotest.test_case "HP: reassign keeps protection" `Quick
+        test_hp_reassign_keeps_protection;
+      Alcotest.test_case "TagIBR: born_before monotone" `Quick
+        test_tagibr_born_before_monotone;
+      Alcotest.test_case "WCAS: exact birth precision" `Quick test_wcas_exact_birth;
+      Alcotest.test_case "POIBR: interior reads" `Quick
+        test_poibr_interior_reads_uninstrumented;
+      Alcotest.test_case "registry lookup" `Quick test_registry_lookup;
+      Alcotest.test_case "fig7 rows" `Quick test_fig7_rows;
+    ]
