@@ -83,13 +83,95 @@ let ksweep_tests =
        Test.make ~name:(Printf.sprintf "ablation:empty-freq:k=%d" k) kernel)
     [ 1; 10; 30; 50 ]
 
+(* Ablation: old-vs-new sweep cost.  One kernel = one full sweep over
+   [sweep_block_count] retired blocks (snapshot build + per-block
+   conflict test), so the printed ns/op is the amortized per-block
+   sweep cost.  The retired list is sized for the oversubscribed
+   regime the fix targets — Fig. 9 pins ~250 blocks per sweep there.
+   The linear predicate rescans the reservation table per block
+   (O(threads) each); the sorted snapshot pays one O(T log T) build
+   then O(log T) per block — per-block cost stays near-flat in the
+   thread count (the residue is the build amortized over the list),
+   which is the point of the tentpole change. *)
+let sweep_block_count = 256
+
+let sweep_ablation_tests =
+  let module TC = Ibr_core.Tracker_common in
+  let block_count = sweep_block_count in
+  let epoch_range = 10_000 in
+  let make_blocks rng =
+    Array.init block_count (fun id ->
+      let b = Ibr_core.Block.make ~id id in
+      let birth = 1 + Ibr_runtime.Rng.int rng epoch_range in
+      Ibr_core.Block.set_birth_epoch b birth;
+      Ibr_core.Block.set_retire_epoch b (birth + Ibr_runtime.Rng.int rng 64);
+      b)
+  in
+  List.concat_map
+    (fun threads ->
+       let rng = Ibr_runtime.Rng.create (0x5eeb + threads) in
+       (* Interval reservations (TagIBR/2GEIBR family): ~3/4 of the
+          threads hold a reservation at sweep time. *)
+       let res = TC.Interval_res.create threads in
+       for tid = 0 to threads - 1 do
+         if Ibr_runtime.Rng.int rng 4 < 3 then begin
+           let lo = 1 + Ibr_runtime.Rng.int rng epoch_range in
+           Atomic.set res.TC.Interval_res.lower.(tid) lo;
+           Atomic.set res.TC.Interval_res.upper.(tid)
+             (lo + Ibr_runtime.Rng.int rng 128)
+         end
+       done;
+       (* Era reservations (HE): same density, one era per slot. *)
+       let eras =
+         Array.init (threads * 4) (fun _ ->
+           if Ibr_runtime.Rng.int rng 4 < 3 then
+             1 + Ibr_runtime.Rng.int rng epoch_range
+           else 0)
+       in
+       let blocks = make_blocks rng in
+       let sweep_with conflict =
+         let kept = ref 0 in
+         Array.iter (fun b -> if conflict b then incr kept) blocks;
+         !kept
+       in
+       let interval kind mk =
+         Test.make
+           ~name:(Printf.sprintf "ablation:sweep:interval:%s:t=%d" kind
+                    threads)
+           (Staged.stage (fun () -> ignore (sweep_with (mk ()))))
+       and era kind mk =
+         Test.make
+           ~name:(Printf.sprintf "ablation:sweep:era:%s:t=%d" kind threads)
+           (Staged.stage (fun () -> ignore (sweep_with (mk ()))))
+       in
+       [ interval "linear" (fun () ->
+             TC.Interval_res.conflict_with_snapshot res);
+         interval "sorted" (fun () ->
+             TC.Conflict.pred
+               (TC.Conflict.Intervals (TC.Interval_res.sweep_snapshot res)));
+         era "linear" (fun () ->
+             let reserved =
+               Array.to_list eras |> List.filter (fun e -> e <> 0) in
+             fun b ->
+               List.exists
+                 (fun e ->
+                    Ibr_core.Block.birth_epoch b <= e
+                    && e <= Ibr_core.Block.retire_epoch b)
+                 reserved);
+         era "sorted" (fun () ->
+             TC.Conflict.pred
+               (TC.Conflict.Intervals
+                  (TC.Sweep_snapshot.of_points ~none:0 eras))) ])
+    [ 8; 72; 100 ]
+
 let all_tests =
   Test.make_grouped ~name:"ibr"
     (figure_tests "fig8a" "list"
      @ figure_tests "fig8b" "hashmap"
      @ figure_tests "fig8c" "nmtree"
      @ figure_tests "fig8d" "bonsai"
-     @ ksweep_tests)
+     @ ksweep_tests
+     @ sweep_ablation_tests)
 
 let run_bechamel () =
   let ols =
@@ -106,11 +188,23 @@ let run_bechamel () =
   Hashtbl.iter
     (fun name ols_result -> rows := (name, ols_result) :: !rows)
     results;
+  (* Sweep-ablation kernels iterate over the retired list, not
+     [ops_per_run] operations, so they normalize by the list size. *)
+  let divisor name =
+    let contains ~sub s =
+      let n = String.length sub and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    float_of_int
+      (if contains ~sub:"ablation:sweep" name then sweep_block_count
+       else ops_per_run)
+  in
   List.sort (fun (a, _) (b, _) -> compare a b) !rows
   |> List.iter (fun (name, ols_result) ->
     match Analyze.OLS.estimates ols_result with
     | Some [ est ] ->
-      Fmt.pr "%-32s %14.1f@." name (est /. float_of_int ops_per_run)
+      Fmt.pr "%-32s %14.1f@." name (est /. divisor name)
     | _ -> Fmt.pr "%-32s %14s@." name "-");
   Fmt.pr "@."
 

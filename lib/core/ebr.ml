@@ -61,12 +61,14 @@ let alloc h payload =
 
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
-(* Reclaim every block retired before the oldest reservation. *)
+(* Reclaim every block retired before the oldest reservation: a
+   single-threshold conflict, already O(1) per block. *)
 let empty h =
   let reservations = Tracker_common.snapshot_reservations h.t.reservations in
   let max_safe = Array.fold_left min max_int reservations in
   Tracker_common.Retired.sweep h.retired
-    ~conflict:(fun b -> Block.retire_epoch b >= max_safe)
+    ~conflict:(Tracker_common.Conflict.pred
+                 (Tracker_common.Conflict.Threshold max_safe))
     ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
 
 let retire h b =

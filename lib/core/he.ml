@@ -65,22 +65,41 @@ let alloc h payload =
 
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
-(* A block survives if any reserved era intersects its lifetime. *)
-let empty h =
-  let reserved = ref [] in
-  Array.iter (fun row ->
-    Array.iter (fun slot ->
+(* A block survives if any reserved era intersects its lifetime.  The
+   era table is read once into a flat array, then digested into a
+   sorted snapshot so each block's test is a binary search rather than
+   a walk of every reserved era. *)
+let scan_eras h =
+  let threads = Array.length h.t.eras in
+  let slots = h.t.cfg.slots in
+  let eras = Array.make (threads * slots) no_era in
+  Array.iteri (fun i row ->
+    Array.iteri (fun j slot ->
       Prim.charge_scan ();
-      let e = Atomic.get slot in
-      if e <> no_era then reserved := e :: !reserved)
+      eras.((i * slots) + j) <- Atomic.get slot)
       row)
     h.t.eras;
-  let reserved = !reserved in
-  let conflict b =
-    List.exists
-      (fun e -> Block.birth_epoch b <= e && e <= Block.retire_epoch b)
-      reserved
-  in
+  Tracker_common.Sweep_stats.note_snapshot ~entries:(threads * slots)
+    ~cycles:
+      (threads * slots * !Prim.costs.Ibr_runtime.Cost.scan_reservation);
+  eras
+
+let conflict_of_eras eras =
+  if !Tracker_common.legacy_sweep then begin
+    (* Oracle path: linear scan of the reserved eras per block. *)
+    let reserved =
+      Array.to_list eras |> List.filter (fun e -> e <> no_era) in
+    fun b ->
+      List.exists
+        (fun e -> Block.birth_epoch b <= e && e <= Block.retire_epoch b)
+        reserved
+  end else
+    Tracker_common.Conflict.pred
+      (Tracker_common.Conflict.Intervals
+         (Tracker_common.Sweep_snapshot.of_points ~none:no_era eras))
+
+let empty h =
+  let conflict = conflict_of_eras (scan_eras h) in
   Tracker_common.Retired.sweep h.retired ~conflict
     ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
 
@@ -97,7 +116,7 @@ let start_op h = h.hwm <- -1
 let end_op h =
   let row = h.t.eras.(h.tid) in
   for i = 0 to h.hwm do
-    if Atomic.get row.(i) <> no_era then Prim.write row.(i) no_era
+    if Prim.read row.(i) <> no_era then Prim.write row.(i) no_era
   done;
   h.hwm <- -1
 
@@ -119,7 +138,7 @@ let read h ~slot p =
       loop era
     end
   in
-  loop (Atomic.get cell)
+  loop (Prim.read cell)
 
 let read_root h p = read h ~slot:0 p
 let write _ p ?tag target = Plain_ptr.write p ?tag target
@@ -132,7 +151,7 @@ let reassign h ~src ~dst =
   if h.hwm < dst then h.hwm <- dst;
   let row = h.t.eras.(h.tid) in
   Prim.local 1;
-  Prim.write row.(dst) (Atomic.get row.(src))
+  Prim.write row.(dst) (Prim.read row.(src))
 
 let retired_count h = Tracker_common.Retired.count h.retired
 let force_empty h = empty h

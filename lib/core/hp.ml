@@ -37,6 +37,9 @@ type 'a handle = {
   mutable retire_counter : int;
   mutable hwm : int;   (* highest slot used this op, for cheap end_op *)
   retired : 'a Tracker_common.Retired.t;
+  hazard_scratch : (int, unit) Hashtbl.t;
+  (* Reused across sweeps so [empty] does not allocate (and regrow) a
+     fresh table per scan; cleared, not reset, to keep its buckets. *)
 }
 
 type 'a ptr = 'a Plain_ptr.t
@@ -52,7 +55,8 @@ let create ~threads (cfg : Tracker_intf.config) = {
 
 let register t ~tid =
   { t; tid; retire_counter = 0; hwm = -1;
-    retired = Tracker_common.Retired.create () }
+    retired = Tracker_common.Retired.create ();
+    hazard_scratch = Hashtbl.create 64 }
 
 let alloc h payload = Alloc.alloc h.t.alloc ~tid:h.tid payload
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
@@ -60,15 +64,20 @@ let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 (* Reclaim retired blocks not named by any hazard slot.  Michael's
    scan: snapshot all slots, then sweep the local retired list. *)
 let empty h =
-  let hazards = Hashtbl.create 64 in
+  let hazards = h.hazard_scratch in
+  Hashtbl.clear hazards;
+  let entries = ref 0 in
   Array.iter (fun row ->
     Array.iter (fun slot ->
       Prim.charge_scan ();
+      incr entries;
       match Atomic.get slot with
       | None -> ()
       | Some b -> Hashtbl.replace hazards (Block.id b) ())
       row)
     h.t.slots;
+  Tracker_common.Sweep_stats.note_snapshot ~entries:!entries
+    ~cycles:(!entries * !Prim.costs.Ibr_runtime.Cost.scan_reservation);
   Tracker_common.Retired.sweep h.retired
     ~conflict:(fun b -> Hashtbl.mem hazards (Block.id b))
     ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
@@ -86,7 +95,7 @@ let start_op h = h.hwm <- -1
 let end_op h =
   let row = h.t.slots.(h.tid) in
   for i = 0 to h.hwm do
-    if Atomic.get row.(i) <> None then Prim.write row.(i) None
+    if Prim.read row.(i) <> None then Prim.write row.(i) None
   done;
   h.hwm <- -1
 
@@ -120,7 +129,7 @@ let reassign h ~src ~dst =
   if h.hwm < dst then h.hwm <- dst;
   let row = h.t.slots.(h.tid) in
   Prim.local 1;
-  Prim.write row.(dst) (Atomic.get row.(src))
+  Prim.write row.(dst) (Prim.read row.(src))
 
 let retired_count h = Tracker_common.Retired.count h.retired
 let force_empty h = empty h

@@ -69,10 +69,11 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
 
   let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
-  (* Fig. 5 lines 22–29: interval-intersection sweep. *)
+  (* Fig. 5 lines 22–29: interval-intersection sweep.  The table is
+     digested once into a sorted snapshot; each block then pays
+     O(log T) instead of a rescan of every thread's endpoints. *)
   let empty h =
-    let conflict =
-      Tracker_common.Interval_res.conflict_with_snapshot h.t.res in
+    let conflict = Tracker_common.Interval_res.conflict_fast h.t.res in
     Tracker_common.Retired.sweep h.retired ~conflict
       ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
 

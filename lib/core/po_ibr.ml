@@ -62,12 +62,20 @@ let alloc h payload =
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
 (* Fig. 4 lines 1–8: a block is protected iff some reserved epoch lies
-   within its lifetime. *)
+   within its lifetime.  The snapshot is sorted once so each block's
+   test is a binary search, not a scan of every thread's slot. *)
 let empty h =
   let reservations = Tracker_common.snapshot_reservations h.t.reservations in
-  let conflict b =
-    let birth = Block.birth_epoch b and retire = Block.retire_epoch b in
-    Array.exists (fun res -> birth <= res && res <= retire) reservations
+  let conflict =
+    if !Tracker_common.legacy_sweep then
+      fun b ->
+        let birth = Block.birth_epoch b and retire = Block.retire_epoch b in
+        Array.exists (fun res -> birth <= res && res <= retire) reservations
+    else
+      Tracker_common.Conflict.pred
+        (Tracker_common.Conflict.Intervals
+           (Tracker_common.Sweep_snapshot.of_points ~none:max_int
+              reservations))
   in
   Tracker_common.Retired.sweep h.retired ~conflict
     ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)

@@ -80,10 +80,12 @@ let try_advance h =
      grace period and free blocks whose readers have not quiesced. *)
   if all_quiescent then ignore (Epoch.advance_cas h.t.epoch ~expected:e)
 
+(* retire_epoch > e - 2, i.e. the two-grace-period threshold. *)
 let empty h =
   let e = Epoch.read h.t.epoch in
   Tracker_common.Retired.sweep h.retired
-    ~conflict:(fun b -> Block.retire_epoch b > e - 2)
+    ~conflict:(Tracker_common.Conflict.pred
+                 (Tracker_common.Conflict.Threshold (e - 1)))
     ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
 
 let retire h b =

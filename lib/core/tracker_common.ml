@@ -1,5 +1,74 @@
 (* Pieces shared by all trackers: the per-thread retired list and its
-   sweep, and the reservation-table snapshot used by [empty]. *)
+   sweep, the reservation-table snapshots used by [empty], and the
+   sweep telemetry the harness reports.
+
+   The sweep path is the hot loop of every scheme's [empty]: one
+   conflict test per retired block.  A naive test re-scans the whole
+   reservation table per block, making a sweep O(retired x threads).
+   [Sweep_snapshot] instead sorts and merges the reservations once per
+   sweep, so each block's test is a binary search — O(retired x log T)
+   — which is what keeps reclamation cheap at the 72+ thread counts
+   the paper's Fig. 8/9 stress.  The linear predicates are kept (and
+   selectable via [legacy_sweep]) as differential-testing oracles and
+   for the old-vs-new ablation bench. *)
+
+(* Debug/ablation flag: route [empty] through the original
+   O(retired x threads) linear-scan predicates instead of the sorted
+   snapshot.  Flipped by the `ablation:sweep` bench and the
+   differential tests; production paths leave it false. *)
+let legacy_sweep = ref false
+
+(* Global sweep telemetry, accumulated by every tracker instance
+   (atomics: the domains backend sweeps in parallel).  Harness runners
+   snapshot before/after a run and report the difference, mirroring
+   how [Fault.total] is consumed. *)
+module Sweep_stats = struct
+  type snap = {
+    sweeps : int;           (* Retired.sweep invocations *)
+    examined : int;         (* retired blocks conflict-tested *)
+    freed : int;            (* blocks handed to free *)
+    snapshot_entries : int; (* reservation cells read building snapshots *)
+    snapshot_cycles : int;  (* modelled cycles spent building snapshots *)
+  }
+
+  let sweeps = Atomic.make 0
+  let examined = Atomic.make 0
+  let freed = Atomic.make 0
+  let snapshot_entries = Atomic.make 0
+  let snapshot_cycles = Atomic.make 0
+
+  let note_sweep ~examined:e ~freed:f =
+    Atomic.incr sweeps;
+    ignore (Atomic.fetch_and_add examined e);
+    ignore (Atomic.fetch_and_add freed f)
+
+  let note_snapshot ~entries ~cycles =
+    ignore (Atomic.fetch_and_add snapshot_entries entries);
+    ignore (Atomic.fetch_and_add snapshot_cycles cycles)
+
+  let snap () = {
+    sweeps = Atomic.get sweeps;
+    examined = Atomic.get examined;
+    freed = Atomic.get freed;
+    snapshot_entries = Atomic.get snapshot_entries;
+    snapshot_cycles = Atomic.get snapshot_cycles;
+  }
+
+  let diff a b = {
+    sweeps = b.sweeps - a.sweeps;
+    examined = b.examined - a.examined;
+    freed = b.freed - a.freed;
+    snapshot_entries = b.snapshot_entries - a.snapshot_entries;
+    snapshot_cycles = b.snapshot_cycles - a.snapshot_cycles;
+  }
+
+  let reset () =
+    Atomic.set sweeps 0;
+    Atomic.set examined 0;
+    Atomic.set freed 0;
+    Atomic.set snapshot_entries 0;
+    Atomic.set snapshot_cycles 0
+end
 
 module Retired = struct
   (* Thread-local list of retired-but-unreclaimed blocks.  Only its
@@ -25,6 +94,7 @@ module Retired = struct
   (* Keep blocks satisfying [conflict]; hand the rest to [free].
      Charges one local step per examined block (list walk). *)
   let sweep t ~conflict ~free =
+    let examined = t.count in
     let kept = ref [] and n = ref 0 in
     List.iter (fun b ->
       Prim.local 1;
@@ -32,16 +102,173 @@ module Retired = struct
       else begin free b; t.total_reclaimed <- t.total_reclaimed + 1 end)
       t.blocks;
     t.blocks <- !kept;
-    t.count <- !n
+    t.count <- !n;
+    Sweep_stats.note_sweep ~examined ~freed:(examined - !n)
 
-  (* Drop everything without freeing (No-MM teardown). *)
+  (* Plain iterator over the still-retired blocks, in most-recently-
+     retired-first order.  Purely observational (diagnostics and
+     leak accounting); it does not free or drop anything. *)
   let iter t f = List.iter f t.blocks
 end
 
 (* Snapshot an [int Atomic.t array] reservation table, charging the
    cross-thread scan cost per entry. *)
 let snapshot_reservations (arr : int Atomic.t array) =
-  Array.map (fun a -> Prim.charge_scan (); Atomic.get a) arr
+  let r = Array.map (fun a -> Prim.charge_scan (); Atomic.get a) arr in
+  Sweep_stats.note_snapshot ~entries:(Array.length arr)
+    ~cycles:(Array.length arr * !Prim.costs.Ibr_runtime.Cost.scan_reservation);
+  r
+
+(* A once-per-sweep digest of a reservation table: the reserved
+   intervals, sorted by lower endpoint and merged into disjoint runs,
+   so a block's conflict test is one binary search instead of a scan
+   of every thread's slot. *)
+module Sweep_snapshot = struct
+  type t = {
+    los : int array;  (* merged interval lower endpoints, ascending *)
+    his : int array;  (* matching upper endpoints; also ascending *)
+  }
+
+  let length t = Array.length t.los
+
+  (* Merge a sorted-by-lower array of [n] (lo, hi) pairs in place;
+     adjacent integer intervals ([1,2] and [3,4]) merge too, which is
+     sound because block lifetimes are integer intervals.  Returns the
+     merged prefix length. *)
+  let merge_sorted los his n =
+    if n = 0 then 0
+    else begin
+      let m = ref 0 in
+      for i = 1 to n - 1 do
+        let hi = his.(!m) in
+        if hi = max_int || los.(i) <= hi + 1 then begin
+          if his.(i) > hi then his.(!m) <- his.(i)
+        end else begin
+          incr m;
+          los.(!m) <- los.(i);
+          his.(!m) <- his.(i)
+        end
+      done;
+      !m + 1
+    end
+
+  (* Sort the parallel endpoint arrays by lower endpoint (ties in any
+     order: equal lowers always merge).  Insertion sort for the common
+     small tables — straight-line int code, no closure calls or
+     boxing — falling back to an index heapsort when the table is big
+     enough for O(k^2) to lose. *)
+  let insertion_cutoff = 96
+
+  let sort_pairs los his n =
+    if n <= insertion_cutoff then
+      for i = 1 to n - 1 do
+        let lo = los.(i) and hi = his.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && los.(!j) > lo do
+          los.(!j + 1) <- los.(!j);
+          his.(!j + 1) <- his.(!j);
+          decr j
+        done;
+        los.(!j + 1) <- lo;
+        his.(!j + 1) <- hi
+      done
+    else begin
+      let idx = Array.init n (fun i -> i) in
+      Array.sort (fun i j -> Int.compare los.(i) los.(j)) idx;
+      let slos = Array.init n (fun i -> los.(idx.(i))) in
+      let shis = Array.init n (fun i -> his.(idx.(i))) in
+      Array.blit slos 0 los 0 n;
+      Array.blit shis 0 his 0 n
+    end
+
+  let of_pairs los his n =
+    (* The cost model charges one local step per reserved entry for
+       the sort+merge. *)
+    Prim.local n;
+    sort_pairs los his n;
+    let m = merge_sorted los his n in
+    { los = Array.sub los 0 m; his = Array.sub his 0 m }
+
+  (* Build from parallel endpoint arrays already read out of the
+     table.  A lower endpoint of [max_int] marks an unreserved slot
+     (or one caught mid-[clear]); such a slot cannot protect any block
+     with a real retire epoch, so it is dropped here. *)
+  let of_intervals ~lower ~upper =
+    let n = Array.length lower in
+    let los = Array.make n 0 and his = Array.make n 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if lower.(i) <> max_int then begin
+        los.(!k) <- lower.(i);
+        (* A slot caught between [start]'s two writes shows the fresh
+           lower with a stale (cleared) upper; widen rather than
+           invert the interval. *)
+        his.(!k) <- (if upper.(i) < lower.(i) then lower.(i) else upper.(i));
+        incr k
+      end
+    done;
+    of_pairs los his !k
+
+  (* Build from single-epoch reservations (HE eras, POIBR epochs):
+     each reserved value [e] is the degenerate interval [e, e]; [none]
+     is the scheme's empty-slot sentinel.  No pairing needed — sort
+     the reserved values flat, then merge. *)
+  let of_points ~none values =
+    let n = Array.length values in
+    let pts = Array.make n 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if values.(i) <> none then begin
+        pts.(!k) <- values.(i);
+        incr k
+      end
+    done;
+    let k = !k in
+    Prim.local k;
+    let los = Array.sub pts 0 k in
+    Array.sort Int.compare los;
+    let his = Array.copy los in
+    let m = merge_sorted los his k in
+    { los = Array.sub los 0 m; his = Array.sub his 0 m }
+
+  (* Is [birth, retire] intersected by any reserved interval?  The
+     merged intervals are disjoint and sorted, so both endpoint arrays
+     ascend: binary-search the first interval whose upper endpoint
+     reaches [birth], then a single lower-endpoint comparison
+     decides.  O(log T) per block. *)
+  let conflict t ~birth ~retire =
+    let n = Array.length t.los in
+    if n = 0 then false
+    else begin
+      (* smallest i with his.(i) >= birth *)
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.his.(mid) >= birth then hi := mid else lo := mid + 1
+      done;
+      !lo < n && t.los.(!lo) <= retire
+    end
+end
+
+(* What a sweep tests each retired block against: nothing, a single
+   epoch threshold (the epoch-family schemes), or the sorted interval
+   digest.  Having one type here lets every tracker's [empty] build
+   its predicate the same way and keeps the O(log T) path shared. *)
+module Conflict = struct
+  type t =
+    | Never                          (* no reservations: free everything *)
+    | Threshold of int               (* conflict iff retire_epoch >= n *)
+    | Intervals of Sweep_snapshot.t  (* conflict iff lifetime intersects *)
+
+  let pred c =
+    match c with
+    | Never -> fun _ -> false
+    | Threshold n -> fun b -> Block.retire_epoch b >= n
+    | Intervals s ->
+      fun b ->
+        Sweep_snapshot.conflict s ~birth:(Block.birth_epoch b)
+          ~retire:(Block.retire_epoch b)
+end
 
 (* Per-thread [lower, upper] interval reservations, shared by the
    TagIBR variants and 2GEIBR (Fig. 5 lines 1–2, 16–17). *)
@@ -67,9 +294,11 @@ module Interval_res = struct
 
   let upper_cell t ~tid = t.upper.(tid)
 
-  (* Snapshot both endpoint arrays and return a conflict predicate: a
-     block is protected if some thread's reserved interval intersects
-     its lifetime (Fig. 5 line 26, inclusive endpoints for safety). *)
+  (* Legacy linear-scan predicate: snapshot both endpoint arrays and
+     test each block against every slot (Fig. 5 line 26, inclusive
+     endpoints for safety).  O(threads) per block — kept as the
+     differential-testing oracle for [conflict_fast] and for the
+     `ablation:sweep` old-vs-new bench. *)
   let conflict_with_snapshot t =
     let lower = snapshot_reservations t.lower in
     let upper = snapshot_reservations t.upper in
@@ -80,4 +309,34 @@ module Interval_res = struct
         i < n && ((birth <= upper.(i) && retire >= lower.(i)) || check (i + 1))
       in
       check 0
+
+  (* Sorted-snapshot digest of the table (one O(T log T) build, then
+     O(log T) per block).  Reads each thread's endpoint pair in one
+     fused pass — same scan charges as the two-array snapshot, fewer
+     intermediate arrays and a more consistent pair per slot. *)
+  let sweep_snapshot t =
+    let n = Array.length t.lower in
+    let los = Array.make n 0 and his = Array.make n 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      Prim.charge_scan ();
+      let lo = Atomic.get t.lower.(i) in
+      Prim.charge_scan ();
+      let hi = Atomic.get t.upper.(i) in
+      if lo <> max_int then begin
+        los.(!k) <- lo;
+        (* Mid-[start] slots show a fresh lower with a cleared upper;
+           widen rather than invert the interval. *)
+        his.(!k) <- (if hi < lo then lo else hi);
+        incr k
+      end
+    done;
+    Sweep_stats.note_snapshot ~entries:(2 * n)
+      ~cycles:(2 * n * !Prim.costs.Ibr_runtime.Cost.scan_reservation);
+    Sweep_snapshot.of_pairs los his !k
+
+  (* The production conflict predicate; obeys [legacy_sweep]. *)
+  let conflict_fast t =
+    if !legacy_sweep then conflict_with_snapshot t
+    else Conflict.pred (Conflict.Intervals (sweep_snapshot t))
 end

@@ -33,6 +33,7 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
   Workload.prefill ~rng:prefill_rng ~spec:cfg.spec
     ~insert:(fun ~key ~value -> S.insert h0 ~key ~value);
   let faults_before = Ibr_core.Fault.total () in
+  let sweep_before = Ibr_core.Tracker_common.Sweep_stats.snap () in
   let start = now_ns () in
   let deadline = Unix.gettimeofday () +. cfg.duration_s in
   let worker tid () =
@@ -78,6 +79,9 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
     alloc = S.allocator_stats t;
     epoch = S.epoch_value t;
     faults = Ibr_core.Fault.total () - faults_before;
+    sweep =
+      Ibr_core.Tracker_common.Sweep_stats.diff sweep_before
+        (Ibr_core.Tracker_common.Sweep_stats.snap ());
   }
 
 let run_named ~tracker_name ~ds_name cfg =

@@ -64,6 +64,7 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
          loop ()))
   done;
   let faults_before = Ibr_core.Fault.total () in
+  let sweep_before = Ibr_core.Tracker_common.Sweep_stats.snap () in
   Sched.run ~horizon:cfg.horizon sched;
   let total_ops = Array.fold_left ( + ) 0 ops in
   let merged = Stats.merge_samplers (Array.to_list samplers) in
@@ -82,6 +83,9 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
     alloc = S.allocator_stats t;
     epoch = S.epoch_value t;
     faults = Ibr_core.Fault.total () - faults_before;
+    sweep =
+      Ibr_core.Tracker_common.Sweep_stats.diff sweep_before
+        (Ibr_core.Tracker_common.Sweep_stats.snap ());
   }
 
 (* Convenience: resolve names through the registries and run. *)

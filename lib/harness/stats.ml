@@ -18,7 +18,14 @@ type t = {
   alloc : Alloc.stats;
   epoch : int;
   faults : int;
+  sweep : Tracker_common.Sweep_stats.snap;
+  (* Reclamation-sweep telemetry accumulated during the run: sweeps
+     run, blocks examined/freed, and the reservation-snapshot cost. *)
 }
+
+let no_sweep : Tracker_common.Sweep_stats.snap =
+  { sweeps = 0; examined = 0; freed = 0; snapshot_entries = 0;
+    snapshot_cycles = 0 }
 
 let throughput ~ops ~makespan =
   if makespan <= 0 then 0.0
@@ -27,19 +34,25 @@ let throughput ~ops ~makespan =
 let pp ppf r =
   Fmt.pf ppf
     "%-12s %-8s t=%-3d %-15s ops=%-8d thr=%8.3f Mops/Ms unrec=%8.1f \
-     peak=%-6d live=%-7d epoch=%-6d faults=%d"
+     peak=%-6d live=%-7d epoch=%-6d faults=%d sweeps=%d swept=%d"
     r.tracker r.ds r.threads r.mix r.ops r.throughput r.avg_unreclaimed
-    r.peak_unreclaimed r.alloc.live r.epoch r.faults
+    r.peak_unreclaimed r.alloc.live r.epoch r.faults r.sweep.sweeps
+    r.sweep.examined
 
 let csv_header =
   "tracker,ds,threads,mix,ops,makespan,throughput,avg_unreclaimed,\
-   peak_unreclaimed,samples,allocated,freed,live,cached,epoch,faults"
+   peak_unreclaimed,samples,allocated,freed,live,cached,epoch,faults,\
+   sweeps,sweep_examined,sweep_freed,sweep_snapshot_entries,\
+   sweep_snapshot_cycles"
 
 let to_csv_row r =
-  Printf.sprintf "%s,%s,%d,%s,%d,%d,%.6f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d"
+  Printf.sprintf
+    "%s,%s,%d,%s,%d,%d,%.6f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d"
     r.tracker r.ds r.threads r.mix r.ops r.makespan r.throughput
     r.avg_unreclaimed r.peak_unreclaimed r.samples r.alloc.allocated
     r.alloc.freed r.alloc.live r.alloc.cached r.epoch r.faults
+    r.sweep.sweeps r.sweep.examined r.sweep.freed r.sweep.snapshot_entries
+    r.sweep.snapshot_cycles
 
 (* Incremental mean/peak accumulator for the unreclaimed metric. *)
 type sampler = {

@@ -16,7 +16,12 @@ type t = {
   alloc : Ibr_core.Alloc.stats;
   epoch : int;
   faults : int;
+  sweep : Ibr_core.Tracker_common.Sweep_stats.snap;
+  (** Reclamation-sweep telemetry accumulated during the run. *)
 }
+
+val no_sweep : Ibr_core.Tracker_common.Sweep_stats.snap
+(** All-zero sweep telemetry, for rows built outside a runner. *)
 
 val throughput : ops:int -> makespan:int -> float
 

@@ -67,6 +67,8 @@ let test_csv_row_shape () =
     alloc = { allocated = 10; fresh = 10; reused = 0; freed = 5; live = 5;
               cached = 0 };
     epoch = 3; faults = 0;
+    sweep = { sweeps = 2; examined = 9; freed = 5; snapshot_entries = 8;
+              snapshot_cycles = 32 };
   } in
   let cells = String.split_on_char ',' (Stats.to_csv_row row) in
   let headers = String.split_on_char ',' Stats.csv_header in

@@ -8,6 +8,7 @@ let () =
       ("block-alloc", Test_block_alloc.suite);
       ("epoch-view", Test_epoch_view.suite);
       ("trackers", Test_trackers.suite);
+      ("sweep", Test_sweep.suite);
       ("sets", Test_sets.suite);
       ("stack", Test_stack.suite);
       ("safety", Test_safety.suite);
