@@ -102,6 +102,91 @@ let expand_metas metas base =
        | _ -> failwith (Printf.sprintf "bad --meta %S; want key:v1:v2:..." meta))
     [ base ] metas
 
+(* ---- model checking (--check / --check-replay) ---- *)
+
+let trace_filename name =
+  String.map (fun c -> if c = '/' then '_' else c) name ^ ".trace"
+
+(* Run the scenario suite (or one scenario) under bounded systematic
+   exploration; shrink and optionally save any witness found.  Exit
+   status reflects expectation mismatches, so CI can gate on it. *)
+let run_check ~target ~bound ~budget ~out ~verbose =
+  let open Ibr_check in
+  let cases = Scenarios.cases () in
+  let selected =
+    if target = "all" then cases
+    else
+      match Scenarios.find target with
+      | Some c -> [ c ]
+      | None ->
+        failwith
+          (Printf.sprintf "unknown scenario %S; known:\n  %s" target
+             (String.concat "\n  "
+                (List.map
+                   (fun (c : Scenarios.case) -> c.scenario.Scenario.name)
+                   cases)))
+  in
+  (match out with
+   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+   | _ -> ());
+  let mismatches = ref 0 in
+  List.iter
+    (fun (c : Scenarios.case) ->
+       let name = c.scenario.Scenario.name in
+       let bound = Option.value bound ~default:c.bound in
+       let outcome = Check.check ~bound ~budget c.scenario in
+       Fmt.pr "%-32s %a@." name Check.pp_verdict outcome.verdict;
+       (match outcome.minimal with
+        | None -> ()
+        | Some (tr, stats) ->
+          Fmt.pr "  minimal witness: %d switches, %d steps (%d shrink replays)@."
+            (Trace.switches tr) (Trace.total_steps tr) stats.Shrink.replays;
+          if verbose then Fmt.pr "%a" Trace.pp tr;
+          (match out with
+           | None -> ()
+           | Some dir ->
+             let path = Filename.concat dir (trace_filename name) in
+             Trace.to_file path tr;
+             Fmt.pr "  witness written to %s@." path));
+       let ok =
+         match outcome.verdict, c.expect with
+         | Check.Certified _, Scenarios.Safe
+         | Check.Witness _, Scenarios.Faulty -> true
+         | (Check.Certified _ | Check.Witness _ | Check.Exhausted _), _ -> false
+       in
+       if not ok then begin
+         incr mismatches;
+         Fmt.pr "  EXPECTATION MISMATCH: expected %s@."
+           (match c.expect with
+            | Scenarios.Safe -> "no fault (certification)"
+            | Scenarios.Faulty -> "a fault witness")
+       end)
+    selected;
+  if !mismatches > 0 then begin
+    Fmt.epr "%d expectation mismatch(es)@." !mismatches;
+    exit 1
+  end
+
+(* Deterministically replay a checked-in trace file and report whether
+   the recorded fault reproduces. *)
+let run_replay ~path =
+  let open Ibr_check in
+  match Trace.of_file path with
+  | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+  | Ok tr ->
+    (match Scenarios.find tr.Trace.scenario with
+     | None ->
+       failwith (Printf.sprintf "%s: unknown scenario %S" path tr.Trace.scenario)
+     | Some c ->
+       let result = Engine.replay c.scenario tr in
+       (match result.Engine.failure with
+        | Some f ->
+          Fmt.pr "%s: reproduced: %s (%d dispatches, %d preemptions)@."
+            path f result.Engine.dispatches result.Engine.preemptions
+        | None ->
+          Fmt.epr "%s: trace did NOT reproduce a fault@." path;
+          exit 1))
+
 let list_menu () =
   Fmt.pr "rideables:@.";
   List.iter
@@ -176,6 +261,31 @@ let menu =
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chatty output.")
 
+let check =
+  Arg.(value & opt (some string) None
+       & info [ "check" ] ~docv:"SCENARIO|all"
+           ~doc:"Model-check a scenario (or the whole suite) by bounded                  systematic schedule exploration instead of benchmarking.")
+
+let check_bound =
+  Arg.(value & opt (some int) None
+       & info [ "check-bound" ] ~docv:"N"
+           ~doc:"Preemption bound for --check (default: per-scenario).")
+
+let check_budget =
+  Arg.(value & opt int 50_000
+       & info [ "check-budget" ] ~docv:"N"
+           ~doc:"Schedule budget for --check (default 50000).")
+
+let check_out =
+  Arg.(value & opt (some string) None
+       & info [ "check-out" ] ~docv:"DIR"
+           ~doc:"Write minimized witness traces for --check into DIR.")
+
+let check_replay =
+  Arg.(value & opt (some string) None
+       & info [ "check-replay" ] ~docv:"FILE"
+           ~doc:"Replay a recorded schedule trace and verify the fault                  reproduces.")
+
 let metas =
   Arg.(value & opt_all string []
        & info [ "meta" ] ~docv:"KEY:V1:V2:..."
@@ -186,23 +296,31 @@ let cmd =
   let term =
     Term.(
       const (fun menu_flag rideable tracker threads interval mix cores seed
-              backend empty_freq epoch_freq key_range output verbose metas ->
+              backend empty_freq epoch_freq key_range output verbose metas
+              check check_bound check_budget check_out check_replay ->
           if menu_flag then list_menu ()
           else
             try
-              List.iter
-                (fun (rideable, tracker, threads, interval, mix) ->
-                   run_one ~rideable ~tracker ~threads ~interval ~mix ~cores
-                     ~seed ~backend ~empty_freq ~epoch_freq ~key_range
-                     ~output ~verbose)
-                (expand_metas metas (rideable, tracker, threads, interval, mix))
+              match check, check_replay with
+              | Some target, _ ->
+                run_check ~target ~bound:check_bound ~budget:check_budget
+                  ~out:check_out ~verbose
+              | None, Some path -> run_replay ~path
+              | None, None ->
+                List.iter
+                  (fun (rideable, tracker, threads, interval, mix) ->
+                     run_one ~rideable ~tracker ~threads ~interval ~mix ~cores
+                       ~seed ~backend ~empty_freq ~epoch_freq ~key_range
+                       ~output ~verbose)
+                  (expand_metas metas
+                     (rideable, tracker, threads, interval, mix))
             with
             | Failure msg | Invalid_argument msg ->
               Fmt.epr "error: %s@." msg;
               Stdlib.exit 1)
       $ menu $ rideable $ tracker $ threads $ interval $ mix $ cores $ seed
       $ backend $ empty_freq $ epoch_freq $ key_range $ output $ verbose
-      $ metas)
+      $ metas $ check $ check_bound $ check_budget $ check_out $ check_replay)
   in
   Cmd.v (Cmd.info "ibr-bench" ~doc) term
 

@@ -1,0 +1,29 @@
+(* A model-checkable concurrency scenario: a small, fixed choreography
+   of 2–4 threads over shared state, re-runnable from scratch once per
+   explored schedule.
+
+   [make] must build *fresh* shared state (tracker instance, pointers,
+   handles) on every call — the explorer runs it thousands of times —
+   and is called outside the simulator, so any primitive it touches is
+   uncharged and adds no decision points.  Only the steps performed
+   inside [bodies] (under the scheduler's hooks) are scheduled.
+
+   Faults from [Fault] (UAF, double free/retire) are detected by the
+   driver; [finish] covers properties the fault checker cannot see
+   (e.g. a linearizability or invariant check over recorded history):
+   return [Some msg] to fail the schedule. *)
+
+type instance = {
+  bodies : (int -> unit) array;   (* thread bodies, index = tid *)
+  finish : unit -> string option; (* post-run property check *)
+}
+
+type t = {
+  name : string;
+  threads : int;
+  make : unit -> instance;
+}
+
+let v ~name ~threads make =
+  if threads < 1 then invalid_arg "Scenario.v: threads must be >= 1";
+  { name; threads; make }

@@ -1,0 +1,23 @@
+(** A model-checkable concurrency scenario: a small fixed choreography
+    of 2–4 threads, re-runnable from scratch once per explored
+    schedule. *)
+
+type instance = {
+  bodies : (int -> unit) array;
+  (** Thread bodies, index = tid.  Must equal [threads] in length. *)
+
+  finish : unit -> string option;
+  (** Post-run property check for faults the memory checker cannot
+      see; [Some msg] fails the schedule. *)
+}
+
+type t = {
+  name : string;
+  threads : int;
+  make : unit -> instance;
+  (** Builds {e fresh} shared state; called once per explored
+      schedule, outside the simulator (its own steps are uncharged and
+      add no decision points). *)
+}
+
+val v : name:string -> threads:int -> (unit -> instance) -> t

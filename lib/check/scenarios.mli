@@ -1,0 +1,31 @@
+(** The checked scenario suite: reclamation-race choreographies
+    instantiable for any registered tracker. *)
+
+val reader_writer : Ibr_core.Registry.entry -> Scenario.t
+(** Two threads: a reader holding a guarded root read against a writer
+    that publishes, detaches, retires and reclaims the block.  The
+    Fig. 6 shape — [Two_ge_unfenced]'s use-after-free window lives
+    here (3 preemptions). *)
+
+val advance_race : Ibr_core.Registry.entry -> Scenario.t
+(** Three threads: an un-quiesced reader, a retirer, and a second
+    epoch advancer.  The QSBR grace-period-skip shape (DESIGN.md
+    §5a.3) — [Qsbr.Noncas]'s use-after-free lives here
+    (2 preemptions). *)
+
+type expectation = Safe | Faulty
+
+type case = {
+  scenario : Scenario.t;
+  expect : expectation;
+  bound : int;  (** preemption bound the expectation is checked at *)
+}
+
+val cases : unit -> case list
+(** The full suite: [reader_writer] for every correct tracker (Safe)
+    and for the oracles, [advance_race] for the QSBR-shaped trackers.
+    Expectations are what {!Check.explore} must conclude within each
+    case's bound. *)
+
+val find : string -> case option
+(** Look a case up by its scenario name (e.g. for trace replay). *)

@@ -1,0 +1,150 @@
+(* Delta-debugging minimizer for failing schedules.
+
+   A raw witness from the explorer transcribes the entire run — every
+   dispatch, including everything after the fault fired and every
+   free switch across a thread's death.  The replayer's trailing
+   default (continue current; on death, lowest runnable tid) means
+   most of that is redundant: what actually matters is the handful of
+   preemptions that line the race window up.  Minimizing is therefore
+   (a) deleting segments — each deletion removes a switch, letting the
+   default schedule absorb the steps — and (b) shortening the segments
+   that remain.
+
+   The result is *locally minimal*: the fault survives the shrunk
+   trace, but not the removal of any single segment nor the shortening
+   of any single segment by one step.  Each pass replays the candidate
+   trace from scratch, so the guarantee is with respect to real
+   executions, not a model of them.  Both loops run to a joint
+   fixpoint (a shorter segment can make a neighbour deletable and vice
+   versa); every accepted candidate still faults, so the procedure
+   never loses the bug. *)
+
+type stats = {
+  replays : int;      (* candidate executions performed *)
+  kept_failure : string; (* failure of the final minimal trace *)
+}
+
+let still_fails scenario ~replays segments =
+  incr replays;
+  let trace =
+    Trace.v ~scenario:scenario.Scenario.name
+      ~threads:scenario.Scenario.threads segments
+  in
+  (Engine.replay scenario trace).failure <> None
+
+(* One pass of single-segment deletion, restarting after each
+   success so earlier deletions can enable later ones. *)
+let drop_segments scenario ~replays segments =
+  let rec go segments =
+    let rec try_at before after =
+      match after with
+      | [] -> None
+      | s :: rest ->
+        let candidate = List.rev_append before rest in
+        if candidate <> [] && still_fails scenario ~replays candidate then
+          Some candidate
+        else try_at (s :: before) rest
+    in
+    match try_at [] segments with
+    | Some shorter -> go shorter
+    | None -> segments
+  in
+  go segments
+
+(* Shorten each segment as far as the fault allows: first try
+   collapsing to a single step, then walk down one step at a time
+   (the final accepted length L is pinned by a failing L-1 replay, so
+   the local-minimality guarantee is direct, not inferred from any
+   monotonicity assumption). *)
+let shorten_segments scenario ~replays segments =
+  let arr = Array.of_list segments in
+  let candidate () = Array.to_list arr in
+  let changed = ref false in
+  Array.iteri
+    (fun i (tid, steps) ->
+       if steps > 1 then begin
+         arr.(i) <- (tid, 1);
+         if still_fails scenario ~replays (candidate ()) then changed := true
+         else begin
+           arr.(i) <- (tid, steps);
+           let continue_ = ref true in
+           while !continue_ do
+             let _, cur = arr.(i) in
+             if cur <= 1 then continue_ := false
+             else begin
+               arr.(i) <- (tid, cur - 1);
+               if still_fails scenario ~replays (candidate ()) then
+                 changed := true
+               else begin
+                 arr.(i) <- (tid, cur);
+                 continue_ := false
+               end
+             end
+           done
+         end
+       end)
+    arr;
+  (candidate (), !changed)
+
+let minimize scenario (trace : Trace.t) =
+  let replays = ref 0 in
+  let segments =
+    List.map (fun s -> (s.Trace.tid, s.Trace.steps)) trace.Trace.segments in
+  if not (still_fails scenario ~replays segments) then
+    invalid_arg
+      (Printf.sprintf "Shrink.minimize: trace for %s does not fail"
+         scenario.Scenario.name);
+  let rec fixpoint segments =
+    let segments = drop_segments scenario ~replays segments in
+    let segments, changed = shorten_segments scenario ~replays segments in
+    if changed then fixpoint segments else segments
+  in
+  let segments = fixpoint segments in
+  let trace =
+    Trace.v ~scenario:scenario.Scenario.name
+      ~threads:scenario.Scenario.threads segments
+  in
+  let final = Engine.replay scenario trace in
+  let failure = Option.value ~default:"(vanished?)" final.failure in
+  (trace, { replays = !replays; kept_failure = failure })
+
+(* Structural check used by the property tests: is [shrunk] obtained
+   from [original] by deleting segments and reducing step counts
+   (order preserved)?  *)
+let is_sub_trace ~original ~shrunk =
+  let rec go os ss =
+    match ss, os with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | s :: ss', o :: os' ->
+      if s.Trace.tid = o.Trace.tid && s.Trace.steps <= o.Trace.steps then
+        go os' ss'
+      else go os' (s :: ss')
+  in
+  go original.Trace.segments shrunk.Trace.segments
+
+(* Local minimality, checked by brute force: every single-segment
+   deletion and every single-step shortening loses the fault. *)
+let locally_minimal scenario (trace : Trace.t) =
+  let replays = ref 0 in
+  let segments =
+    List.map (fun s -> (s.Trace.tid, s.Trace.steps)) trace.Trace.segments in
+  let n = List.length segments in
+  let without i = List.filteri (fun j _ -> j <> i) segments in
+  let shortened i =
+    List.mapi (fun j (tid, steps) -> if j = i then (tid, steps - 1) else (tid, steps))
+      segments
+  in
+  let deletions_fail =
+    List.for_all
+      (fun i ->
+         let c = without i in
+         c = [] || not (still_fails scenario ~replays c))
+      (List.init n Fun.id)
+  in
+  deletions_fail
+  && List.for_all
+       (fun i ->
+          let tid_steps = List.nth segments i in
+          snd tid_steps <= 1 || not (still_fails scenario ~replays (shortened i)))
+       (List.init n Fun.id)

@@ -1,0 +1,30 @@
+(** Delta-debugging minimizer for failing schedules.
+
+    Shrinking alternates two greedy passes to a joint fixpoint:
+    deleting whole segments (each deletion removes a context switch;
+    the replayer's non-preemptive default absorbs the steps) and
+    shortening surviving segments one step at a time.  Every candidate
+    is validated by a fresh replay, so the fault is never lost and the
+    result is locally minimal with respect to real executions: no
+    single segment deletion nor single-step shortening preserves the
+    fault. *)
+
+type stats = {
+  replays : int;          (** candidate executions performed *)
+  kept_failure : string;  (** failure reported by the minimal trace *)
+}
+
+val minimize : Scenario.t -> Trace.t -> Trace.t * stats
+(** [minimize scenario trace] shrinks a failing trace to a locally
+    minimal one that still fails.
+    @raise Invalid_argument if [trace] does not fail on [scenario]. *)
+
+val is_sub_trace : original:Trace.t -> shrunk:Trace.t -> bool
+(** Structural check: [shrunk]'s segments are an order-preserving
+    subsequence of [original]'s with pointwise smaller-or-equal step
+    counts.  Holds for every [minimize] output. *)
+
+val locally_minimal : Scenario.t -> Trace.t -> bool
+(** Brute-force check that no single segment deletion and no
+    single-step shortening of [trace] preserves the fault.  Used by
+    the property tests; replays O(segments × max steps) schedules. *)

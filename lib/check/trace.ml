@@ -1,0 +1,118 @@
+(* A serialized schedule: the replayable artifact of a model-checking
+   run.
+
+   A trace is a list of segments [(tid, steps)]: dispatch thread [tid]
+   for [steps] single-primitive quanta, then move to the next segment.
+   Replay semantics (implemented by [Engine.decider_of_trace]) make
+   the format robust to minor drift: a segment whose thread is
+   finished is skipped, and once the segments run out the scheduler
+   falls back to the non-preemptive default (keep running the current
+   thread; on its death, the lowest-tid runnable one).  A minimal
+   witness is therefore just the few preemptions that matter, not a
+   transcript of the whole run.
+
+   The text form is line-based so witnesses diff well and can be
+   checked into the repository:
+
+       # ibr-check trace v1
+       scenario read-vs-reclaim:2GEIBR-unfenced
+       threads 2
+       seg 0 4
+       seg 1 11
+       ...
+
+   Blank lines and [#] comments are ignored on input; [to_string]
+   emits the canonical form above. *)
+
+type segment = { tid : int; steps : int }
+
+type t = {
+  scenario : string;  (* scenario id the trace belongs to *)
+  threads : int;      (* thread count, for validation at replay time *)
+  segments : segment list;
+}
+
+let v ~scenario ~threads segments =
+  { scenario; threads; segments = List.map (fun (tid, steps) -> { tid; steps }) segments }
+
+let equal a b =
+  a.scenario = b.scenario && a.threads = b.threads
+  && List.length a.segments = List.length b.segments
+  && List.for_all2 (fun x y -> x.tid = y.tid && x.steps = y.steps)
+       a.segments b.segments
+
+let switches t = max 0 (List.length t.segments - 1)
+
+let total_steps t =
+  List.fold_left (fun acc s -> acc + s.steps) 0 t.segments
+
+let header = "# ibr-check trace v1"
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "scenario %s\n" t.scenario);
+  Buffer.add_string buf (Printf.sprintf "threads %d\n" t.threads);
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "seg %d %d\n" s.tid s.steps))
+    t.segments;
+  Buffer.contents buf
+
+let of_string text =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let scenario = ref None and threads = ref None and segs = ref [] in
+  let parse_line ln =
+    match String.split_on_char ' ' ln |> List.filter (fun s -> s <> "") with
+    | [ "scenario"; name ] ->
+      if !scenario <> None then err "duplicate scenario line"
+      else begin scenario := Some name; Ok () end
+    | [ "threads"; n ] ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> threads := Some n; Ok ()
+       | _ -> err "bad threads count %S" n)
+    | [ "seg"; tid; steps ] ->
+      (match int_of_string_opt tid, int_of_string_opt steps with
+       | Some tid, Some steps when tid >= 0 && steps >= 1 ->
+         segs := { tid; steps } :: !segs;
+         Ok ()
+       | _ -> err "bad segment %S" ln)
+    | _ -> err "unrecognized trace line %S" ln
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | ln :: rest -> (match parse_line ln with Ok () -> go rest | Error _ as e -> e)
+  in
+  match go lines with
+  | Error _ as e -> e
+  | Ok () ->
+    (match !scenario, !threads with
+     | None, _ -> err "missing scenario line"
+     | _, None -> err "missing threads line"
+     | Some scenario, Some threads ->
+       let segments = List.rev !segs in
+       if List.exists (fun s -> s.tid >= threads) segments then
+         err "segment tid out of range (threads %d)" threads
+       else Ok { scenario; threads; segments })
+
+let of_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      of_string (really_input_string ic (in_channel_length ic)))
+
+let to_file path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+    output_string oc (to_string t))
+
+let pp ppf t =
+  Fmt.pf ppf "%s[%a]" t.scenario
+    (Fmt.list ~sep:(Fmt.any " ") (fun ppf s -> Fmt.pf ppf "%d:%d" s.tid s.steps))
+    t.segments

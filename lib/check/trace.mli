@@ -1,0 +1,41 @@
+(** Serializable schedule traces — the replayable artifacts of a
+    model-checking run.
+
+    A trace is a list of [(tid, steps)] segments: dispatch [tid] for
+    [steps] single-primitive quanta, then switch.  Replay is robust to
+    drift (segments naming finished threads are skipped; exhausted
+    traces fall back to the non-preemptive default schedule), so a
+    minimal witness records only the preemptions that matter.  The
+    text form is line-based and diff-friendly; witnesses are checked
+    into [test/traces/]. *)
+
+type segment = { tid : int; steps : int }
+
+type t = {
+  scenario : string;       (** scenario id the trace belongs to *)
+  threads : int;           (** thread count, validated at replay *)
+  segments : segment list;
+}
+
+val v : scenario:string -> threads:int -> (int * int) list -> t
+(** [v ~scenario ~threads segs] builds a trace from [(tid, steps)]
+    pairs. *)
+
+val equal : t -> t -> bool
+
+val switches : t -> int
+(** Number of segment boundaries — an upper bound on preemptions
+    (switches onto a finished thread's successor are free). *)
+
+val total_steps : t -> int
+
+val to_string : t -> string
+(** Canonical text form; round-trips through {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parse the text form.  Blank lines and [#] comments are ignored. *)
+
+val of_file : string -> (t, string) result
+val to_file : string -> t -> unit
+
+val pp : t Fmt.t

@@ -13,118 +13,157 @@
 
    Like EBR it has zero per-read overhead; like EBR it is not robust —
    one thread that stops announcing quiescent states freezes the
-   epoch and pins all future retirements. *)
+   epoch and pins all future retirements.
 
-let name = "QSBR"
+   The epoch advance MUST be a conditional e -> e+1 CAS: two racing
+   advancers that both increment unconditionally skip a grace period
+   and free blocks whose readers have not quiesced (DESIGN.md §5a.3).
+   The functor below keeps both advance policies so the buggy variant
+   survives as a checked, model-checkable oracle ([Noncas]) alongside
+   the sound scheme. *)
 
-let props = {
-  Tracker_intf.robust = false;
-  needs_unreserve = false;
-  mutable_pointers = true;
-  bounded_slots = false;
-  pointer_tag_words = 0;
-  fence_per_read = false;
-  summary =
-    "RCU-style quiescent states at op end; zero read overhead, epoch \
-     frozen by any non-quiescing thread";
-}
+module type ADVANCE = sig
+  val name : string
+  val summary : string
 
-type 'a t = {
-  epoch : Epoch.t;
-  (* Last epoch each thread has passed a quiescent state in. *)
-  quiescent : int Atomic.t array;
-  alloc : 'a Alloc.t;
-  cfg : Tracker_intf.config;
-  threads : int;
-}
+  val advance : Epoch.t -> expected:int -> unit
+  (* Advance the epoch, all-quiescent-in-[expected] already checked. *)
+end
 
-type 'a handle = {
-  t : 'a t;
-  tid : int;
-  mutable retire_counter : int;
-  retired : 'a Tracker_common.Retired.t;
-}
+module Make (A : ADVANCE) = struct
+  let name = A.name
 
-type 'a ptr = 'a Plain_ptr.t
+  let props = {
+    Tracker_intf.robust = false;
+    needs_unreserve = false;
+    mutable_pointers = true;
+    bounded_slots = false;
+    pointer_tag_words = 0;
+    fence_per_read = false;
+    summary = A.summary;
+  }
 
-let create ~threads (cfg : Tracker_intf.config) = {
-  epoch = Epoch.create ();
-  (* Initially every thread is quiescent in epoch 1. *)
-  quiescent = Array.init threads (fun _ -> Atomic.make 1);
-  alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
-  cfg;
-  threads;
-}
+  type 'a t = {
+    epoch : Epoch.t;
+    (* Last epoch each thread has passed a quiescent state in. *)
+    quiescent : int Atomic.t array;
+    alloc : 'a Alloc.t;
+    cfg : Tracker_intf.config;
+    threads : int;
+  }
 
-let register t ~tid =
-  { t; tid; retire_counter = 0; retired = Tracker_common.Retired.create () }
+  type 'a handle = {
+    t : 'a t;
+    tid : int;
+    mutable retire_counter : int;
+    retired : 'a Tracker_common.Retired.t;
+  }
 
-let alloc h payload =
-  let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
-  Block.set_birth_epoch b (Epoch.peek h.t.epoch);
-  b
+  type 'a ptr = 'a Plain_ptr.t
 
-let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
+  let create ~threads (cfg : Tracker_intf.config) = {
+    epoch = Epoch.create ();
+    (* Initially every thread is quiescent in epoch 1. *)
+    quiescent = Array.init threads (fun _ -> Atomic.make 1);
+    alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
+    cfg;
+    threads;
+  }
 
-(* Advance the global epoch if every thread has quiesced in it. *)
-let try_advance h =
-  let e = Epoch.read h.t.epoch in
-  let all_quiescent =
-    Array.for_all
-      (fun slot ->
-         Prim.charge_scan ();
-         Atomic.get slot >= e)
-      h.t.quiescent
-  in
-  (* Strictly e -> e+1: racing unconditional increments would skip a
-     grace period and free blocks whose readers have not quiesced. *)
-  if all_quiescent then ignore (Epoch.advance_cas h.t.epoch ~expected:e)
+  let register t ~tid =
+    { t; tid; retire_counter = 0; retired = Tracker_common.Retired.create () }
 
-(* retire_epoch > e - 2, i.e. the two-grace-period threshold. *)
-let empty h =
-  let e = Epoch.read h.t.epoch in
-  Tracker_common.Retired.sweep h.retired
-    ~conflict:(Tracker_common.Conflict.pred
-                 (Tracker_common.Conflict.Threshold (e - 1)))
-    ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
+  let alloc h payload =
+    let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
+    Block.set_birth_epoch b (Epoch.peek h.t.epoch);
+    b
 
-let retire h b =
-  Block.transition_retire b;
-  Block.set_retire_epoch b (Epoch.read h.t.epoch);
-  Tracker_common.Retired.add h.retired b;
-  h.retire_counter <- h.retire_counter + 1;
-  if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
-  then begin
+  let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
+
+  (* Advance the global epoch if every thread has quiesced in it. *)
+  let try_advance h =
+    let e = Epoch.read h.t.epoch in
+    let all_quiescent =
+      Array.for_all
+        (fun slot ->
+           Prim.charge_scan ();
+           Atomic.get slot >= e)
+        h.t.quiescent
+    in
+    if all_quiescent then A.advance h.t.epoch ~expected:e
+
+  (* retire_epoch > e - 2, i.e. the two-grace-period threshold. *)
+  let empty h =
+    let e = Epoch.read h.t.epoch in
+    Tracker_common.Retired.sweep h.retired
+      ~conflict:(Tracker_common.Conflict.pred
+                   (Tracker_common.Conflict.Threshold (e - 1)))
+      ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
+
+  let retire h b =
+    Block.transition_retire b;
+    Block.set_retire_epoch b (Epoch.read h.t.epoch);
+    Tracker_common.Retired.add h.retired b;
+    h.retire_counter <- h.retire_counter + 1;
+    if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
+    then begin
+      try_advance h;
+      empty h
+    end
+
+  let start_op _ = ()
+
+  (* The quiescent state: no references held from here on. *)
+  let end_op h =
+    let e = Epoch.read h.t.epoch in
+    Prim.write h.t.quiescent.(h.tid) e
+
+  let make_ptr _ ?tag target = Plain_ptr.make ?tag target
+  let read _ ~slot:_ p = Plain_ptr.read p
+  let read_root h p = read h ~slot:0 p
+  let write _ p ?tag target = Plain_ptr.write p ?tag target
+  let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
+  let unreserve _ ~slot:_ = ()
+  let reassign _ ~src:_ ~dst:_ = ()
+
+  let retired_count h = Tracker_common.Retired.count h.retired
+
+  (* The caller of force_empty is between operations, i.e. quiescent:
+     announce that, then drive up to two grace periods so that blocks
+     whose other readers have all quiesced become reclaimable. *)
+  let force_empty h =
+    end_op h;
+    try_advance h;
+    end_op h;
     try_advance h;
     empty h
-  end
 
-let start_op _ = ()
+  let allocator t = t.alloc
+  let epoch_value t = Epoch.peek t.epoch
+end
 
-(* The quiescent state: no references held from here on. *)
-let end_op h =
-  let e = Epoch.read h.t.epoch in
-  Prim.write h.t.quiescent.(h.tid) e
+(* The sound scheme: strictly e -> e+1 by CAS, so racing advancers
+   collapse into one grace period. *)
+include Make (struct
+    let name = "QSBR"
+    let summary =
+      "RCU-style quiescent states at op end; zero read overhead, epoch \
+       frozen by any non-quiescing thread"
+    let advance epoch ~expected =
+      ignore (Epoch.advance_cas epoch ~expected)
+  end)
 
-let make_ptr _ ?tag target = Plain_ptr.make ?tag target
-let read _ ~slot:_ p = Plain_ptr.read p
-let read_root h p = read h ~slot:0 p
-let write _ p ?tag target = Plain_ptr.write p ?tag target
-let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
-let unreserve _ ~slot:_ = ()
-let reassign _ ~src:_ ~dst:_ = ()
-
-let retired_count h = Tracker_common.Retired.count h.retired
-
-(* The caller of force_empty is between operations, i.e. quiescent:
-   announce that, then drive up to two grace periods so that blocks
-   whose other readers have all quiesced become reclaimable. *)
-let force_empty h =
-  end_op h;
-  try_advance h;
-  end_op h;
-  try_advance h;
-  empty h
-
-let allocator t = t.alloc
-let epoch_value t = Epoch.peek t.epoch
+(* The grace-period-skip oracle of DESIGN.md §5a.3: an unconditional
+   increment lets two advancers that both validated against the same
+   epoch move it twice, freeing blocks a non-quiescent reader still
+   holds.  Demonstration only — [Ibr_check] finds the use-after-free
+   as a minimal schedule witness. *)
+module Noncas = struct
+  include Make (struct
+      let name = "QSBR-noncas"
+      let summary =
+        "UNSOUND QSBR advance: unconditional increment lets racing \
+         advancers skip a grace period; kept as a demonstration oracle"
+      let advance epoch ~expected:_ = Epoch.advance epoch
+    end)
+end

@@ -1,4 +1,4 @@
-(** Quiescent-state-based reclamation (RCU-style; paper Â§2.2):
+(** Quiescent-state-based reclamation (RCU-style; paper §2.2):
     threads announce quiescent states at operation end; a block is
     reclaimed two grace periods after retirement.  Zero read overhead;
     not robust.
@@ -6,3 +6,10 @@
     Sealed to the common memory-manager signature of Fig. 1. *)
 
 include Tracker_intf.TRACKER
+
+module Noncas : Tracker_intf.TRACKER
+(** The grace-period-skip oracle (DESIGN.md §5a.3): identical to QSBR
+    except the epoch advance is an unconditional increment, so two
+    racing advancers that validated against the same epoch skip a
+    grace period.  Demonstration only — the bounded model checker
+    produces its use-after-free as a minimal schedule witness. *)

@@ -23,6 +23,7 @@ let qsbr = pack (module Qsbr)
 let fraser_ebr = pack (module Fraser_ebr)
 let unsafe_free = pack (module Unsafe_free)
 let two_ge_unfenced = pack (module Two_ge_unfenced)
+let qsbr_noncas = pack (module Qsbr.Noncas)
 
 (* Every correct scheme. *)
 let all = [
@@ -32,7 +33,7 @@ let all = [
 
 (* Demonstration oracles: deliberately broken schemes used to prove
    the fault checker works.  Not in [all]. *)
-let oracles = [ unsafe_free; two_ge_unfenced ]
+let oracles = [ unsafe_free; two_ge_unfenced; qsbr_noncas ]
 
 (* The lineup measured in Fig. 8–10 (TagIBR-TPA is described but not
    plotted in the paper; we include it in our extended runs). *)

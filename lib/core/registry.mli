@@ -26,6 +26,10 @@ val unsafe_free : entry
 val two_ge_unfenced : entry
 (** The literal (unsound) Fig. 6 read ordering; demonstration only. *)
 
+val qsbr_noncas : entry
+(** QSBR with an unconditional (non-CAS) epoch advance — the
+    grace-period-skip bug of DESIGN.md §5a.3; demonstration only. *)
+
 val oracles : entry list
 (** The deliberately broken demonstration schemes. *)
 

@@ -68,6 +68,16 @@ let test_config ?(cores = 4) ?(seed = 42) () = {
 
 type status = Done | Yielded
 
+(* Pluggable decision source (model checking / replay).  When
+   installed, each dispatch choice — which runnable thread receives
+   the next quantum — is taken from the decider instead of the
+   earliest-ready policy, turning the scheduler into an enumerable
+   branching point: with [quantum = 1] and [perform_threshold = 1]
+   every shared-memory primitive is one decision.  Injected stalls are
+   subsumed (a decider that withholds a thread has stalled it), so
+   strategies need no separate stall hook. *)
+type decider = runnable:int array -> current:int -> int
+
 type fiber =
   | Not_started of (int -> unit)
   | Paused of (unit, status) Effect.Deep.continuation
@@ -97,13 +107,20 @@ type t = {
      reorder across cores; this cannot).  Used to timestamp
      linearizability histories. *)
   mutable gseq : int;
+  mutable decider : decider option;
+  mutable last_tid : int; (* last dispatched tid; -1 before the first *)
 }
 
 let create cfg =
   if cfg.cores < 1 then invalid_arg "Sched.create: cores must be >= 1";
   if cfg.quantum < 1 then invalid_arg "Sched.create: quantum must be >= 1";
   { cfg; threads = []; n_threads = 0; rng = Rng.create cfg.seed;
-    running = None; makespan = 0; ran = false; gseq = 0 }
+    running = None; makespan = 0; ran = false; gseq = 0;
+    decider = None; last_tid = -1 }
+
+let set_decider t d =
+  if t.ran then invalid_arg "Sched.set_decider: scheduler already ran";
+  t.decider <- Some d
 
 let spawn t body =
   if t.ran then invalid_arg "Sched.spawn: scheduler already ran";
@@ -206,17 +223,38 @@ let run ?(horizon = max_int) t =
   Hooks.with_handler hooks (fun () ->
     let continue_loop = ref true in
     while !continue_loop do
-      (* Earliest-ready runnable thread; ties by tid. *)
-      let best = ref None in
-      Array.iter (fun th ->
-        if runnable th then
-          match !best with
-          | None -> best := Some th
-          | Some b -> if th.ready_at < b.ready_at then best := Some th)
-        threads;
-      match !best with
+      let best =
+        match t.decider with
+        | None ->
+          (* Earliest-ready runnable thread; ties by tid. *)
+          let best = ref None in
+          Array.iter (fun th ->
+            if runnable th then
+              match !best with
+              | None -> best := Some th
+              | Some b -> if th.ready_at < b.ready_at then best := Some th)
+            threads;
+          !best
+        | Some decide ->
+          (* Candidate tids in ascending order ([threads] is sorted). *)
+          let tids =
+            Array.to_list threads
+            |> List.filter_map (fun th ->
+                 if runnable th then Some th.tid else None)
+            |> Array.of_list
+          in
+          if Array.length tids = 0 then None
+          else begin
+            let tid = decide ~runnable:tids ~current:t.last_tid in
+            if not (Array.exists (Int.equal tid) tids) then
+              invalid_arg "Sched: decider chose a non-runnable thread";
+            Some threads.(tid)
+          end
+      in
+      match best with
       | None -> continue_loop := false
       | Some th ->
+        t.last_tid <- th.tid;
         (* Earliest-free core; ties by index. *)
         let core = ref 0 in
         for i = 1 to Array.length cores - 1 do

@@ -40,7 +40,24 @@ val test_config : ?cores:int -> ?seed:int -> unit -> config
 
 type t
 
+type decider = runnable:int array -> current:int -> int
+(** A pluggable dispatch decision source (model checking / replay).
+    Called at every dispatch point with the tids of the runnable
+    threads in ascending order (never empty) and the tid of the
+    previously dispatched thread ([-1] before the first dispatch);
+    must return a member of [runnable].  With [quantum = 1] and
+    [perform_threshold = 1] every shared-memory primitive becomes one
+    decision point, which is how {!Ibr_check} enumerates
+    interleavings.  Injected stalls are subsumed: a decider that
+    withholds a thread has stalled it. *)
+
 val create : config -> t
+
+val set_decider : t -> decider -> unit
+(** Install a decision source; subsequent dispatch choices (and quota
+    of injected stall points) come from it instead of the
+    earliest-ready policy and the PRNG.  Must be called before
+    {!run}. *)
 
 val spawn : t -> (int -> unit) -> int
 (** [spawn t body] registers a thread; [body tid] runs when the

@@ -25,6 +25,10 @@ let run_domains (e : Registry.entry) ds_name () =
     Alcotest.(check bool) "freed <= allocated" true
       (r.alloc.freed <= r.alloc.allocated)
 
+(* Every rideable crossed with a tracker lineup that covers each
+   reservation style: epoch (EBR, Fraser-EBR, QSBR), pointer (HP, HE)
+   and interval (POIBR, TagIBR, TagIBR-WCAS, 2GEIBR).  Pairings the
+   registry rejects as incompatible are skipped inside [run_domains]. *)
 let cases =
   List.concat_map
     (fun ds ->
@@ -33,8 +37,9 @@ let cases =
             Alcotest.test_case
               (Printf.sprintf "domains %s/%s" ds e.name)
               `Slow (run_domains e ds))
-         [ Registry.ebr; Registry.hp; Registry.he; Registry.tag_ibr;
+         [ Registry.ebr; Registry.fraser_ebr; Registry.qsbr; Registry.hp;
+           Registry.he; Registry.po_ibr; Registry.tag_ibr;
            Registry.tag_ibr_wcas; Registry.two_ge_ibr ])
-    [ "hashmap"; "nmtree" ]
+    [ "list"; "hashmap"; "nmtree"; "bonsai" ]
 
 let suite = cases

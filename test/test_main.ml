@@ -13,6 +13,7 @@ let () =
       ("stack", Test_stack.suite);
       ("safety", Test_safety.suite);
       ("unsound", Test_unsound.suite);
+      ("check", Test_check.suite);
       ("linearizability", Test_linearizability.suite);
       ("harness", Test_harness.suite);
       ("domains", Test_domains.suite);
