@@ -208,6 +208,18 @@ let run_bechamel () =
     | _ -> Fmt.pr "%-32s %14s@." name "-");
   Fmt.pr "@."
 
+(* Ablation: retirement backends (DESIGN.md §4).  Same seeded workload
+   under List / Buckets / Gated; prints the telemetry table plus the
+   CSV rows so CI can archive them. *)
+let run_retire_ablation ?(threads_list = [ 16; 32; 48 ]) () =
+  let rows =
+    Ibr_harness.Experiment.retire_backend_sweep ~threads_list () in
+  Fmt.pr "== ablation:retire (backends on hashmap) ==@.%s@."
+    (Ibr_harness.Experiment.retire_backend_table rows);
+  Fmt.pr "csv:@.%s@." Ibr_harness.Stats.csv_header;
+  List.iter (fun r -> Fmt.pr "%s@." (Ibr_harness.Stats.to_csv_row r)) rows;
+  Fmt.pr "@."
+
 let run_figures () =
   let threads_list = Ibr_harness.Experiment.quick_threads in
   Fmt.pr "== Fig. 7: scheme tradeoffs ==@.%s@."
@@ -245,10 +257,17 @@ let run_figures () =
     (Ibr_harness.Chart.to_string (Ibr_harness.Experiment.fence_cost_sweep ()));
   print_string
     (Ibr_harness.Chart.to_string
-       (Ibr_harness.Experiment.tagibr_strategy_sweep ()))
+       (Ibr_harness.Experiment.tagibr_strategy_sweep ()));
+  run_retire_ablation ()
 
 let () =
   let skip_bechamel = Array.exists (( = ) "--figures-only") Sys.argv in
   let skip_figures = Array.exists (( = ) "--bechamel-only") Sys.argv in
-  if not skip_bechamel then run_bechamel ();
-  if not skip_figures then run_figures ()
+  let retire_only = Array.exists (( = ) "--retire-only") Sys.argv in
+  let retire_quick = Array.exists (( = ) "--retire-quick") Sys.argv in
+  if retire_quick then run_retire_ablation ~threads_list:[ 8; 16 ] ()
+  else if retire_only then run_retire_ablation ()
+  else begin
+    if not skip_bechamel then run_bechamel ();
+    if not skip_figures then run_figures ()
+  end

@@ -7,8 +7,18 @@
 
 open Cmdliner
 
-let run_one ~rideable ~tracker ~threads ~interval ~mix ~cores ~seed ~backend
-    ~empty_freq ~epoch_freq ~key_range ~output ~verbose =
+let parse_retire_backend s =
+  match Ibr_core.Reclaimer.backend_of_string s with
+  | Some b -> b
+  | None ->
+    failwith
+      (Printf.sprintf "unknown retire backend %S (%s)" s
+         (String.concat "|"
+            (List.map Ibr_core.Reclaimer.backend_name
+               Ibr_core.Reclaimer.all_backends)))
+
+let run_one ~rideable ~tracker ~threads ~interval ~mix ~retire ~cores ~seed
+    ~backend ~empty_freq ~epoch_freq ~key_range ~output ~verbose =
   let mix =
     match mix with
     | "write" -> Ibr_harness.Workload.write_dominated
@@ -22,6 +32,7 @@ let run_one ~rideable ~tracker ~threads ~interval ~mix ~cores ~seed ~backend
     | None -> base
   in
   let override_tracker_cfg (cfg : Ibr_core.Tracker_intf.config) =
+    let cfg = { cfg with retire_backend = parse_retire_backend retire } in
     let cfg =
       match empty_freq with Some k -> { cfg with empty_freq = k } | None -> cfg
     in
@@ -83,14 +94,15 @@ let expand_metas metas base =
     | Some n -> n
     | None -> failwith (Printf.sprintf "--meta %s wants integers, got %S" key v)
   in
-  let apply (r, d, t, i, m) (key, v) =
+  let apply (r, d, t, i, m, b) (key, v) =
     match key with
-    | "r" -> (v, d, t, i, m)
-    | "d" -> (r, v, t, i, m)
-    | "t" -> (r, d, int_of_meta key v, i, m)
-    | "i" -> (r, d, t, int_of_meta key v, m)
-    | "m" -> (r, d, t, i, v)
-    | k -> failwith (Printf.sprintf "unknown meta key %S (r,d,t,i,m)" k)
+    | "r" -> (v, d, t, i, m, b)
+    | "d" -> (r, v, t, i, m, b)
+    | "t" -> (r, d, int_of_meta key v, i, m, b)
+    | "i" -> (r, d, t, int_of_meta key v, m, b)
+    | "m" -> (r, d, t, i, v, b)
+    | "b" -> (r, d, t, i, m, v)
+    | k -> failwith (Printf.sprintf "unknown meta key %S (r,d,t,i,m,b)" k)
   in
   List.fold_left
     (fun configs meta ->
@@ -197,7 +209,11 @@ let list_menu () =
     (fun (e : Ibr_core.Registry.entry) ->
        let p = Ibr_core.Registry.props e in
        Fmt.pr "  %-12s %s@." e.name p.summary)
-    Ibr_core.Registry.all
+    Ibr_core.Registry.all;
+  Fmt.pr "retire backends:@.";
+  List.iter
+    (fun b -> Fmt.pr "  %s@." (Ibr_core.Reclaimer.backend_name b))
+    Ibr_core.Reclaimer.all_backends
 
 (* ---- cmdliner wiring ---- *)
 
@@ -224,6 +240,11 @@ let mix =
   Arg.(value & opt string "write"
        & info [ "m"; "mix" ] ~docv:"MIX"
            ~doc:"Workload mix: write (50/50 ins/rm) or read (90% gets).")
+
+let retire =
+  Arg.(value & opt string "list"
+       & info [ "b"; "retire-backend" ] ~docv:"B"
+           ~doc:"Retirement backend: list (flat oracle), buckets                  (epoch-bucketed limbo lists), or gated (buckets plus                  sweep gating).")
 
 let cores =
   Arg.(value & opt int 72
@@ -289,15 +310,15 @@ let check_replay =
 let metas =
   Arg.(value & opt_all string []
        & info [ "meta" ] ~docv:"KEY:V1:V2:..."
-           ~doc:"Cartesian sweep over r (rideable), d (tracker), t                  (threads), i (interval), m (mix); repeatable,                  parharness style.")
+           ~doc:"Cartesian sweep over r (rideable), d (tracker), t                  (threads), i (interval), m (mix), b (retire backend);                  repeatable, parharness style.")
 
 let cmd =
   let doc = "run one IBR microbenchmark configuration" in
   let term =
     Term.(
-      const (fun menu_flag rideable tracker threads interval mix cores seed
-              backend empty_freq epoch_freq key_range output verbose metas
-              check check_bound check_budget check_out check_replay ->
+      const (fun menu_flag rideable tracker threads interval mix retire cores
+              seed backend empty_freq epoch_freq key_range output verbose
+              metas check check_bound check_budget check_out check_replay ->
           if menu_flag then list_menu ()
           else
             try
@@ -308,19 +329,20 @@ let cmd =
               | None, Some path -> run_replay ~path
               | None, None ->
                 List.iter
-                  (fun (rideable, tracker, threads, interval, mix) ->
-                     run_one ~rideable ~tracker ~threads ~interval ~mix ~cores
-                       ~seed ~backend ~empty_freq ~epoch_freq ~key_range
-                       ~output ~verbose)
+                  (fun (rideable, tracker, threads, interval, mix, retire) ->
+                     run_one ~rideable ~tracker ~threads ~interval ~mix
+                       ~retire ~cores ~seed ~backend ~empty_freq ~epoch_freq
+                       ~key_range ~output ~verbose)
                   (expand_metas metas
-                     (rideable, tracker, threads, interval, mix))
+                     (rideable, tracker, threads, interval, mix, retire))
             with
             | Failure msg | Invalid_argument msg ->
               Fmt.epr "error: %s@." msg;
               Stdlib.exit 1)
-      $ menu $ rideable $ tracker $ threads $ interval $ mix $ cores $ seed
-      $ backend $ empty_freq $ epoch_freq $ key_range $ output $ verbose
-      $ metas $ check $ check_bound $ check_budget $ check_out $ check_replay)
+      $ menu $ rideable $ tracker $ threads $ interval $ mix $ retire $ cores
+      $ seed $ backend $ empty_freq $ epoch_freq $ key_range $ output
+      $ verbose $ metas $ check $ check_bound $ check_budget $ check_out
+      $ check_replay)
   in
   Cmd.v (Cmd.info "ibr-bench" ~doc) term
 

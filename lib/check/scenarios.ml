@@ -33,15 +33,24 @@ let deref v =
 (* reuse = false gives precise use-after-free detection; epoch_freq =
    1 makes the single allocation advance the epoch (opening the
    interval-coverage race); empty_freq large defers all reclamation to
-   the explicit [force_empty]. *)
-let cfg threads =
+   the explicit [force_empty].  The backend variants instead set
+   empty_freq = 1 so the retire itself sweeps — that is the only way
+   to drive the bucketed stores and the gate through their
+   mid-operation paths ([force_empty] bypasses the gate). *)
+let cfg ?(retire_backend = Reclaimer.List) ?(empty_freq = 1_000_000) threads =
   { (Tracker_intf.default_config ~threads ()) with
-    reuse = false; epoch_freq = 1; empty_freq = 1_000_000 }
+    reuse = false; epoch_freq = 1; empty_freq; retire_backend }
 
-let reader_writer (entry : Registry.entry) =
+let backend_suffix = function
+  | None -> ""
+  | Some b -> "@" ^ Reclaimer.backend_name b
+
+let reader_writer ?retire_backend ?empty_freq (entry : Registry.entry) =
   let module T = (val entry.tracker : Tracker_intf.TRACKER) in
-  Scenario.v ~name:("reader_writer/" ^ entry.name) ~threads:2 (fun () ->
-    let t = T.create ~threads:2 (cfg 2) in
+  Scenario.v
+    ~name:("reader_writer/" ^ entry.name ^ backend_suffix retire_backend)
+    ~threads:2 (fun () ->
+    let t = T.create ~threads:2 (cfg ?retire_backend ?empty_freq 2) in
     let h0 = T.register t ~tid:0 and h1 = T.register t ~tid:1 in
     let ptr = T.make_ptr t None in
     let reader _ =
@@ -101,11 +110,28 @@ type case = {
    separates sound from unsound".  [Qsbr.Noncas] is Safe under
    [reader_writer]: its bug needs two *racing* advancers, which that
    scenario does not contain — the suite demonstrates witness
-   specificity, not just witness existence. *)
+   specificity, not just witness existence.
+
+   The backend re-certification runs every sound tracker under the
+   Buckets and Gated retirement backends with empty_freq = 1, so the
+   retire-cadence sweep (bucket splitting, gate arming and skipping)
+   happens inside the explored schedules.  Bound 2 keeps the larger
+   step count (a sweep per retire) tractable while still admitting the
+   known witness shapes; [Unsafe_free] rides along Faulty to show the
+   fault detector sees through the new stores too. *)
 let cases () =
   let rw e expect bound = { scenario = reader_writer e; expect; bound } in
+  let rwb backend e expect bound =
+    { scenario = reader_writer ~retire_backend:backend ~empty_freq:1 e;
+      expect; bound }
+  in
   let ar e expect bound = { scenario = advance_race e; expect; bound } in
   List.map (fun e -> rw e Safe 3) Registry.all
+  @ List.concat_map
+      (fun backend ->
+         List.map (fun e -> rwb backend e Safe 2) Registry.all
+         @ [ rwb backend Registry.unsafe_free Faulty 3 ])
+      [ Reclaimer.Buckets; Reclaimer.Gated ]
   @ [
       rw Registry.unsafe_free Faulty 3;
       rw Registry.two_ge_unfenced Faulty 3;

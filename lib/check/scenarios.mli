@@ -1,11 +1,16 @@
 (** The checked scenario suite: reclamation-race choreographies
     instantiable for any registered tracker. *)
 
-val reader_writer : Ibr_core.Registry.entry -> Scenario.t
+val reader_writer :
+  ?retire_backend:Ibr_core.Reclaimer.backend -> ?empty_freq:int ->
+  Ibr_core.Registry.entry -> Scenario.t
 (** Two threads: a reader holding a guarded root read against a writer
     that publishes, detaches, retires and reclaims the block.  The
     Fig. 6 shape — [Two_ge_unfenced]'s use-after-free window lives
-    here (3 preemptions). *)
+    here (3 preemptions).  [retire_backend] (default [List]) selects
+    the retirement backend and suffixes the scenario name "@backend";
+    [empty_freq] (default effectively-never) sets the retire-cadence
+    sweep period — pass 1 to sweep inside the explored schedules. *)
 
 val advance_race : Ibr_core.Registry.entry -> Scenario.t
 (** Three threads: an un-quiesced reader, a retirer, and a second
@@ -23,9 +28,10 @@ type case = {
 
 val cases : unit -> case list
 (** The full suite: [reader_writer] for every correct tracker (Safe)
-    and for the oracles, [advance_race] for the QSBR-shaped trackers.
-    Expectations are what {!Check.explore} must conclude within each
-    case's bound. *)
+    and for the oracles, the same re-certified under the Buckets and
+    Gated retirement backends with per-retire sweeps, and
+    [advance_race] for the QSBR-shaped trackers.  Expectations are
+    what {!Check.explore} must conclude within each case's bound. *)
 
 val find : string -> case option
 (** Look a case up by its scenario name (e.g. for trace replay). *)

@@ -31,8 +31,7 @@ type 'a handle = {
   t : 'a t;
   tid : int;
   mutable alloc_counter : int;
-  mutable retire_counter : int;
-  retired : 'a Tracker_common.Retired.t;
+  rc : 'a Reclaimer.t;
 }
 
 type 'a ptr = 'a Plain_ptr.t
@@ -44,9 +43,22 @@ let create ~threads (cfg : Tracker_intf.config) = {
   cfg;
 }
 
+(* A single-threshold conflict: reclaim every block retired before the
+   oldest reservation (O(1) per block under any backend). *)
 let register t ~tid =
-  { t; tid; alloc_counter = 0; retire_counter = 0;
-    retired = Tracker_common.Retired.create () }
+  let rc =
+    Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+      ~empty_freq:t.cfg.Tracker_intf.empty_freq
+      ~current_epoch:(fun () -> Epoch.peek t.epoch)
+      ~source:(fun () ->
+        let reservations =
+          Tracker_common.snapshot_reservations t.reservations in
+        let max_safe = Array.fold_left min max_int reservations in
+        Reclaimer.Shape (Tracker_common.Conflict.Threshold max_safe))
+      ~free:(fun b -> Alloc.free t.alloc ~tid b)
+      ()
+  in
+  { t; tid; alloc_counter = 0; rc }
 
 let alloc h payload =
   (* Fig. 2 ties epoch advancement to retirement; we tie it to
@@ -61,23 +73,10 @@ let alloc h payload =
 
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
-(* Reclaim every block retired before the oldest reservation: a
-   single-threshold conflict, already O(1) per block. *)
-let empty h =
-  let reservations = Tracker_common.snapshot_reservations h.t.reservations in
-  let max_safe = Array.fold_left min max_int reservations in
-  Tracker_common.Retired.sweep h.retired
-    ~conflict:(Tracker_common.Conflict.pred
-                 (Tracker_common.Conflict.Threshold max_safe))
-    ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
-
 let retire h b =
   Block.transition_retire b;
   Block.set_retire_epoch b (Epoch.read h.t.epoch);
-  Tracker_common.Retired.add h.retired b;
-  h.retire_counter <- h.retire_counter + 1;
-  if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
-  then empty h
+  Reclaimer.add h.rc b
 
 let start_op h =
   let e = Epoch.read h.t.epoch in
@@ -93,7 +92,7 @@ let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
 let unreserve _ ~slot:_ = ()
 let reassign _ ~src:_ ~dst:_ = ()
 
-let retired_count h = Tracker_common.Retired.count h.retired
-let force_empty h = empty h
+let retired_count h = Reclaimer.count h.rc
+let force_empty h = Reclaimer.force h.rc
 let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch

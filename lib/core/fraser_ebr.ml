@@ -39,8 +39,7 @@ type 'a t = {
 type 'a handle = {
   t : 'a t;
   tid : int;
-  mutable retire_counter : int;
-  retired : 'a Tracker_common.Retired.t;
+  rc : 'a Reclaimer.t;
 }
 
 type 'a ptr = 'a Plain_ptr.t
@@ -52,8 +51,37 @@ let create ~threads (cfg : Tracker_intf.config) = {
   cfg;
 }
 
+(* Advance e -> e+1 iff every active thread has posted e (or later —
+   possible when it raced past us). *)
+let try_advance t =
+  let e = Epoch.read t.epoch in
+  let all_observed =
+    Array.for_all
+      (fun slot ->
+         Prim.charge_scan ();
+         let r = Atomic.get slot in
+         r = inactive || r >= e)
+      t.reservations
+  in
+  if all_observed then ignore (Epoch.advance_cas t.epoch ~expected:e)
+
+(* retire_epoch > e - 2, i.e. the two-epoch-lag threshold.  The
+   advance attempt is the reclaimer's [prepare] hook so it still runs
+   when the Gated backend skips the sweep itself — otherwise a closed
+   gate would freeze the epoch it is waiting on. *)
 let register t ~tid =
-  { t; tid; retire_counter = 0; retired = Tracker_common.Retired.create () }
+  let rc =
+    Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+      ~empty_freq:t.cfg.Tracker_intf.empty_freq
+      ~prepare:(fun () -> try_advance t)
+      ~current_epoch:(fun () -> Epoch.peek t.epoch)
+      ~source:(fun () ->
+        let e = Epoch.read t.epoch in
+        Reclaimer.Shape (Tracker_common.Conflict.Threshold (e - 1)))
+      ~free:(fun b -> Alloc.free t.alloc ~tid b)
+      ()
+  in
+  { t; tid; rc }
 
 let alloc h payload =
   let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
@@ -62,38 +90,10 @@ let alloc h payload =
 
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
-(* Advance e -> e+1 iff every active thread has posted e (or later —
-   possible when it raced past us). *)
-let try_advance h =
-  let e = Epoch.read h.t.epoch in
-  let all_observed =
-    Array.for_all
-      (fun slot ->
-         Prim.charge_scan ();
-         let r = Atomic.get slot in
-         r = inactive || r >= e)
-      h.t.reservations
-  in
-  if all_observed then ignore (Epoch.advance_cas h.t.epoch ~expected:e)
-
-(* retire_epoch > e - 2, i.e. the two-epoch-lag threshold. *)
-let empty h =
-  let e = Epoch.read h.t.epoch in
-  Tracker_common.Retired.sweep h.retired
-    ~conflict:(Tracker_common.Conflict.pred
-                 (Tracker_common.Conflict.Threshold (e - 1)))
-    ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
-
 let retire h b =
   Block.transition_retire b;
   Block.set_retire_epoch b (Epoch.read h.t.epoch);
-  Tracker_common.Retired.add h.retired b;
-  h.retire_counter <- h.retire_counter + 1;
-  if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
-  then begin
-    try_advance h;
-    empty h
-  end
+  Reclaimer.add h.rc b
 
 let start_op h =
   let e = Epoch.read h.t.epoch in
@@ -109,14 +109,14 @@ let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
 let unreserve _ ~slot:_ = ()
 let reassign _ ~src:_ ~dst:_ = ()
 
-let retired_count h = Tracker_common.Retired.count h.retired
+let retired_count h = Reclaimer.count h.rc
 
 (* Caller is between operations: help the epoch forward two steps so
    blocks retired before its last operation become reclaimable. *)
 let force_empty h =
-  try_advance h;
-  try_advance h;
-  empty h
+  try_advance h.t;
+  try_advance h.t;
+  Reclaimer.force h.rc
 
 let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch

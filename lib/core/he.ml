@@ -35,9 +35,8 @@ type 'a handle = {
   t : 'a t;
   tid : int;
   mutable alloc_counter : int;
-  mutable retire_counter : int;
   mutable hwm : int;
-  retired : 'a Tracker_common.Retired.t;
+  rc : 'a Reclaimer.t;
 }
 
 type 'a ptr = 'a Plain_ptr.t
@@ -51,9 +50,50 @@ let create ~threads (cfg : Tracker_intf.config) = {
   cfg;
 }
 
+(* A block survives if any reserved era intersects its lifetime.  The
+   era table is read once into a flat array, then digested into a
+   sorted snapshot so each block's test is a binary search rather than
+   a walk of every reserved era. *)
+let scan_eras t =
+  let threads = Array.length t.eras in
+  let slots = t.cfg.Tracker_intf.slots in
+  let eras = Array.make (threads * slots) no_era in
+  Array.iteri (fun i row ->
+    Array.iteri (fun j slot ->
+      Prim.charge_scan ();
+      eras.((i * slots) + j) <- Atomic.get slot)
+      row)
+    t.eras;
+  Tracker_common.Sweep_stats.note_snapshot ~entries:(threads * slots)
+    ~cycles:
+      (threads * slots * !Prim.costs.Ibr_runtime.Cost.scan_reservation);
+  eras
+
+let source_of_eras eras =
+  if !Tracker_common.legacy_sweep then begin
+    (* Oracle path: linear scan of the reserved eras per block. *)
+    let reserved =
+      Array.to_list eras |> List.filter (fun e -> e <> no_era) in
+    Reclaimer.Predicate
+      (fun b ->
+         List.exists
+           (fun e -> Block.birth_epoch b <= e && e <= Block.retire_epoch b)
+           reserved)
+  end else
+    Reclaimer.Shape
+      (Tracker_common.Conflict.Intervals
+         (Tracker_common.Sweep_snapshot.of_points ~none:no_era eras))
+
 let register t ~tid =
-  { t; tid; alloc_counter = 0; retire_counter = 0; hwm = -1;
-    retired = Tracker_common.Retired.create () }
+  let rc =
+    Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+      ~empty_freq:t.cfg.Tracker_intf.empty_freq
+      ~current_epoch:(fun () -> Epoch.peek t.epoch)
+      ~source:(fun () -> source_of_eras (scan_eras t))
+      ~free:(fun b -> Alloc.free t.alloc ~tid b)
+      ()
+  in
+  { t; tid; alloc_counter = 0; hwm = -1; rc }
 
 let alloc h payload =
   h.alloc_counter <- h.alloc_counter + 1;
@@ -65,51 +105,10 @@ let alloc h payload =
 
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
-(* A block survives if any reserved era intersects its lifetime.  The
-   era table is read once into a flat array, then digested into a
-   sorted snapshot so each block's test is a binary search rather than
-   a walk of every reserved era. *)
-let scan_eras h =
-  let threads = Array.length h.t.eras in
-  let slots = h.t.cfg.slots in
-  let eras = Array.make (threads * slots) no_era in
-  Array.iteri (fun i row ->
-    Array.iteri (fun j slot ->
-      Prim.charge_scan ();
-      eras.((i * slots) + j) <- Atomic.get slot)
-      row)
-    h.t.eras;
-  Tracker_common.Sweep_stats.note_snapshot ~entries:(threads * slots)
-    ~cycles:
-      (threads * slots * !Prim.costs.Ibr_runtime.Cost.scan_reservation);
-  eras
-
-let conflict_of_eras eras =
-  if !Tracker_common.legacy_sweep then begin
-    (* Oracle path: linear scan of the reserved eras per block. *)
-    let reserved =
-      Array.to_list eras |> List.filter (fun e -> e <> no_era) in
-    fun b ->
-      List.exists
-        (fun e -> Block.birth_epoch b <= e && e <= Block.retire_epoch b)
-        reserved
-  end else
-    Tracker_common.Conflict.pred
-      (Tracker_common.Conflict.Intervals
-         (Tracker_common.Sweep_snapshot.of_points ~none:no_era eras))
-
-let empty h =
-  let conflict = conflict_of_eras (scan_eras h) in
-  Tracker_common.Retired.sweep h.retired ~conflict
-    ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
-
 let retire h b =
   Block.transition_retire b;
   Block.set_retire_epoch b (Epoch.read h.t.epoch);
-  Tracker_common.Retired.add h.retired b;
-  h.retire_counter <- h.retire_counter + 1;
-  if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
-  then empty h
+  Reclaimer.add h.rc b
 
 let start_op h = h.hwm <- -1
 
@@ -153,7 +152,7 @@ let reassign h ~src ~dst =
   Prim.local 1;
   Prim.write row.(dst) (Prim.read row.(src))
 
-let retired_count h = Tracker_common.Retired.count h.retired
-let force_empty h = empty h
+let retired_count h = Reclaimer.count h.rc
+let force_empty h = Reclaimer.force h.rc
 let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch

@@ -34,12 +34,8 @@ type 'a t = {
 type 'a handle = {
   t : 'a t;
   tid : int;
-  mutable retire_counter : int;
   mutable hwm : int;   (* highest slot used this op, for cheap end_op *)
-  retired : 'a Tracker_common.Retired.t;
-  hazard_scratch : (int, unit) Hashtbl.t;
-  (* Reused across sweeps so [empty] does not allocate (and regrow) a
-     fresh table per scan; cleared, not reset, to keep its buckets. *)
+  rc : 'a Reclaimer.t;
 }
 
 type 'a ptr = 'a Plain_ptr.t
@@ -53,41 +49,47 @@ let create ~threads (cfg : Tracker_intf.config) = {
   threads;
 }
 
+(* Michael's scan: snapshot all hazard slots into an id set, then
+   sweep the local retired store against membership.  An opaque
+   predicate — blocks carry no retire epochs here, so the bucketed
+   backends degenerate to per-block tests (and, with the epoch peek
+   pinned at 0, Gated never gates). *)
 let register t ~tid =
-  { t; tid; retire_counter = 0; hwm = -1;
-    retired = Tracker_common.Retired.create ();
-    hazard_scratch = Hashtbl.create 64 }
+  (* Reused across sweeps so a scan does not allocate (and regrow) a
+     fresh table; cleared, not reset, to keep its buckets. *)
+  let hazard_scratch : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let source () =
+    Hashtbl.clear hazard_scratch;
+    let entries = ref 0 in
+    Array.iter (fun row ->
+      Array.iter (fun slot ->
+        Prim.charge_scan ();
+        incr entries;
+        match Atomic.get slot with
+        | None -> ()
+        | Some b -> Hashtbl.replace hazard_scratch (Block.id b) ())
+        row)
+      t.slots;
+    Tracker_common.Sweep_stats.note_snapshot ~entries:!entries
+      ~cycles:(!entries * !Prim.costs.Ibr_runtime.Cost.scan_reservation);
+    Reclaimer.Predicate (fun b -> Hashtbl.mem hazard_scratch (Block.id b))
+  in
+  let rc =
+    Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+      ~empty_freq:t.cfg.Tracker_intf.empty_freq
+      ~current_epoch:(fun () -> 0)
+      ~source
+      ~free:(fun b -> Alloc.free t.alloc ~tid b)
+      ()
+  in
+  { t; tid; hwm = -1; rc }
 
 let alloc h payload = Alloc.alloc h.t.alloc ~tid:h.tid payload
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
-(* Reclaim retired blocks not named by any hazard slot.  Michael's
-   scan: snapshot all slots, then sweep the local retired list. *)
-let empty h =
-  let hazards = h.hazard_scratch in
-  Hashtbl.clear hazards;
-  let entries = ref 0 in
-  Array.iter (fun row ->
-    Array.iter (fun slot ->
-      Prim.charge_scan ();
-      incr entries;
-      match Atomic.get slot with
-      | None -> ()
-      | Some b -> Hashtbl.replace hazards (Block.id b) ())
-      row)
-    h.t.slots;
-  Tracker_common.Sweep_stats.note_snapshot ~entries:!entries
-    ~cycles:(!entries * !Prim.costs.Ibr_runtime.Cost.scan_reservation);
-  Tracker_common.Retired.sweep h.retired
-    ~conflict:(fun b -> Hashtbl.mem hazards (Block.id b))
-    ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
-
 let retire h b =
   Block.transition_retire b;
-  Tracker_common.Retired.add h.retired b;
-  h.retire_counter <- h.retire_counter + 1;
-  if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
-  then empty h
+  Reclaimer.add h.rc b
 
 let start_op h = h.hwm <- -1
 
@@ -131,7 +133,7 @@ let reassign h ~src ~dst =
   Prim.local 1;
   Prim.write row.(dst) (Prim.read row.(src))
 
-let retired_count h = Tracker_common.Retired.count h.retired
-let force_empty h = empty h
+let retired_count h = Reclaimer.count h.rc
+let force_empty h = Reclaimer.force h.rc
 let allocator t = t.alloc
 let epoch_value _ = 0

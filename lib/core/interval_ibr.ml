@@ -41,8 +41,7 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
     t : 'a t;
     tid : int;
     mutable alloc_counter : int;
-    mutable retire_counter : int;
-    retired : 'a Tracker_common.Retired.t;
+    rc : 'a Reclaimer.t;
   }
 
   type 'a ptr = 'a P.ptr
@@ -54,9 +53,29 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
     cfg;
   }
 
+  (* Fig. 5 lines 22–29: interval-intersection sweep.  The table is
+     digested once into a sorted snapshot; each block then pays
+     O(log T) instead of a rescan of every thread's endpoints.  The
+     legacy path keeps the per-block rescan as a differential oracle. *)
   let register t ~tid =
-    { t; tid; alloc_counter = 0; retire_counter = 0;
-      retired = Tracker_common.Retired.create () }
+    let source () =
+      if !Tracker_common.legacy_sweep then
+        Reclaimer.Predicate
+          (Tracker_common.Interval_res.conflict_with_snapshot t.res)
+      else
+        Reclaimer.Shape
+          (Tracker_common.Conflict.Intervals
+             (Tracker_common.Interval_res.sweep_snapshot t.res))
+    in
+    let rc =
+      Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+        ~empty_freq:t.cfg.Tracker_intf.empty_freq
+        ~current_epoch:(fun () -> Epoch.peek t.epoch)
+        ~source
+        ~free:(fun b -> Alloc.free t.alloc ~tid b)
+        ()
+    in
+    { t; tid; alloc_counter = 0; rc }
 
   (* Fig. 5 lines 30–36: epoch tick on allocation, tag birth epoch. *)
   let alloc h payload =
@@ -69,21 +88,10 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
 
   let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
-  (* Fig. 5 lines 22–29: interval-intersection sweep.  The table is
-     digested once into a sorted snapshot; each block then pays
-     O(log T) instead of a rescan of every thread's endpoints. *)
-  let empty h =
-    let conflict = Tracker_common.Interval_res.conflict_fast h.t.res in
-    Tracker_common.Retired.sweep h.retired ~conflict
-      ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
-
   let retire h b =
     Block.transition_retire b;
     Block.set_retire_epoch b (Epoch.read h.t.epoch);
-    Tracker_common.Retired.add h.retired b;
-    h.retire_counter <- h.retire_counter + 1;
-    if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
-    then empty h
+    Reclaimer.add h.rc b
 
   let start_op h =
     let e = Epoch.read h.t.epoch in
@@ -104,8 +112,8 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
   let unreserve _ ~slot:_ = ()
   let reassign _ ~src:_ ~dst:_ = ()
 
-  let retired_count h = Tracker_common.Retired.count h.retired
-  let force_empty h = empty h
+  let retired_count h = Reclaimer.count h.rc
+  let force_empty h = Reclaimer.force h.rc
   let allocator t = t.alloc
   let epoch_value t = Epoch.peek t.epoch
 end

@@ -16,20 +16,31 @@ let props = {
 
 type 'a t = {
   alloc : 'a Alloc.t;
+  cfg : Tracker_intf.config;
 }
 
 type 'a handle = {
   t : 'a t;
   tid : int;
-  retired : 'a Tracker_common.Retired.t;
+  rc : 'a Reclaimer.t;
 }
 
 type 'a ptr = 'a Plain_ptr.t
 
 let create ~threads (cfg : Tracker_intf.config) =
-  { alloc = Alloc.create ~reuse:cfg.reuse ~threads () }
+  { alloc = Alloc.create ~reuse:cfg.reuse ~threads (); cfg }
 
-let register t ~tid = { t; tid; retired = Tracker_common.Retired.create () }
+(* empty_freq:0 — the reclaimer only stores; nothing ever sweeps. *)
+let register t ~tid =
+  let rc =
+    Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+      ~empty_freq:0
+      ~current_epoch:(fun () -> 0)
+      ~source:(fun () -> Reclaimer.Predicate (fun _ -> true))
+      ~free:(fun b -> Alloc.free t.alloc ~tid b)
+      ()
+  in
+  { t; tid; rc }
 
 let alloc h payload = Alloc.alloc h.t.alloc ~tid:h.tid payload
 
@@ -37,7 +48,7 @@ let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
 let retire h b =
   Block.transition_retire b;
-  Tracker_common.Retired.add h.retired b
+  Reclaimer.add h.rc b
 
 let start_op _ = ()
 let end_op _ = ()
@@ -50,7 +61,7 @@ let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
 let unreserve _ ~slot:_ = ()
 let reassign _ ~src:_ ~dst:_ = ()
 
-let retired_count h = Tracker_common.Retired.count h.retired
+let retired_count h = Reclaimer.count h.rc
 let force_empty _ = ()
 let allocator t = t.alloc
 let epoch_value _ = 0

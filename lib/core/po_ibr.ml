@@ -33,8 +33,7 @@ type 'a handle = {
   t : 'a t;
   tid : int;
   mutable alloc_counter : int;
-  mutable retire_counter : int;
-  retired : 'a Tracker_common.Retired.t;
+  rc : 'a Reclaimer.t;
 }
 
 type 'a ptr = 'a Plain_ptr.t
@@ -46,9 +45,32 @@ let create ~threads (cfg : Tracker_intf.config) = {
   cfg;
 }
 
+(* Fig. 4 lines 1–8: a block is protected iff some reserved epoch lies
+   within its lifetime.  The snapshot is sorted once so each block's
+   test is a binary search, not a scan of every thread's slot. *)
+let source t =
+  let reservations = Tracker_common.snapshot_reservations t.reservations in
+  if !Tracker_common.legacy_sweep then
+    Reclaimer.Predicate
+      (fun b ->
+         let birth = Block.birth_epoch b and retire = Block.retire_epoch b in
+         Array.exists (fun res -> birth <= res && res <= retire) reservations)
+  else
+    Reclaimer.Shape
+      (Tracker_common.Conflict.Intervals
+         (Tracker_common.Sweep_snapshot.of_points ~none:max_int
+            reservations))
+
 let register t ~tid =
-  { t; tid; alloc_counter = 0; retire_counter = 0;
-    retired = Tracker_common.Retired.create () }
+  let rc =
+    Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+      ~empty_freq:t.cfg.Tracker_intf.empty_freq
+      ~current_epoch:(fun () -> Epoch.peek t.epoch)
+      ~source:(fun () -> source t)
+      ~free:(fun b -> Alloc.free t.alloc ~tid b)
+      ()
+  in
+  { t; tid; alloc_counter = 0; rc }
 
 (* Fig. 4 lines 9–15: epoch tick on allocation, tag the birth epoch. *)
 let alloc h payload =
@@ -61,32 +83,10 @@ let alloc h payload =
 
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
-(* Fig. 4 lines 1–8: a block is protected iff some reserved epoch lies
-   within its lifetime.  The snapshot is sorted once so each block's
-   test is a binary search, not a scan of every thread's slot. *)
-let empty h =
-  let reservations = Tracker_common.snapshot_reservations h.t.reservations in
-  let conflict =
-    if !Tracker_common.legacy_sweep then
-      fun b ->
-        let birth = Block.birth_epoch b and retire = Block.retire_epoch b in
-        Array.exists (fun res -> birth <= res && res <= retire) reservations
-    else
-      Tracker_common.Conflict.pred
-        (Tracker_common.Conflict.Intervals
-           (Tracker_common.Sweep_snapshot.of_points ~none:max_int
-              reservations))
-  in
-  Tracker_common.Retired.sweep h.retired ~conflict
-    ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
-
 let retire h b =
   Block.transition_retire b;
   Block.set_retire_epoch b (Epoch.read h.t.epoch);
-  Tracker_common.Retired.add h.retired b;
-  h.retire_counter <- h.retire_counter + 1;
-  if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
-  then empty h
+  Reclaimer.add h.rc b
 
 let start_op h =
   let e = Epoch.read h.t.epoch in
@@ -120,7 +120,7 @@ let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
 let unreserve _ ~slot:_ = ()
 let reassign _ ~src:_ ~dst:_ = ()
 
-let retired_count h = Tracker_common.Retired.count h.retired
-let force_empty h = empty h
+let retired_count h = Reclaimer.count h.rc
+let force_empty h = Reclaimer.force h.rc
 let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch

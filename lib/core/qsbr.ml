@@ -55,8 +55,7 @@ module Make (A : ADVANCE) = struct
   type 'a handle = {
     t : 'a t;
     tid : int;
-    mutable retire_counter : int;
-    retired : 'a Tracker_common.Retired.t;
+    rc : 'a Reclaimer.t;
   }
 
   type 'a ptr = 'a Plain_ptr.t
@@ -70,8 +69,36 @@ module Make (A : ADVANCE) = struct
     threads;
   }
 
+  (* Advance the global epoch if every thread has quiesced in it. *)
+  let try_advance t =
+    let e = Epoch.read t.epoch in
+    let all_quiescent =
+      Array.for_all
+        (fun slot ->
+           Prim.charge_scan ();
+           Atomic.get slot >= e)
+        t.quiescent
+    in
+    if all_quiescent then A.advance t.epoch ~expected:e
+
+  (* retire_epoch > e - 2, i.e. the two-grace-period threshold.  The
+     advance attempt is the reclaimer's [prepare] hook: it must run
+     even when the Gated backend skips the sweep, because QSBR's epoch
+     only moves through it — a gate that suppressed it would wait on
+     an epoch that can no longer advance. *)
   let register t ~tid =
-    { t; tid; retire_counter = 0; retired = Tracker_common.Retired.create () }
+    let rc =
+      Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+        ~empty_freq:t.cfg.Tracker_intf.empty_freq
+        ~prepare:(fun () -> try_advance t)
+        ~current_epoch:(fun () -> Epoch.peek t.epoch)
+        ~source:(fun () ->
+          let e = Epoch.read t.epoch in
+          Reclaimer.Shape (Tracker_common.Conflict.Threshold (e - 1)))
+        ~free:(fun b -> Alloc.free t.alloc ~tid b)
+        ()
+    in
+    { t; tid; rc }
 
   let alloc h payload =
     let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
@@ -80,36 +107,10 @@ module Make (A : ADVANCE) = struct
 
   let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
-  (* Advance the global epoch if every thread has quiesced in it. *)
-  let try_advance h =
-    let e = Epoch.read h.t.epoch in
-    let all_quiescent =
-      Array.for_all
-        (fun slot ->
-           Prim.charge_scan ();
-           Atomic.get slot >= e)
-        h.t.quiescent
-    in
-    if all_quiescent then A.advance h.t.epoch ~expected:e
-
-  (* retire_epoch > e - 2, i.e. the two-grace-period threshold. *)
-  let empty h =
-    let e = Epoch.read h.t.epoch in
-    Tracker_common.Retired.sweep h.retired
-      ~conflict:(Tracker_common.Conflict.pred
-                   (Tracker_common.Conflict.Threshold (e - 1)))
-      ~free:(fun b -> Alloc.free h.t.alloc ~tid:h.tid b)
-
   let retire h b =
     Block.transition_retire b;
     Block.set_retire_epoch b (Epoch.read h.t.epoch);
-    Tracker_common.Retired.add h.retired b;
-    h.retire_counter <- h.retire_counter + 1;
-    if h.t.cfg.empty_freq > 0 && h.retire_counter mod h.t.cfg.empty_freq = 0
-    then begin
-      try_advance h;
-      empty h
-    end
+    Reclaimer.add h.rc b
 
   let start_op _ = ()
 
@@ -126,17 +127,17 @@ module Make (A : ADVANCE) = struct
   let unreserve _ ~slot:_ = ()
   let reassign _ ~src:_ ~dst:_ = ()
 
-  let retired_count h = Tracker_common.Retired.count h.retired
+  let retired_count h = Reclaimer.count h.rc
 
   (* The caller of force_empty is between operations, i.e. quiescent:
      announce that, then drive up to two grace periods so that blocks
      whose other readers have all quiesced become reclaimable. *)
   let force_empty h =
     end_op h;
-    try_advance h;
+    try_advance h.t;
     end_op h;
-    try_advance h;
-    empty h
+    try_advance h.t;
+    Reclaimer.force h.rc
 
   let allocator t = t.alloc
   let epoch_value t = Epoch.peek t.epoch

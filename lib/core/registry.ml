@@ -57,10 +57,11 @@ let find_exn name =
   match find name with
   | Some e -> e
   | None ->
+    (* [find] matches oracles too, so the error must list them. *)
     invalid_arg
       (Printf.sprintf "Registry.find_exn: unknown tracker %S (known: %s)"
          name
-         (String.concat ", " (List.map (fun e -> e.name) all)))
+         (String.concat ", " (List.map (fun e -> e.name) (all @ oracles))))
 
 let props { tracker = (module T : Tracker_intf.TRACKER); _ } = T.props
 

@@ -24,11 +24,13 @@ let legacy_sweep = ref false
    how [Fault.total] is consumed. *)
 module Sweep_stats = struct
   type snap = {
-    sweeps : int;           (* Retired.sweep invocations *)
-    examined : int;         (* retired blocks conflict-tested *)
+    sweeps : int;           (* sweeps actually run *)
+    examined : int;         (* retired blocks conflict-tested one by one *)
     freed : int;            (* blocks handed to free *)
     snapshot_entries : int; (* reservation cells read building snapshots *)
     snapshot_cycles : int;  (* modelled cycles spent building snapshots *)
+    skipped : int;          (* sweep attempts skipped by the Gated backend *)
+    buckets : int;          (* limbo buckets occupied, summed at sweep time *)
   }
 
   let sweeps = Atomic.make 0
@@ -36,6 +38,8 @@ module Sweep_stats = struct
   let freed = Atomic.make 0
   let snapshot_entries = Atomic.make 0
   let snapshot_cycles = Atomic.make 0
+  let skipped = Atomic.make 0
+  let buckets = Atomic.make 0
 
   let note_sweep ~examined:e ~freed:f =
     Atomic.incr sweeps;
@@ -46,12 +50,18 @@ module Sweep_stats = struct
     ignore (Atomic.fetch_and_add snapshot_entries entries);
     ignore (Atomic.fetch_and_add snapshot_cycles cycles)
 
+  let note_skip () = Atomic.incr skipped
+
+  let note_buckets n = ignore (Atomic.fetch_and_add buckets n)
+
   let snap () = {
     sweeps = Atomic.get sweeps;
     examined = Atomic.get examined;
     freed = Atomic.get freed;
     snapshot_entries = Atomic.get snapshot_entries;
     snapshot_cycles = Atomic.get snapshot_cycles;
+    skipped = Atomic.get skipped;
+    buckets = Atomic.get buckets;
   }
 
   let diff a b = {
@@ -60,6 +70,8 @@ module Sweep_stats = struct
     freed = b.freed - a.freed;
     snapshot_entries = b.snapshot_entries - a.snapshot_entries;
     snapshot_cycles = b.snapshot_cycles - a.snapshot_cycles;
+    skipped = b.skipped - a.skipped;
+    buckets = b.buckets - a.buckets;
   }
 
   let reset () =
@@ -67,7 +79,9 @@ module Sweep_stats = struct
     Atomic.set examined 0;
     Atomic.set freed 0;
     Atomic.set snapshot_entries 0;
-    Atomic.set snapshot_cycles 0
+    Atomic.set snapshot_cycles 0;
+    Atomic.set skipped 0;
+    Atomic.set buckets 0
 end
 
 module Retired = struct
@@ -130,6 +144,11 @@ module Sweep_snapshot = struct
   }
 
   let length t = Array.length t.los
+
+  (* Smallest reserved lower endpoint ([max_int] when nothing is
+     reserved).  A block whose retire epoch precedes it cannot conflict
+     with any interval — the bucket-wholesale test of [Reclaimer]. *)
+  let min_lower t = if Array.length t.los = 0 then max_int else t.los.(0)
 
   (* Merge a sorted-by-lower array of [n] (lo, hi) pairs in place;
      adjacent integer intervals ([1,2] and [3,4]) merge too, which is

@@ -1,0 +1,139 @@
+(** Pieces shared by all trackers: the flat retired list and its
+    sweep, reservation-table snapshots, the structured conflict test,
+    and the global sweep telemetry the harness reports.
+
+    The sweep path is the hot loop of every scheme's reclamation: one
+    conflict test per retired block.  {!Sweep_snapshot} sorts and
+    merges the reservations once per sweep so each block's test is a
+    binary search (O(retired x log T)); the linear predicates survive
+    behind {!legacy_sweep} as differential-testing oracles. *)
+
+val legacy_sweep : bool ref
+(** Debug/ablation flag: route sweeps through the original
+    O(retired x threads) linear-scan predicates instead of the sorted
+    snapshot.  Flipped by the `ablation:sweep` bench and the
+    differential tests; production paths leave it [false]. *)
+
+(** Global sweep telemetry, accumulated by every tracker instance
+    (atomics: the domains backend sweeps in parallel).  Harness
+    runners snapshot before/after a run and report the difference. *)
+module Sweep_stats : sig
+  type snap = {
+    sweeps : int;           (** sweeps actually run *)
+    examined : int;         (** blocks conflict-tested one by one *)
+    freed : int;            (** blocks handed to free *)
+    snapshot_entries : int; (** reservation cells read for snapshots *)
+    snapshot_cycles : int;  (** modelled cycles building snapshots *)
+    skipped : int;          (** sweep attempts skipped by Gated *)
+    buckets : int;          (** limbo buckets occupied, at sweep time *)
+  }
+
+  val note_sweep : examined:int -> freed:int -> unit
+  val note_snapshot : entries:int -> cycles:int -> unit
+  val note_skip : unit -> unit
+  val note_buckets : int -> unit
+
+  val snap : unit -> snap
+  val diff : snap -> snap -> snap
+  val reset : unit -> unit
+end
+
+(** Thread-local list of retired-but-unreclaimed blocks (the flat
+    [List] store of {!Reclaimer}).  Only its owning thread touches it,
+    so no atomics; the count is sampled from the same simulated
+    thread. *)
+module Retired : sig
+  type 'a t = {
+    mutable blocks : 'a Block.t list;
+    mutable count : int;
+    mutable total_retired : int;
+    mutable total_reclaimed : int;
+  }
+
+  val create : unit -> 'a t
+  val add : 'a t -> 'a Block.t -> unit
+  val count : 'a t -> int
+
+  val sweep :
+    'a t -> conflict:('a Block.t -> bool) -> free:('a Block.t -> unit) ->
+    unit
+  (** Keep blocks satisfying [conflict]; hand the rest to [free].
+      Charges one local step per examined block and records the sweep
+      in {!Sweep_stats}. *)
+
+  val iter : 'a t -> ('a Block.t -> unit) -> unit
+  (** Observational iterator, most-recently-retired first. *)
+end
+
+val snapshot_reservations : int Atomic.t array -> int array
+(** Snapshot a reservation table, charging the cross-thread scan cost
+    per entry and recording it in {!Sweep_stats}. *)
+
+(** A once-per-sweep digest of a reservation table: reserved
+    intervals, sorted by lower endpoint and merged into disjoint runs,
+    so a block's conflict test is one binary search. *)
+module Sweep_snapshot : sig
+  type t
+
+  val length : t -> int
+
+  val min_lower : t -> int
+  (** Smallest reserved lower endpoint ([max_int] when nothing is
+      reserved).  A block whose retire epoch precedes it cannot
+      conflict with any interval — the bucket-wholesale test of
+      {!Reclaimer}. *)
+
+  val of_pairs : int array -> int array -> int -> t
+  (** [of_pairs los his n] digests the first [n] (lo, hi) pairs.
+      Destructive on the input arrays (sorted in place). *)
+
+  val of_intervals : lower:int array -> upper:int array -> t
+  (** Build from parallel endpoint arrays; [max_int] lowers mark
+      unreserved slots and are dropped. *)
+
+  val of_points : none:int -> int array -> t
+  (** Build from single-epoch reservations (HE eras, POIBR epochs):
+      each reserved value [e] is the degenerate interval [e, e];
+      [none] is the scheme's empty-slot sentinel. *)
+
+  val conflict : t -> birth:int -> retire:int -> bool
+  (** Is [birth, retire] intersected by any reserved interval?
+      O(log T). *)
+end
+
+(** What a sweep tests each retired block against: nothing, a single
+    epoch threshold (the epoch-family schemes), or the sorted interval
+    digest. *)
+module Conflict : sig
+  type t =
+    | Never                          (** no reservations: free everything *)
+    | Threshold of int               (** conflict iff retire_epoch >= n *)
+    | Intervals of Sweep_snapshot.t  (** conflict iff lifetime intersects *)
+
+  val pred : t -> 'a Block.t -> bool
+end
+
+(** Per-thread [lower, upper] interval reservations, shared by the
+    TagIBR variants and 2GEIBR (Fig. 5 lines 1–2, 16–17). *)
+module Interval_res : sig
+  type t = {
+    lower : int Atomic.t array;
+    upper : int Atomic.t array;
+  }
+
+  val create : int -> t
+  val start : t -> tid:int -> int -> unit
+  val clear : t -> tid:int -> unit
+  val upper_cell : t -> tid:int -> int Atomic.t
+
+  val conflict_with_snapshot : t -> 'a Block.t -> bool
+  (** Legacy linear-scan predicate, O(threads) per block — the
+      differential-testing oracle for the sorted path. *)
+
+  val sweep_snapshot : t -> Sweep_snapshot.t
+  (** Sorted-snapshot digest of the table (one O(T log T) build, then
+      O(log T) per block). *)
+
+  val conflict_fast : t -> 'a Block.t -> bool
+  (** The production conflict predicate; obeys {!legacy_sweep}. *)
+end

@@ -25,6 +25,11 @@ type config = {
      0 disables restarting. *)
   reuse : bool;
   (* Allocator reuse (benchmark mode) vs. precise-UAF mode (tests). *)
+  retire_backend : Reclaimer.backend;
+  (* How each handle stores and sweeps its retired blocks: the flat
+     [List] (the differential oracle), epoch-bucketed limbo lists
+     ([Buckets]), or buckets plus sweep gating ([Gated]).  See
+     [Reclaimer]. *)
 }
 
 let default_config ?(threads = 1) () = {
@@ -33,6 +38,7 @@ let default_config ?(threads = 1) () = {
   slots = 8;
   max_cas_failures = 128;
   reuse = true;
+  retire_backend = Reclaimer.List;
 }
 
 (* Fig. 7 row: qualitative properties of a scheme. *)

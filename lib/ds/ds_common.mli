@@ -1,0 +1,30 @@
+(** The operation wrapper shared by all structures: restart counting
+    and the §4.3.1 starvation bound (reservation refresh after
+    [max_cas_failures] lost CASes). *)
+
+exception Restart
+(** Raised by a data-structure method when a CAS loses a race and the
+    traversal must begin again. *)
+
+type op_stats = {
+  mutable ops : int;
+  mutable restarts : int;
+  mutable reservation_refreshes : int;
+}
+
+val make_op_stats : unit -> op_stats
+
+val with_op :
+  stats:op_stats -> start_op:(unit -> unit) -> end_op:(unit -> unit) ->
+  max_cas_failures:int -> (unit -> 'a) -> 'a
+(** Run one application operation, re-entering [f] on {!Restart} and
+    dropping/re-acquiring the reservation after [max_cas_failures]
+    consecutive restarts (0 disables the bound).  [end_op] runs on
+    both normal and exceptional exit. *)
+
+val retire_trace : (string -> int -> int -> unit) ref
+(** Debug hook invoked before every retire a data structure performs,
+    with (site, block id, incarnation).  A no-op in production. *)
+
+val unlink_trace : (string -> Obj.t -> Obj.t -> int -> int -> unit) ref
+(** Companion debug hook passing the raw prev cell and expected box. *)

@@ -1,0 +1,49 @@
+(** Common interface of the benchmark data structures ("rideables").
+
+    All four of the paper's structures are concurrent key-value maps
+    over integer keys, so one signature serves: the workload driver,
+    the model-based tests, and the figure harness are all written
+    against {!SET} and work for any (structure x tracker) pairing. *)
+
+open Ibr_core
+
+module type SET = sig
+  val name : string
+
+  val compatible : Tracker_intf.properties -> bool
+  (** Whether this structure can run under a scheme with the given
+      properties (e.g. the Bonsai tree excludes HP/HE because
+      rebalancing needs unboundedly many reservations — the same
+      exclusion as the paper's Fig. 8d). *)
+
+  val slots_needed : int
+
+  type t
+  type handle
+
+  val create : threads:int -> Tracker_intf.config -> t
+  val register : t -> tid:int -> handle
+
+  (** Each call is one application operation: it brackets itself in
+      start_op/end_op and restarts with a fresh reservation after
+      [max_cas_failures] failed CASes (§4.3.1). *)
+
+  val insert : handle -> key:int -> value:int -> bool
+  val remove : handle -> key:int -> bool
+  val get : handle -> key:int -> int option
+  val contains : handle -> key:int -> bool
+
+  (** Observability for the harness and tests. *)
+
+  val retired_count : handle -> int
+  val force_empty : handle -> unit
+  val allocator_stats : t -> Alloc.stats
+  val epoch_value : t -> int
+
+  (** Sequential-context helpers (quiescent structure only). *)
+
+  val to_sorted_list : t -> (int * int) list
+  val check_invariants : t -> unit
+end
+
+module type MAKER = functor (T : Tracker_intf.TRACKER) -> SET

@@ -1,0 +1,30 @@
+(** Instantiate rideables over reclamation schemes by name — the OCaml
+    analogue of the artifact's rideable menu.  A {!maker} closes over
+    a functor application; the harness composes it with a tracker from
+    [Ibr_core.Registry]. *)
+
+open Ibr_core
+
+type maker = {
+  ds_name : string;
+  instantiate : Tracker_intf.packed -> (module Ds_intf.SET);
+}
+
+val list_maker : maker
+val hashmap_maker : maker
+val nm_tree_maker : maker
+val bonsai_maker : maker
+
+val all : maker list
+(** The paper's four rideables, in Fig. 8 order. *)
+
+val find : string -> maker option
+(** Case-insensitive lookup by rideable name. *)
+
+val find_exn : string -> maker
+(** Like {!find} but raises [Invalid_argument] listing the known
+    rideables. *)
+
+val compatible : maker -> Tracker_intf.packed -> bool
+(** Can this rideable run under this tracker?  (Checked via the
+    instantiated module's own [compatible] predicate.) *)

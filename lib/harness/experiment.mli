@@ -59,6 +59,18 @@ val tagibr_strategy_sweep :
   ?threads_list:int list -> ?horizon:int -> unit -> Chart.figure
 (** Ablation: born_before update strategies under list contention. *)
 
+val retire_backend_sweep :
+  ?trackers:string list -> ?threads_list:int list -> ?horizon:int ->
+  ?ds_name:string -> ?seed:int -> unit -> Stats.t list
+(** Ablation: rerun the same seeded workload under each retirement
+    backend (List / Buckets / Gated); rows are labelled
+    "TRACKER/backend".  Epoch-family trackers should examine strictly
+    fewer blocks under Buckets/Gated than List for the same frees. *)
+
+val retire_backend_table : Stats.t list -> string
+(** Aligned text table of [retire_backend_sweep] rows (throughput and
+    sweep telemetry incl. skipped sweeps and bucket occupancy). *)
+
 (** A mechanically checked acceptance claim (appendix A.6). *)
 type check = { claim : string; holds : bool; detail : string }
 

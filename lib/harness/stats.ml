@@ -25,7 +25,7 @@ type t = {
 
 let no_sweep : Tracker_common.Sweep_stats.snap =
   { sweeps = 0; examined = 0; freed = 0; snapshot_entries = 0;
-    snapshot_cycles = 0 }
+    snapshot_cycles = 0; skipped = 0; buckets = 0 }
 
 let throughput ~ops ~makespan =
   if makespan <= 0 then 0.0
@@ -43,16 +43,17 @@ let csv_header =
   "tracker,ds,threads,mix,ops,makespan,throughput,avg_unreclaimed,\
    peak_unreclaimed,samples,allocated,freed,live,cached,epoch,faults,\
    sweeps,sweep_examined,sweep_freed,sweep_snapshot_entries,\
-   sweep_snapshot_cycles"
+   sweep_snapshot_cycles,sweeps_skipped,sweep_buckets"
 
 let to_csv_row r =
   Printf.sprintf
-    "%s,%s,%d,%s,%d,%d,%.6f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d"
+    "%s,%s,%d,%s,%d,%d,%.6f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,\
+     %d,%d"
     r.tracker r.ds r.threads r.mix r.ops r.makespan r.throughput
     r.avg_unreclaimed r.peak_unreclaimed r.samples r.alloc.allocated
     r.alloc.freed r.alloc.live r.alloc.cached r.epoch r.faults
     r.sweep.sweeps r.sweep.examined r.sweep.freed r.sweep.snapshot_entries
-    r.sweep.snapshot_cycles
+    r.sweep.snapshot_cycles r.sweep.skipped r.sweep.buckets
 
 (* Incremental mean/peak accumulator for the unreclaimed metric. *)
 type sampler = {

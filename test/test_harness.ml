@@ -68,7 +68,7 @@ let test_csv_row_shape () =
               cached = 0 };
     epoch = 3; faults = 0;
     sweep = { sweeps = 2; examined = 9; freed = 5; snapshot_entries = 8;
-              snapshot_cycles = 32 };
+              snapshot_cycles = 32; skipped = 1; buckets = 4 };
   } in
   let cells = String.split_on_char ',' (Stats.to_csv_row row) in
   let headers = String.split_on_char ',' Stats.csv_header in

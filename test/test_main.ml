@@ -18,4 +18,6 @@ let () =
       ("harness", Test_harness.suite);
       ("domains", Test_domains.suite);
       ("more", Test_more.suite);
+      ("handover", Test_handover.suite);
+      ("retire-backends", Test_retire_backends.suite);
     ]
