@@ -220,6 +220,23 @@ let run_retire_ablation ?(threads_list = [ 16; 32; 48 ]) () =
   List.iter (fun r -> Fmt.pr "%s@." (Ibr_harness.Stats.to_csv_row r)) rows;
   Fmt.pr "@."
 
+(* The robustness campaign (DESIGN.md §7): trackers x fault profiles x
+   run lengths; prints the telemetry table, the acceptance checks, and
+   the CSV rows so CI can archive them. *)
+let run_robustness ?threads ?horizons () =
+  let rows = Ibr_harness.Experiment.robustness_sweep ?threads ?horizons () in
+  Fmt.pr "== robustness campaign (fault profiles on hashmap) ==@.%s@."
+    (Ibr_harness.Experiment.robustness_table rows);
+  List.iter
+    (fun (c : Ibr_harness.Experiment.check) ->
+       Fmt.pr "%s: %s (%s)@."
+         (if c.holds then "PASS" else "FAIL")
+         c.claim c.detail)
+    (Ibr_harness.Experiment.robustness_checks rows);
+  Fmt.pr "@.csv:@.%s@." Ibr_harness.Stats.csv_header;
+  List.iter (fun r -> Fmt.pr "%s@." (Ibr_harness.Stats.to_csv_row r)) rows;
+  Fmt.pr "@."
+
 let run_figures () =
   let threads_list = Ibr_harness.Experiment.quick_threads in
   Fmt.pr "== Fig. 7: scheme tradeoffs ==@.%s@."
@@ -258,15 +275,24 @@ let run_figures () =
   print_string
     (Ibr_harness.Chart.to_string
        (Ibr_harness.Experiment.tagibr_strategy_sweep ()));
-  run_retire_ablation ()
+  run_retire_ablation ();
+  run_robustness ()
 
 let () =
   let skip_bechamel = Array.exists (( = ) "--figures-only") Sys.argv in
   let skip_figures = Array.exists (( = ) "--bechamel-only") Sys.argv in
   let retire_only = Array.exists (( = ) "--retire-only") Sys.argv in
   let retire_quick = Array.exists (( = ) "--retire-quick") Sys.argv in
+  let robust_only = Array.exists (( = ) "--robust-only") Sys.argv in
+  let robust_quick = Array.exists (( = ) "--robust-quick") Sys.argv in
   if retire_quick then run_retire_ablation ~threads_list:[ 8; 16 ] ()
   else if retire_only then run_retire_ablation ()
+  else if robust_quick then
+    (* Reduced scale, but the tail of the horizon ladder must still be
+       past the robust schemes' pinned-set saturation point or the
+       flat-tail checks have nothing to measure. *)
+    run_robustness ~threads:8 ~horizons:[ 60_000; 120_000; 240_000 ] ()
+  else if robust_only then run_robustness ()
   else begin
     if not skip_bechamel then run_bechamel ();
     if not skip_figures then run_figures ()

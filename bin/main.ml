@@ -17,8 +17,17 @@ let parse_retire_backend s =
             (List.map Ibr_core.Reclaimer.backend_name
                Ibr_core.Reclaimer.all_backends)))
 
-let run_one ~rideable ~tracker ~threads ~interval ~mix ~retire ~cores ~seed
-    ~backend ~empty_freq ~epoch_freq ~key_range ~output ~verbose =
+let parse_faults s =
+  match Ibr_harness.Runner_sim.faults_of_string s with
+  | Some f -> f
+  | None ->
+    failwith
+      (Printf.sprintf "unknown fault profile %S (%s)" s
+         (String.concat "|"
+            (List.map fst Ibr_harness.Runner_sim.fault_profiles)))
+
+let run_one ~rideable ~tracker ~threads ~interval ~mix ~retire ~faults ~cores
+    ~seed ~backend ~empty_freq ~epoch_freq ~key_range ~output ~verbose =
   let mix =
     match mix with
     | "write" -> Ibr_harness.Workload.write_dominated
@@ -45,13 +54,15 @@ let run_one ~rideable ~tracker ~threads ~interval ~mix ~retire ~cores ~seed
     | "sim" ->
       let base =
         Ibr_harness.Runner_sim.default_config ~threads ~horizon:interval
-          ~cores ~seed ~spec ()
+          ~cores ~seed ~faults:(parse_faults faults) ~spec ()
       in
       let cfg =
         { base with tracker_cfg = override_tracker_cfg base.tracker_cfg } in
       Ibr_harness.Runner_sim.run_named ~tracker_name:tracker
         ~ds_name:rideable cfg
     | "domains" ->
+      if faults <> "none" then
+        failwith "fault injection (--faults) needs the sim backend";
       let base =
         Ibr_harness.Runner_domains.default_config ~threads
           ~duration_s:(float_of_int interval /. 1000.0) ~seed ~spec ()
@@ -94,15 +105,16 @@ let expand_metas metas base =
     | Some n -> n
     | None -> failwith (Printf.sprintf "--meta %s wants integers, got %S" key v)
   in
-  let apply (r, d, t, i, m, b) (key, v) =
+  let apply (r, d, t, i, m, b, f) (key, v) =
     match key with
-    | "r" -> (v, d, t, i, m, b)
-    | "d" -> (r, v, t, i, m, b)
-    | "t" -> (r, d, int_of_meta key v, i, m, b)
-    | "i" -> (r, d, t, int_of_meta key v, m, b)
-    | "m" -> (r, d, t, i, v, b)
-    | "b" -> (r, d, t, i, m, v)
-    | k -> failwith (Printf.sprintf "unknown meta key %S (r,d,t,i,m,b)" k)
+    | "r" -> (v, d, t, i, m, b, f)
+    | "d" -> (r, v, t, i, m, b, f)
+    | "t" -> (r, d, int_of_meta key v, i, m, b, f)
+    | "i" -> (r, d, t, int_of_meta key v, m, b, f)
+    | "m" -> (r, d, t, i, v, b, f)
+    | "b" -> (r, d, t, i, m, v, f)
+    | "f" -> (r, d, t, i, m, b, v)
+    | k -> failwith (Printf.sprintf "unknown meta key %S (r,d,t,i,m,b,f)" k)
   in
   List.fold_left
     (fun configs meta ->
@@ -246,6 +258,11 @@ let retire =
        & info [ "b"; "retire-backend" ] ~docv:"B"
            ~doc:"Retirement backend: list (flat oracle), buckets                  (epoch-bucketed limbo lists), or gated (buckets plus                  sweep gating).")
 
+let faults =
+  Arg.(value & opt string "none"
+       & info [ "f"; "faults" ] ~docv:"PROFILE"
+           ~doc:"Fault profile (sim backend only): none, stall-storm,                  crash, crash+capped, or crash+watchdog.")
+
 let cores =
   Arg.(value & opt int 72
        & info [ "cores" ] ~docv:"N" ~doc:"Simulated hardware threads.")
@@ -310,15 +327,16 @@ let check_replay =
 let metas =
   Arg.(value & opt_all string []
        & info [ "meta" ] ~docv:"KEY:V1:V2:..."
-           ~doc:"Cartesian sweep over r (rideable), d (tracker), t                  (threads), i (interval), m (mix), b (retire backend);                  repeatable, parharness style.")
+           ~doc:"Cartesian sweep over r (rideable), d (tracker), t                  (threads), i (interval), m (mix), b (retire backend), f                  (fault profile); repeatable, parharness style.")
 
 let cmd =
   let doc = "run one IBR microbenchmark configuration" in
   let term =
     Term.(
-      const (fun menu_flag rideable tracker threads interval mix retire cores
-              seed backend empty_freq epoch_freq key_range output verbose
-              metas check check_bound check_budget check_out check_replay ->
+      const (fun menu_flag rideable tracker threads interval mix retire
+              faults cores seed backend empty_freq epoch_freq key_range
+              output verbose metas check check_bound check_budget check_out
+              check_replay ->
           if menu_flag then list_menu ()
           else
             try
@@ -329,20 +347,22 @@ let cmd =
               | None, Some path -> run_replay ~path
               | None, None ->
                 List.iter
-                  (fun (rideable, tracker, threads, interval, mix, retire) ->
+                  (fun (rideable, tracker, threads, interval, mix, retire,
+                        faults) ->
                      run_one ~rideable ~tracker ~threads ~interval ~mix
-                       ~retire ~cores ~seed ~backend ~empty_freq ~epoch_freq
-                       ~key_range ~output ~verbose)
+                       ~retire ~faults ~cores ~seed ~backend ~empty_freq
+                       ~epoch_freq ~key_range ~output ~verbose)
                   (expand_metas metas
-                     (rideable, tracker, threads, interval, mix, retire))
+                     (rideable, tracker, threads, interval, mix, retire,
+                      faults))
             with
             | Failure msg | Invalid_argument msg ->
               Fmt.epr "error: %s@." msg;
               Stdlib.exit 1)
-      $ menu $ rideable $ tracker $ threads $ interval $ mix $ retire $ cores
-      $ seed $ backend $ empty_freq $ epoch_freq $ key_range $ output
-      $ verbose $ metas $ check $ check_bound $ check_budget $ check_out
-      $ check_replay)
+      $ menu $ rideable $ tracker $ threads $ interval $ mix $ retire
+      $ faults $ cores $ seed $ backend $ empty_freq $ epoch_freq $ key_range
+      $ output $ verbose $ metas $ check $ check_bound $ check_budget
+      $ check_out $ check_replay)
   in
   Cmd.v (Cmd.info "ibr-bench" ~doc) term
 

@@ -70,6 +70,49 @@ let reader_writer ?retire_backend ?empty_freq (entry : Registry.entry) =
     in
     { Scenario.bodies = [| reader; writer |]; finish = (fun () -> None) })
 
+(* DESIGN.md §7: a thread that dies mid-operation — [Sched.crash_self]
+   abandons the continuation, so [end_op] never runs and the
+   reservation published by the guarded read stays up forever.  Two
+   properties, over every interleaving: the survivor's retire +
+   force-empty never faults, and if the reader's read observed the
+   block ([saw]), the dead reservation must go on pinning it — any
+   sound scheme whose validated read precedes the retire conflicts
+   with it ([Block.is_reclaimed x] must stay false).  [Unsafe_free]
+   breaks both. *)
+let crash_mid_op (entry : Registry.entry) =
+  let module T = (val entry.tracker : Tracker_intf.TRACKER) in
+  Scenario.v ~name:("crash_mid_op/" ^ entry.name) ~threads:2 (fun () ->
+    let t = T.create ~threads:2 (cfg 2) in
+    let h0 = T.register t ~tid:0 and h1 = T.register t ~tid:1 in
+    (* Allocated during setup: published before any thread runs. *)
+    let x = T.alloc h1 42 in
+    let ptr = T.make_ptr t (Some x) in
+    let saw = ref false in
+    let reader _ =
+      T.start_op h0;
+      let v = T.read_root h0 ptr in
+      (match View.target v with
+       | Some b ->
+         ignore (Block.get b);
+         saw := true
+       | None -> ());
+      Ibr_runtime.Sched.crash_self ()
+    in
+    let writer _ =
+      T.start_op h1;
+      T.write h1 ptr None;
+      T.retire h1 x;
+      T.end_op h1;
+      T.force_empty h1
+    in
+    { Scenario.bodies = [| reader; writer |];
+      finish =
+        (fun () ->
+           if !saw && Block.is_reclaimed x then
+             Some "crashed reservation not honoured: reclaimed a block \
+                   the dead reader still guards"
+           else None) })
+
 let advance_race (entry : Registry.entry) =
   let module T = (val entry.tracker : Tracker_intf.TRACKER) in
   Scenario.v ~name:("advance_race/" ^ entry.name) ~threads:3 (fun () ->
@@ -126,7 +169,10 @@ let cases () =
       expect; bound }
   in
   let ar e expect bound = { scenario = advance_race e; expect; bound } in
+  let cm e expect bound = { scenario = crash_mid_op e; expect; bound } in
   List.map (fun e -> rw e Safe 3) Registry.all
+  @ List.map (fun e -> cm e Safe 3) Registry.all
+  @ [ cm Registry.unsafe_free Faulty 3 ]
   @ List.concat_map
       (fun backend ->
          List.map (fun e -> rwb backend e Safe 2) Registry.all

@@ -12,6 +12,14 @@ val reader_writer :
     [empty_freq] (default effectively-never) sets the retire-cadence
     sweep period — pass 1 to sweep inside the explored schedules. *)
 
+val crash_mid_op : Ibr_core.Registry.entry -> Scenario.t
+(** Two threads: a reader that crashes mid-operation
+    ([Ibr_runtime.Sched.crash_self] — the continuation is abandoned,
+    [end_op] never runs) against a writer that detaches, retires and
+    force-empties.  Sound trackers must stay fault-free on every
+    interleaving AND keep the dead reader's reservation pinning the
+    block it observed (DESIGN.md §7); [Unsafe_free] breaks both. *)
+
 val advance_race : Ibr_core.Registry.entry -> Scenario.t
 (** Three threads: an un-quiesced reader, a retirer, and a second
     epoch advancer.  The QSBR grace-period-skip shape (DESIGN.md
@@ -27,11 +35,12 @@ type case = {
 }
 
 val cases : unit -> case list
-(** The full suite: [reader_writer] for every correct tracker (Safe)
-    and for the oracles, the same re-certified under the Buckets and
-    Gated retirement backends with per-retire sweeps, and
-    [advance_race] for the QSBR-shaped trackers.  Expectations are
-    what {!Check.explore} must conclude within each case's bound. *)
+(** The full suite: [reader_writer] and [crash_mid_op] for every
+    correct tracker (Safe) and for the oracles, the reader_writer
+    shape re-certified under the Buckets and Gated retirement backends
+    with per-retire sweeps, and [advance_race] for the QSBR-shaped
+    trackers.  Expectations are what {!Check.explore} must conclude
+    within each case's bound. *)
 
 val find : string -> case option
 (** Look a case up by its scenario name (e.g. for trace replay). *)

@@ -14,8 +14,20 @@
      reclaimed block stays [Reclaimed] forever and every dangling
      access is detected with certainty.  Tests run in this mode.
 
+   An optional [capacity] turns the arena into a bounded heap: the
+   footprint (Live + Retired blocks; cached free-list blocks have been
+   returned to the arena and do not count) may not exceed it.  An
+   allocation finding the heap full applies backpressure — it invokes
+   the caller's registered memory-pressure hook (the tracker's forced
+   sweep) and backs off exponentially in virtual time, giving other
+   threads' reclamation a chance to land — and only after the retry
+   budget is spent reports [Fault.Alloc_exhausted] and aborts the
+   operation by raising [Exhausted].
+
    Statistics are atomics so the real-domains backend can share an
    allocator across domains. *)
+
+exception Exhausted
 
 type 'a t = {
   reuse : bool;
@@ -25,10 +37,19 @@ type 'a t = {
   fresh : int Atomic.t;       (* allocations served by new blocks *)
   reused : int Atomic.t;      (* allocations served from a cache *)
   freed : int Atomic.t;       (* total free calls *)
+  mutable capacity : int option;       (* max live+retired blocks *)
+  pressure : (unit -> unit) option array; (* per-thread pressure hooks *)
+  retry_budget : int;
+  peak_footprint : int Atomic.t;
+  pressure_retries : int Atomic.t;
+  oom_events : int Atomic.t;
 }
 
-let create ?(reuse = true) ~threads () =
+let create ?(reuse = true) ?capacity ?(retry_budget = 8) ~threads () =
   if threads < 1 then invalid_arg "Alloc.create: threads must be >= 1";
+  (match capacity with
+   | Some c when c < 1 -> invalid_arg "Alloc.create: capacity must be >= 1"
+   | _ -> ());
   {
     reuse;
     caches = Array.init threads (fun _ -> ref []);
@@ -37,6 +58,12 @@ let create ?(reuse = true) ~threads () =
     fresh = Atomic.make 0;
     reused = Atomic.make 0;
     freed = Atomic.make 0;
+    capacity;
+    pressure = Array.make threads None;
+    retry_budget;
+    peak_footprint = Atomic.make 0;
+    pressure_retries = Atomic.make 0;
+    oom_events = Atomic.make 0;
   }
 
 let threads t = Array.length t.caches
@@ -45,9 +72,66 @@ let check_tid t tid =
   if tid < 0 || tid >= Array.length t.caches then
     invalid_arg "Alloc: thread id out of range"
 
+let footprint t = Atomic.get t.allocated - Atomic.get t.freed
+
+let capacity t = t.capacity
+
+let set_capacity t capacity =
+  (match capacity with
+   | Some c when c < 1 ->
+     invalid_arg "Alloc.set_capacity: capacity must be >= 1"
+   | _ -> ());
+  t.capacity <- capacity
+
+let set_pressure_hook t ~tid hook =
+  check_tid t tid;
+  t.pressure.(tid) <- Some hook
+
+(* Base of the exponential backoff ladder, in cycles.  Doubling from
+   here over the default 8-retry budget spends ~one scheduling quantum
+   in total — long enough for every other thread to get a sweep in. *)
+let backoff_base = 64
+
+(* Backpressure ladder: while the heap is at capacity, alternate the
+   caller's pressure hook (the tracker's forced sweep) with an
+   exponentially growing virtual-time backoff — each [Hooks.step] is a
+   preemption point, so other threads' frees can land between checks.
+   Admission failure is a reported fault plus a graceful abort. *)
+let admit t ~tid =
+  match t.capacity with
+  | None -> ()
+  | Some cap ->
+    let attempt = ref 0 in
+    while footprint t >= cap && !attempt < t.retry_budget do
+      Atomic.incr t.pressure_retries;
+      (match t.pressure.(tid) with Some hook -> hook () | None -> ());
+      Ibr_runtime.Hooks.step (backoff_base lsl !attempt);
+      incr attempt
+    done;
+    if footprint t >= cap then begin
+      Atomic.incr t.oom_events;
+      Fault.report Alloc_exhausted
+        (Printf.sprintf
+           "alloc: %d live+retired blocks at capacity %d after %d \
+            pressure retries (tid %d)"
+           (footprint t) cap t.retry_budget tid);
+      raise Exhausted
+    end
+
+let note_peak t =
+  let fp = footprint t in
+  let rec go () =
+    let peak = Atomic.get t.peak_footprint in
+    if fp > peak && not (Atomic.compare_and_set t.peak_footprint peak fp)
+    then go ()
+  in
+  go ()
+
 let alloc t ~tid payload =
   check_tid t tid;
+  admit t ~tid;
   Atomic.incr t.allocated;
+  note_peak t;
   let cache = t.caches.(tid) in
   match !cache with
   | b :: rest when t.reuse ->
@@ -90,6 +174,9 @@ type stats = {
   freed : int;
   live : int;       (* allocated - freed: Live or Retired blocks *)
   cached : int;     (* blocks sitting in free lists *)
+  peak_footprint : int;  (* high-water mark of live *)
+  pressure_retries : int;
+  oom_events : int;
 }
 
 let stats t =
@@ -103,8 +190,15 @@ let stats t =
     freed;
     live = allocated - freed;
     cached;
+    peak_footprint = Atomic.get t.peak_footprint;
+    pressure_retries = Atomic.get t.pressure_retries;
+    oom_events = Atomic.get t.oom_events;
   }
 
 let pp_stats ppf s =
-  Fmt.pf ppf "alloc=%d (fresh=%d reused=%d) freed=%d live=%d cached=%d"
-    s.allocated s.fresh s.reused s.freed s.live s.cached
+  Fmt.pf ppf
+    "alloc=%d (fresh=%d reused=%d) freed=%d live=%d cached=%d peak=%d%s"
+    s.allocated s.fresh s.reused s.freed s.live s.cached s.peak_footprint
+    (if s.pressure_retries = 0 && s.oom_events = 0 then ""
+     else Printf.sprintf " retries=%d oom=%d" s.pressure_retries
+            s.oom_events)

@@ -7,18 +7,53 @@
       ['a t] only recycles ['a Block.t]s — which is exactly the
       guarantee TagIBR-TPA requires.
     - [reuse = false] (checker mode): reclaimed blocks stay reclaimed,
-      so every dangling access is detected with certainty. *)
+      so every dangling access is detected with certainty.
+
+    An optional [capacity] bounds the footprint (Live + Retired
+    blocks).  A full heap applies backpressure: {!alloc} invokes the
+    caller's registered memory-pressure hook and backs off
+    exponentially in virtual time; once the retry budget is spent it
+    reports {!Fault.Alloc_exhausted} and raises {!Exhausted} so the
+    operation can abort gracefully. *)
+
+exception Exhausted
+(** Raised by {!alloc} (after reporting [Fault.Alloc_exhausted]) when
+    the heap is still at capacity after the backpressure ladder. *)
 
 type 'a t
 
-val create : ?reuse:bool -> threads:int -> unit -> 'a t
-(** [reuse] defaults to [true].
-    @raise Invalid_argument if [threads < 1]. *)
+val create :
+  ?reuse:bool -> ?capacity:int -> ?retry_budget:int -> threads:int ->
+  unit -> 'a t
+(** [reuse] defaults to [true]; [capacity] to unbounded;
+    [retry_budget] (pressure-hook/backoff rounds per full-heap
+    allocation) to 8.
+    @raise Invalid_argument if [threads < 1] or [capacity < 1]. *)
 
 val threads : 'a t -> int
 
+val capacity : 'a t -> int option
+
+val set_capacity : 'a t -> int option -> unit
+(** Install or lift the footprint bound (harnesses size the cap from
+    the post-prefill working set, which is only known after prefill
+    allocations have happened). *)
+
+val footprint : 'a t -> int
+(** Current Live + Retired blocks ([allocated - freed]); cached
+    free-list blocks have been returned to the arena and do not
+    count. *)
+
+val set_pressure_hook : 'a t -> tid:int -> (unit -> unit) -> unit
+(** Register thread [tid]'s memory-pressure hook, invoked by {!alloc}
+    between backoff rounds when the heap is at capacity (trackers
+    register a forced reclamation sweep). *)
+
 val alloc : 'a t -> tid:int -> 'a -> 'a Block.t
-(** Serve from thread [tid]'s cache or make a fresh block. *)
+(** Serve from thread [tid]'s cache or make a fresh block.
+    @raise Exhausted if a capacity is set and still exceeded after the
+    backpressure ladder (in [Fault.Raise] mode the fault report raises
+    {!Fault.Memory_fault} first). *)
 
 val free : 'a t -> tid:int -> 'a Block.t -> unit
 (** Reclaim a retired block (fault on double free / free of a live
@@ -34,6 +69,9 @@ type stats = {
   freed : int;      (** total frees *)
   live : int;       (** allocated - freed (Live or Retired) *)
   cached : int;     (** blocks sitting in free lists *)
+  peak_footprint : int;   (** high-water mark of [live] *)
+  pressure_retries : int; (** backpressure rounds taken by {!alloc} *)
+  oom_events : int;       (** allocations aborted with {!Exhausted} *)
 }
 
 val stats : 'a t -> stats

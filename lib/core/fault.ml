@@ -12,6 +12,7 @@ type kind =
   | Double_free      (* block reclaimed twice *)
   | Double_retire    (* block retired twice *)
   | Retire_unpublished (* block retired while never published / not live *)
+  | Alloc_exhausted  (* capped allocator still full after backpressure *)
 
 exception Memory_fault of kind * string
 
@@ -23,18 +24,21 @@ let use_after_free = Atomic.make 0
 let double_free = Atomic.make 0
 let double_retire = Atomic.make 0
 let retire_unpublished = Atomic.make 0
+let alloc_exhausted = Atomic.make 0
 
 let counter = function
   | Use_after_free -> use_after_free
   | Double_free -> double_free
   | Double_retire -> double_retire
   | Retire_unpublished -> retire_unpublished
+  | Alloc_exhausted -> alloc_exhausted
 
 let kind_to_string = function
   | Use_after_free -> "use-after-free"
   | Double_free -> "double-free"
   | Double_retire -> "double-retire"
   | Retire_unpublished -> "retire-unpublished"
+  | Alloc_exhausted -> "alloc-exhausted"
 
 let report kind detail =
   match Atomic.get mode with
@@ -43,24 +47,65 @@ let report kind detail =
 
 let count kind = Atomic.get (counter kind)
 
-let total () =
-  Atomic.get use_after_free + Atomic.get double_free
-  + Atomic.get double_retire + Atomic.get retire_unpublished
+let all_kinds =
+  [ Use_after_free; Double_free; Double_retire; Retire_unpublished;
+    Alloc_exhausted ]
 
-let reset () =
-  Atomic.set use_after_free 0;
-  Atomic.set double_free 0;
-  Atomic.set double_retire 0;
-  Atomic.set retire_unpublished 0
+let total () =
+  List.fold_left (fun n k -> n + count k) 0 all_kinds
+
+let reset () = List.iter (fun k -> Atomic.set (counter k) 0) all_kinds
 
 let set_mode m = Atomic.set mode m
 
-(* Run [f] in [Count] mode with fresh counters; restore previous mode
-   and return (result, faults observed during f). *)
-let with_counting f =
+(* A point-in-time copy of every counter, so a delta survives whatever
+   the measured code does — including raising. *)
+type snapshot = {
+  use_after_free : int;
+  double_free : int;
+  double_retire : int;
+  retire_unpublished : int;
+  alloc_exhausted : int;
+}
+
+let snapshot () = {
+  use_after_free = Atomic.get use_after_free;
+  double_free = Atomic.get double_free;
+  double_retire = Atomic.get double_retire;
+  retire_unpublished = Atomic.get retire_unpublished;
+  alloc_exhausted = Atomic.get alloc_exhausted;
+}
+
+(* Counters observed since [before] (counters are monotone between
+   resets, so the componentwise difference is the events in between). *)
+let diff (after : snapshot) (before : snapshot) = {
+  use_after_free = after.use_after_free - before.use_after_free;
+  double_free = after.double_free - before.double_free;
+  double_retire = after.double_retire - before.double_retire;
+  retire_unpublished = after.retire_unpublished - before.retire_unpublished;
+  alloc_exhausted = after.alloc_exhausted - before.alloc_exhausted;
+}
+
+let snapshot_total s =
+  s.use_after_free + s.double_free + s.double_retire + s.retire_unpublished
+  + s.alloc_exhausted
+
+(* Run [f] in [Count] mode; the tally is computed from snapshots so it
+   survives [f] raising (the old success-path-only subtraction lost the
+   count of a crashing run). *)
+let with_counting_result f =
   let old = Atomic.get mode in
   Atomic.set mode Count;
-  let before = total () in
-  Fun.protect ~finally:(fun () -> Atomic.set mode old) (fun () ->
-    let result = f () in
-    (result, total () - before))
+  let before = snapshot () in
+  let result =
+    Fun.protect ~finally:(fun () -> Atomic.set mode old) (fun () ->
+      match f () with
+      | v -> Ok v
+      | exception e -> Error e)
+  in
+  (result, snapshot_total (diff (snapshot ()) before))
+
+let with_counting f =
+  match with_counting_result f with
+  | Ok result, n -> (result, n)
+  | Error e, _ -> raise e

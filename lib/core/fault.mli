@@ -10,6 +10,8 @@ type kind =
   | Double_free          (** block reclaimed twice *)
   | Double_retire        (** block retired twice *)
   | Retire_unpublished   (** retire of a block not in the Live state *)
+  | Alloc_exhausted      (** capped allocator still at capacity after
+                             the backpressure retry budget *)
 
 exception Memory_fault of kind * string
 
@@ -24,8 +26,34 @@ val count : kind -> int
 val total : unit -> int
 val reset : unit -> unit
 
+val all_kinds : kind list
+
 val kind_to_string : kind -> string
+
+(** A point-in-time copy of every counter. *)
+type snapshot = {
+  use_after_free : int;
+  double_free : int;
+  double_retire : int;
+  retire_unpublished : int;
+  alloc_exhausted : int;
+}
+
+val snapshot : unit -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff after before]: events observed between the two snapshots
+    (componentwise difference; counters are monotone between
+    {!reset}s). *)
+
+val snapshot_total : snapshot -> int
 
 val with_counting : (unit -> 'a) -> 'a * int
 (** Run in [Count] mode; return the result and the number of faults
-    observed during the call.  Restores the previous mode. *)
+    observed during the call.  Restores the previous mode.  If [f]
+    raises, the exception propagates — use {!with_counting_result}
+    when the tally of a raising run is needed. *)
+
+val with_counting_result : (unit -> 'a) -> ('a, exn) result * int
+(** Like {!with_counting} but never loses the tally: a raising [f]
+    yields [Error e] alongside the faults it reported before dying. *)

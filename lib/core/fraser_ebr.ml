@@ -81,6 +81,7 @@ let register t ~tid =
       ~free:(fun b -> Alloc.free t.alloc ~tid b)
       ()
   in
+  Alloc.set_pressure_hook t.alloc ~tid (fun () -> Reclaimer.pressure rc);
   { t; tid; rc }
 
 let alloc h payload =
@@ -120,3 +121,7 @@ let force_empty h =
 
 let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch
+
+(* Neutralize a dead thread: marking it inactive both unpins its
+   reservation and lets the all-observed advance proceed again. *)
+let eject t ~tid = Prim.write t.reservations.(tid) inactive

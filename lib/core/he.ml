@@ -93,6 +93,7 @@ let register t ~tid =
       ~free:(fun b -> Alloc.free t.alloc ~tid b)
       ()
   in
+  Alloc.set_pressure_hook t.alloc ~tid (fun () -> Reclaimer.pressure rc);
   { t; tid; alloc_counter = 0; hwm = -1; rc }
 
 let alloc h payload =
@@ -156,3 +157,7 @@ let retired_count h = Reclaimer.count h.rc
 let force_empty h = Reclaimer.force h.rc
 let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch
+
+(* Neutralize a dead thread: clear every era slot in its row. *)
+let eject t ~tid =
+  Array.iter (fun slot -> Prim.write slot no_era) t.eras.(tid)

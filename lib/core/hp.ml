@@ -82,6 +82,7 @@ let register t ~tid =
       ~free:(fun b -> Alloc.free t.alloc ~tid b)
       ()
   in
+  Alloc.set_pressure_hook t.alloc ~tid (fun () -> Reclaimer.pressure rc);
   { t; tid; hwm = -1; rc }
 
 let alloc h payload = Alloc.alloc h.t.alloc ~tid:h.tid payload
@@ -137,3 +138,7 @@ let retired_count h = Reclaimer.count h.rc
 let force_empty h = Reclaimer.force h.rc
 let allocator t = t.alloc
 let epoch_value _ = 0
+
+(* Neutralize a dead thread: clear every hazard slot in its row. *)
+let eject t ~tid =
+  Array.iter (fun slot -> Prim.write slot None) t.slots.(tid)

@@ -75,6 +75,7 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
         ~free:(fun b -> Alloc.free t.alloc ~tid b)
         ()
     in
+    Alloc.set_pressure_hook t.alloc ~tid (fun () -> Reclaimer.pressure rc);
     { t; tid; alloc_counter = 0; rc }
 
   (* Fig. 5 lines 30–36: epoch tick on allocation, tag birth epoch. *)
@@ -116,4 +117,8 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
   let force_empty h = Reclaimer.force h.rc
   let allocator t = t.alloc
   let epoch_value t = Epoch.peek t.epoch
+
+  (* Neutralize a dead thread: clearing its [lower, upper] interval
+     unpins every block whose lifetime it intersected. *)
+  let eject t ~tid = Tracker_common.Interval_res.clear t.res ~tid
 end

@@ -65,3 +65,6 @@ let retired_count h = Reclaimer.count h.rc
 let force_empty _ = ()
 let allocator t = t.alloc
 let epoch_value _ = 0
+
+(* Holds no reservations: nothing to expire. *)
+let eject _ ~tid:_ = ()

@@ -70,6 +70,7 @@ let register t ~tid =
       ~free:(fun b -> Alloc.free t.alloc ~tid b)
       ()
   in
+  Alloc.set_pressure_hook t.alloc ~tid (fun () -> Reclaimer.pressure rc);
   { t; tid; alloc_counter = 0; rc }
 
 (* Fig. 4 lines 9–15: epoch tick on allocation, tag the birth epoch. *)
@@ -124,3 +125,7 @@ let retired_count h = Reclaimer.count h.rc
 let force_empty h = Reclaimer.force h.rc
 let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch
+
+(* Neutralize a dead thread: clearing its epoch reservation unpins
+   everything reachable from the root it had snapshotted. *)
+let eject t ~tid = Prim.write t.reservations.(tid) max_int

@@ -98,6 +98,7 @@ module Make (A : ADVANCE) = struct
         ~free:(fun b -> Alloc.free t.alloc ~tid b)
         ()
     in
+    Alloc.set_pressure_hook t.alloc ~tid (fun () -> Reclaimer.pressure rc);
     { t; tid; rc }
 
   let alloc h payload =
@@ -141,6 +142,11 @@ module Make (A : ADVANCE) = struct
 
   let allocator t = t.alloc
   let epoch_value t = Epoch.peek t.epoch
+
+  (* Neutralize a dead thread: a slot of [max_int] reads as quiescent
+     in every future epoch, so the thread never blocks an advance
+     again. *)
+  let eject t ~tid = Prim.write t.quiescent.(tid) max_int
 end
 
 (* The sound scheme: strictly e -> e+1 by CAS, so racing advancers

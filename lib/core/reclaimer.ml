@@ -292,6 +292,14 @@ let sweep t =
    the gate is bypassed and cleared. *)
 let force t = run_sweep t
 
+(* Memory-pressure sweep (the allocator's backpressure hook): run
+   [prepare] — a capped heap must still help the epoch forward, or
+   QSBR/Fraser could never free anything under pressure — then sweep
+   unconditionally, bypassing the gate. *)
+let pressure t =
+  t.prepare ();
+  run_sweep t
+
 let add t b =
   (match t.store with
    | Flat r -> Tracker_common.Retired.add r b

@@ -66,6 +66,11 @@ val force : 'a t -> unit
 (** Sweep now, bypassing and clearing the gate, without [prepare]
     (callers of [force_empty] do their own preparation). *)
 
+val pressure : 'a t -> unit
+(** Memory-pressure sweep ({!Alloc.set_pressure_hook}): [prepare]
+    (epoch advancement must keep moving under a capped heap) then an
+    unconditional, gate-bypassing sweep. *)
+
 val count : 'a t -> int
 (** Retired-but-unreclaimed blocks currently held. *)
 

@@ -103,6 +103,15 @@ module type TRACKER = sig
   val force_empty : 'a handle -> unit
   val allocator : 'a t -> 'a Alloc.t
   val epoch_value : 'a t -> int   (* 0 for epoch-less schemes *)
+
+  val eject : 'a t -> tid:int -> unit
+  (* DEBRA+/NBR-style neutralization: expire thread [tid]'s
+     reservations so they no longer pin retired blocks, restoring
+     reclamation after the thread crash-faulted.  SOUND ONLY for a
+     dead thread — ejecting a live thread that still dereferences its
+     protected blocks readmits use-after-free (the watchdog's progress
+     heuristic is the caller's responsibility; see DESIGN.md §7).
+     No-op for schemes that hold nothing between operations. *)
 end
 
 type packed = (module TRACKER)

@@ -49,3 +49,6 @@ let retired_count _ = 0
 let force_empty _ = ()
 let allocator t = t.alloc
 let epoch_value _ = 0
+
+(* Holds no reservations: nothing to expire. *)
+let eject _ ~tid:_ = ()

@@ -38,6 +38,11 @@ module type SET = sig
   val allocator_stats : t -> Alloc.stats
   val epoch_value : t -> int
 
+  (* Fault-injection hooks (see DESIGN.md §7): cap the underlying
+     allocator's footprint, and expire a dead thread's reservations. *)
+  val set_capacity : t -> int option -> unit
+  val eject : t -> tid:int -> unit
+
   (* Sequential-context helpers (quiescent structure only). *)
   val to_sorted_list : t -> (int * int) list
   val check_invariants : t -> unit

@@ -40,6 +40,16 @@ module type SET = sig
   val allocator_stats : t -> Alloc.stats
   val epoch_value : t -> int
 
+  (** Fault-injection hooks (see DESIGN.md §7). *)
+
+  val set_capacity : t -> int option -> unit
+  (** Cap (or uncap) the underlying allocator's live+retired
+      footprint; see {!Alloc.set_capacity}. *)
+
+  val eject : t -> tid:int -> unit
+  (** Expire thread [tid]'s reservations.  Sound only for a dead
+      thread; see {!Tracker_intf.TRACKER.eject}. *)
+
   (** Sequential-context helpers (quiescent structure only). *)
 
   val to_sorted_list : t -> (int * int) list

@@ -81,6 +81,8 @@ module Make (T : Tracker_intf.TRACKER) = struct
   let force_empty h = T.force_empty h.th
   let allocator_stats t = Alloc.stats (T.allocator t.tracker)
   let epoch_value t = T.epoch_value t.tracker
+  let set_capacity t cap = Alloc.set_capacity (T.allocator t.tracker) cap
+  let eject t ~tid = T.eject t.tracker ~tid
 
   let to_sorted_list t =
     Array.to_list t.buckets

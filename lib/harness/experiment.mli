@@ -71,7 +71,31 @@ val retire_backend_table : Stats.t list -> string
 (** Aligned text table of [retire_backend_sweep] rows (throughput and
     sweep telemetry incl. skipped sweeps and bucket occupancy). *)
 
+val robustness_profiles : string list
+(** Default fault-profile ladder of the robustness campaign. *)
+
+val robustness_sweep :
+  ?trackers:string list -> ?profiles:string list -> ?threads:int ->
+  ?cores:int -> ?horizons:int list -> ?ds_name:string -> ?seed:int ->
+  unit -> Stats.t list
+(** The fault-injection campaign (DESIGN.md §7): the same seeded
+    workload under each named fault profile across a ladder of run
+    lengths; rows are labelled "TRACKER/profile".  Runs are wrapped in
+    {!Ibr_core.Fault.with_counting} so allocator exhaustion is counted
+    rather than fatal. *)
+
+val robustness_table : Stats.t list -> string
+(** Aligned text table of campaign rows (peak unreclaimed, peak
+    footprint, oom events, pressure retries, crashes, ejections). *)
+
 (** A mechanically checked acceptance claim (appendix A.6). *)
 type check = { claim : string; holds : bool; detail : string }
 
 val headline_checks : Stats.t list -> check list
+
+val robustness_checks : Stats.t list -> check list
+(** The campaign's acceptance claims: (a) under a crashed thread EBR's
+    peak unreclaimed grows with run length while HP/HE/2GEIBR stay
+    bounded; (b) under crash+capped the robust schemes never exhaust
+    the allocator while EBR does; (c) the watchdog ejects the crashed
+    thread and restores EBR's bound. *)

@@ -82,6 +82,9 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
     sweep =
       Ibr_core.Tracker_common.Sweep_stats.diff sweep_before
         (Ibr_core.Tracker_common.Sweep_stats.snap ());
+    (* Fault injection is a simulator capability. *)
+    crashes = 0;
+    ejections = 0;
   }
 
 let run_named ~tracker_name ~ds_name cfg =

@@ -8,10 +8,64 @@
    (the Fig. 9 metric) and operation completions are counted for
    throughput (Fig. 8).  Threads beyond the simulated core count queue
    for cores, reproducing the oversubscription (stall) regime to the
-   right of the 72-thread mark in the paper's plots. *)
+   right of the 72-thread mark in the paper's plots.
+
+   A fault profile layers crash faults, allocator capacity, and the
+   ejection watchdog on top (DESIGN.md §7): crashes come from the
+   scheduler's probabilistic injector, the capacity is sized from the
+   post-prefill working set (the only time it is known), and an
+   operation that dies of [Alloc.Exhausted] aborts gracefully —
+   [Ds_common.with_op] releases its reservations on the way out — and
+   is counted rather than completed. *)
 
 open Ibr_runtime
 open Ibr_ds
+
+type faults =
+  | No_faults
+  | Stall_storm of { stall_prob : float; stall_len : int }
+  | Crash of { crash_prob : float; max_crashes : int }
+  | Crash_capped of {
+      crash_prob : float;
+      max_crashes : int;
+      slack_per_thread : int;
+    }
+  | Crash_watchdog of {
+      crash_prob : float;
+      max_crashes : int;
+      period : int;
+      grace : int;
+    }
+
+(* Named presets for the CLI / campaign.  Crash profiles zero
+   [stall_prob]: a crash is the fault under study, and (for the
+   watchdog) a long stall is indistinguishable from death, so mixing
+   the two would eject live threads (see [Watchdog]). *)
+let fault_profiles = [
+  ("none", No_faults);
+  ("stall-storm", Stall_storm { stall_prob = 0.05; stall_len = 480_000 });
+  (* crash_prob is per dispatched quantum: 0.25 lands the (single)
+     crash within the first couple of scheduling rounds, so the
+     pre-crash block population — the robust schemes' pinned-set bound
+     — stays close to the prefill working set. *)
+  ("crash", Crash { crash_prob = 0.25; max_crashes = 1 });
+  ("crash+capped",
+   (* Slack budget: per-thread limbo lists (a few empty_freq each) plus
+      the set a robust scheme's crashed interval legitimately pins —
+      up to the pre-crash block population (campaigns keep the
+      structure small so this saturates early). *)
+   Crash_capped { crash_prob = 0.25; max_crashes = 1; slack_per_thread = 320 });
+  ("crash+watchdog",
+   (* One check per watchdog quantum: a shorter period would fire
+      several checks inside one quantum, during which no other fiber
+      advances — every live thread would look stale.  grace = 3 then
+      needs three full scheduling rounds of silence, which only a dead
+      thread produces (profiles with the watchdog keep stalls off). *)
+   Crash_watchdog
+     { crash_prob = 0.25; max_crashes = 1; period = 15_000; grace = 3 });
+]
+
+let faults_of_string s = List.assoc_opt s fault_profiles
 
 type config = {
   threads : int;
@@ -20,10 +74,11 @@ type config = {
   seed : int;
   tracker_cfg : Ibr_core.Tracker_intf.config;
   spec : Workload.spec;
+  faults : faults;
 }
 
 let default_config ?(threads = 8) ?(horizon = 200_000) ?(seed = 0xbeef)
-    ?(cores = 72) ~spec () =
+    ?(cores = 72) ?(faults = No_faults) ~spec () =
   {
     threads;
     horizon;
@@ -31,7 +86,19 @@ let default_config ?(threads = 8) ?(horizon = 200_000) ?(seed = 0xbeef)
     seed;
     tracker_cfg = Ibr_core.Tracker_intf.default_config ~threads ();
     spec;
+    faults;
   }
+
+(* Scheduler knobs implied by the fault profile. *)
+let sched_config cfg =
+  match cfg.faults with
+  | No_faults -> cfg.sched
+  | Stall_storm { stall_prob; stall_len } ->
+    { cfg.sched with stall_prob; stall_len }
+  | Crash { crash_prob; max_crashes }
+  | Crash_capped { crash_prob; max_crashes; _ }
+  | Crash_watchdog { crash_prob; max_crashes; _ } ->
+    { cfg.sched with crash_prob; max_crashes; stall_prob = 0.0 }
 
 let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
   let t = S.create ~threads:cfg.threads cfg.tracker_cfg in
@@ -40,9 +107,16 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
   let prefill_rng = Rng.create (cfg.seed lxor 0x5eed) in
   Workload.prefill ~rng:prefill_rng ~spec:cfg.spec
     ~insert:(fun ~key ~value -> S.insert h0 ~key ~value);
+  (* The capacity can only be sized now: the working set exists. *)
+  (match cfg.faults with
+   | Crash_capped { slack_per_thread; _ } ->
+     let st = S.allocator_stats t in
+     S.set_capacity t (Some (st.live + (cfg.threads * slack_per_thread)))
+   | _ -> ());
   (* Measured phase. *)
-  let sched = Sched.create cfg.sched in
+  let sched = Sched.create (sched_config cfg) in
   let ops = Array.make cfg.threads 0 in
+  let aborted = Array.make cfg.threads 0 in
   let samplers = Array.init cfg.threads (fun _ -> Stats.make_sampler ()) in
   for i = 0 to cfg.threads - 1 do
     ignore
@@ -53,16 +127,39 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
          let rec loop () =
            Stats.sample samplers.(tid) (S.retired_count h);
            let key = Workload.pick_key rng cfg.spec in
-           (match Workload.pick_op rng cfg.spec.mix with
-            | Workload.Insert -> ignore (S.insert h ~key ~value:key)
-            | Workload.Remove -> ignore (S.remove h ~key)
-            | Workload.Get -> ignore (S.get h ~key));
-           ops.(tid) <- ops.(tid) + 1;
+           (try
+              (match Workload.pick_op rng cfg.spec.mix with
+               | Workload.Insert -> ignore (S.insert h ~key ~value:key)
+               | Workload.Remove -> ignore (S.remove h ~key)
+               | Workload.Get -> ignore (S.get h ~key));
+              ops.(tid) <- ops.(tid) + 1
+            with
+            | Ibr_core.Alloc.Exhausted
+            | Ibr_core.Fault.Memory_fault (Ibr_core.Fault.Alloc_exhausted, _)
+              ->
+              (* Heap full after the backpressure ladder: the op
+                 aborted (its reservations were released on unwind);
+                 keep going — later sweeps may free room. *)
+              aborted.(tid) <- aborted.(tid) + 1);
            loop ()
          in
          ignore i;
          loop ()))
   done;
+  (* The watchdog rides on the machine as one more thread.  Progress =
+     attempts, not completions, so a live thread stuck aborting
+     against a full heap is not mistaken for a dead one. *)
+  let watchdog =
+    match cfg.faults with
+    | Crash_watchdog { period; grace; _ } ->
+      Some
+        (Watchdog.spawn ~sched ~period ~grace ~threads:cfg.threads
+           ~progress:(fun tid -> ops.(tid) + aborted.(tid))
+           ~footprint:(fun () -> (S.allocator_stats t).live)
+           ~eject:(fun tid -> S.eject t ~tid)
+           ())
+    | _ -> None
+  in
   let faults_before = Ibr_core.Fault.total () in
   let sweep_before = Ibr_core.Tracker_common.Sweep_stats.snap () in
   Sched.run ~horizon:cfg.horizon sched;
@@ -86,6 +183,9 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
     sweep =
       Ibr_core.Tracker_common.Sweep_stats.diff sweep_before
         (Ibr_core.Tracker_common.Sweep_stats.snap ());
+    crashes = Sched.crashes sched;
+    ejections =
+      (match watchdog with Some w -> Watchdog.ejections w | None -> 0);
   }
 
 (* Convenience: resolve names through the registries and run. *)

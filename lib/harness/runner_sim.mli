@@ -6,7 +6,42 @@
     retired-but-unreclaimed count at every operation start (Fig. 9)
     while completions are counted for throughput (Fig. 8).  Threads
     beyond the core count queue for cores, reproducing the paper's
-    oversubscription regime. *)
+    oversubscription regime.
+
+    A {!faults} profile layers crash faults, an allocator capacity
+    sized from the post-prefill working set, and the ejection
+    {!Watchdog} on top (DESIGN.md §7). *)
+
+type faults =
+  | No_faults
+  | Stall_storm of { stall_prob : float; stall_len : int }
+      (** Amplified involuntary stalls (oversubscription regime). *)
+  | Crash of { crash_prob : float; max_crashes : int }
+      (** Probabilistic crash faults; a crashed thread's reservations
+          stay pinned forever ({!Ibr_runtime.Sched.crash}). *)
+  | Crash_capped of {
+      crash_prob : float;
+      max_crashes : int;
+      slack_per_thread : int;
+    }
+      (** Crash faults plus a heap capacity of post-prefill live
+          blocks + [threads * slack_per_thread]; exhausted operations
+          abort gracefully and are counted, not completed. *)
+  | Crash_watchdog of {
+      crash_prob : float;
+      max_crashes : int;
+      period : int;
+      grace : int;
+    }
+      (** Crash faults plus the ejection watchdog with the given check
+          period (virtual cycles) and grace (checks with no progress
+          before ejection). *)
+
+val fault_profiles : (string * faults) list
+(** Named presets: ["none"], ["stall-storm"], ["crash"],
+    ["crash+capped"], ["crash+watchdog"]. *)
+
+val faults_of_string : string -> faults option
 
 type config = {
   threads : int;
@@ -15,11 +50,12 @@ type config = {
   seed : int;
   tracker_cfg : Ibr_core.Tracker_intf.config;
   spec : Workload.spec;
+  faults : faults;
 }
 
 val default_config :
   ?threads:int -> ?horizon:int -> ?seed:int -> ?cores:int ->
-  spec:Workload.spec -> unit -> config
+  ?faults:faults -> spec:Workload.spec -> unit -> config
 
 val run :
   tracker_name:string -> ds_name:string -> (module Ibr_ds.Ds_intf.SET) ->

@@ -21,6 +21,8 @@ type t = {
   sweep : Tracker_common.Sweep_stats.snap;
   (* Reclamation-sweep telemetry accumulated during the run: sweeps
      run, blocks examined/freed, and the reservation-snapshot cost. *)
+  crashes : int;    (* crash faults delivered during the run *)
+  ejections : int;  (* stale threads neutralized by the watchdog *)
 }
 
 let no_sweep : Tracker_common.Sweep_stats.snap =
@@ -34,26 +36,33 @@ let throughput ~ops ~makespan =
 let pp ppf r =
   Fmt.pf ppf
     "%-12s %-8s t=%-3d %-15s ops=%-8d thr=%8.3f Mops/Ms unrec=%8.1f \
-     peak=%-6d live=%-7d epoch=%-6d faults=%d sweeps=%d swept=%d"
+     peak=%-6d live=%-7d epoch=%-6d faults=%d sweeps=%d swept=%d%s"
     r.tracker r.ds r.threads r.mix r.ops r.throughput r.avg_unreclaimed
     r.peak_unreclaimed r.alloc.live r.epoch r.faults r.sweep.sweeps
     r.sweep.examined
+    (if r.crashes = 0 && r.ejections = 0 && r.alloc.oom_events = 0 then ""
+     else
+       Printf.sprintf " crashes=%d ejections=%d oom=%d" r.crashes
+         r.ejections r.alloc.oom_events)
 
 let csv_header =
   "tracker,ds,threads,mix,ops,makespan,throughput,avg_unreclaimed,\
    peak_unreclaimed,samples,allocated,freed,live,cached,epoch,faults,\
    sweeps,sweep_examined,sweep_freed,sweep_snapshot_entries,\
-   sweep_snapshot_cycles,sweeps_skipped,sweep_buckets"
+   sweep_snapshot_cycles,sweeps_skipped,sweep_buckets,crashes,ejections,\
+   oom_events,pressure_retries,peak_footprint"
 
 let to_csv_row r =
   Printf.sprintf
     "%s,%s,%d,%s,%d,%d,%.6f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,\
-     %d,%d"
+     %d,%d,%d,%d,%d,%d,%d"
     r.tracker r.ds r.threads r.mix r.ops r.makespan r.throughput
     r.avg_unreclaimed r.peak_unreclaimed r.samples r.alloc.allocated
     r.alloc.freed r.alloc.live r.alloc.cached r.epoch r.faults
     r.sweep.sweeps r.sweep.examined r.sweep.freed r.sweep.snapshot_entries
-    r.sweep.snapshot_cycles r.sweep.skipped r.sweep.buckets
+    r.sweep.snapshot_cycles r.sweep.skipped r.sweep.buckets r.crashes
+    r.ejections r.alloc.oom_events r.alloc.pressure_retries
+    r.alloc.peak_footprint
 
 (* Incremental mean/peak accumulator for the unreclaimed metric. *)
 type sampler = {

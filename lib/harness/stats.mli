@@ -18,6 +18,9 @@ type t = {
   faults : int;
   sweep : Ibr_core.Tracker_common.Sweep_stats.snap;
   (** Reclamation-sweep telemetry accumulated during the run. *)
+
+  crashes : int;    (** crash faults delivered during the run *)
+  ejections : int;  (** stale threads neutralized by the watchdog *)
 }
 
 val no_sweep : Ibr_core.Tracker_common.Sweep_stats.snap

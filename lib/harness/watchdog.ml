@@ -1,0 +1,85 @@
+(* Ejection watchdog (DEBRA+/NBR-style neutralization; DESIGN.md §7).
+
+   A monitor thread on the simulated machine wakes every [period]
+   virtual cycles and compares each worker's operation counter against
+   its last observation.  A worker that has completed at least one
+   operation (so startup latency cannot be mistaken for death) and
+   then shows no progress for [grace] consecutive checks is presumed
+   crashed: its reservations are expired through the tracker's [eject]
+   hook, unpinning every retired block it held.
+
+   The progress heuristic is exactly that — a heuristic.  Ejecting a
+   thread that is merely slow (deep oversubscription, a long injected
+   stall) readmits use-after-free, because the thread may still
+   dereference blocks its reservation was protecting.  [grace * period]
+   must therefore exceed the longest legitimate dispatch gap; fault
+   profiles that arm the watchdog disable stall injection for the same
+   reason.  See the soundness caveat on {!Ibr_core.Tracker_intf}. *)
+
+open Ibr_runtime
+
+type t = {
+  threads : int;
+  mutable ejections : int;
+  mutable recovered : int;
+  ejected : bool array;
+  footprint_at_eject : int option array;
+}
+
+let ejections w = w.ejections
+let recovered w = w.recovered
+let ejected w tid = w.ejected.(tid)
+
+let spawn ~sched ~period ~grace ~threads ~progress ~footprint ~eject () =
+  if period < 1 then invalid_arg "Watchdog.spawn: period < 1";
+  if grace < 1 then invalid_arg "Watchdog.spawn: grace < 1";
+  let w = {
+    threads;
+    ejections = 0;
+    recovered = 0;
+    ejected = Array.make threads false;
+    footprint_at_eject = Array.make threads None;
+  } in
+  let last = Array.make threads min_int in   (* min_int = not yet armed *)
+  let stale = Array.make threads 0 in
+  ignore
+    (Sched.spawn sched (fun _wtid ->
+       let rec loop () =
+         Hooks.step period;
+         for tid = 0 to threads - 1 do
+           if w.ejected.(tid) then begin
+             (* Credit the footprint drop since ejection once, at the
+                next check — by then the workers' sweeps have had a
+                chance to reclaim what the dead reservation pinned. *)
+             match w.footprint_at_eject.(tid) with
+             | Some before ->
+               let fp = footprint () in
+               if fp < before then w.recovered <- w.recovered + (before - fp);
+               w.footprint_at_eject.(tid) <- None
+             | None -> ()
+           end
+           else begin
+             let p = progress tid in
+             if last.(tid) = min_int then begin
+               (* Arm only after the first completed operation. *)
+               if p > 0 then last.(tid) <- p
+             end
+             else if p = last.(tid) then begin
+               stale.(tid) <- stale.(tid) + 1;
+               if stale.(tid) >= grace then begin
+                 w.footprint_at_eject.(tid) <- Some (footprint ());
+                 eject tid;
+                 w.ejected.(tid) <- true;
+                 w.ejections <- w.ejections + 1
+               end
+             end
+             else begin
+               stale.(tid) <- 0;
+               last.(tid) <- p
+             end
+           end
+         done;
+         loop ()
+       in
+       loop ()));
+  w

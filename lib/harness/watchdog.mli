@@ -1,0 +1,43 @@
+(** Ejection watchdog (DEBRA+/NBR-style neutralization; DESIGN.md §7).
+
+    A monitor thread on the simulated machine that detects workers
+    making no progress and expires their reservations through the
+    tracker's [eject] hook, so a crash-faulted thread stops pinning
+    retired memory forever.
+
+    {b Soundness caveat:} no-progress is a heuristic for death.
+    Ejecting a live thread readmits use-after-free; [grace * period]
+    must exceed the longest legitimate dispatch gap, and profiles that
+    arm the watchdog must not also inject stalls.  See
+    {!Ibr_core.Tracker_intf.TRACKER.eject}. *)
+
+type t
+
+val spawn :
+  sched:Ibr_runtime.Sched.t ->
+  period:int ->
+  grace:int ->
+  threads:int ->
+  progress:(int -> int) ->
+  footprint:(unit -> int) ->
+  eject:(int -> unit) ->
+  unit -> t
+(** [spawn ~sched ~period ~grace ~threads ~progress ~footprint ~eject ()]
+    registers the monitor thread on [sched] (must precede
+    {!Ibr_runtime.Sched.run}).  Every [period] virtual cycles it polls
+    [progress tid] (a monotone per-worker operation counter) for each
+    of the [threads] workers; a worker that completed at least one
+    operation and then stalls at the same count for [grace]
+    consecutive checks is ejected (once).  [footprint] (live+retired
+    blocks) is sampled around each ejection to estimate the memory
+    recovered.
+    @raise Invalid_argument if [period < 1] or [grace < 1]. *)
+
+val ejections : t -> int
+(** Workers ejected so far. *)
+
+val recovered : t -> int
+(** Estimated blocks unpinned by ejections: the drop in allocator
+    footprint between each ejection and the following check, summed. *)
+
+val ejected : t -> int -> bool

@@ -22,6 +22,13 @@
 
 type _ Effect.t += Step : unit Effect.t
 
+type _ Effect.t += Crash : unit Effect.t
+(* Performed by a thread crashing *itself* mid-operation.  The handler
+   abandons the continuation without resuming or discontinuing it, so
+   — unlike [Stopped] unwinding — no cleanup handler runs: whatever
+   reservations the thread held stay pinned forever.  That is the
+   crash-fault model of the robustness literature (DEBRA+/NBR). *)
+
 exception Stopped
 (* Raised into still-paused fibers when the run ends, so that their
    cleanup handlers execute.  Thread bodies must not swallow it. *)
@@ -32,6 +39,8 @@ type config = {
   ctx_switch : int;     (* core-side cost of a thread switch *)
   stall_prob : float;   (* chance per quantum of an involuntary stall *)
   stall_len : int;      (* virtual length of an injected stall *)
+  crash_prob : float;   (* chance per quantum of a crash fault *)
+  max_crashes : int;    (* cap on injected crashes per run *)
   perform_threshold : int; (* min accumulated cost between suspensions *)
   seed : int;
 }
@@ -49,6 +58,8 @@ let default_config = {
   ctx_switch = 400;
   stall_prob = 0.002;
   stall_len = 240_000;
+  crash_prob = 0.0;
+  max_crashes = 1;
   perform_threshold = 12;
   seed = 0xf00d;
 }
@@ -62,6 +73,8 @@ let test_config ?(cores = 4) ?(seed = 42) () = {
   ctx_switch = 1;
   stall_prob = 0.0;
   stall_len = 0;
+  crash_prob = 0.0;
+  max_crashes = 1;
   perform_threshold = 1;
   seed;
 }
@@ -90,6 +103,7 @@ type thread = {
   mutable vtime : int;      (* total cycles this thread has executed *)
   mutable acc : int;        (* cost accrued since last suspension *)
   mutable stalled : bool;   (* permanently stalled by the harness *)
+  mutable crashed : bool;   (* crash-faulted: dead, cleanups never ran *)
   mutable quanta : int;     (* quanta received (observability) *)
 }
 
@@ -109,6 +123,7 @@ type t = {
   mutable gseq : int;
   mutable decider : decider option;
   mutable last_tid : int; (* last dispatched tid; -1 before the first *)
+  mutable crashes : int;  (* crash faults delivered (injected + explicit) *)
 }
 
 let create cfg =
@@ -116,7 +131,7 @@ let create cfg =
   if cfg.quantum < 1 then invalid_arg "Sched.create: quantum must be >= 1";
   { cfg; threads = []; n_threads = 0; rng = Rng.create cfg.seed;
     running = None; makespan = 0; ran = false; gseq = 0;
-    decider = None; last_tid = -1 }
+    decider = None; last_tid = -1; crashes = 0 }
 
 let set_decider t d =
   if t.ran then invalid_arg "Sched.set_decider: scheduler already ran";
@@ -126,7 +141,8 @@ let spawn t body =
   if t.ran then invalid_arg "Sched.spawn: scheduler already ran";
   let tid = t.n_threads in
   t.threads <- { tid; fiber = Not_started body; ready_at = 0; vtime = 0;
-                 acc = 0; stalled = false; quanta = 0 } :: t.threads;
+                 acc = 0; stalled = false; crashed = false; quanta = 0 }
+               :: t.threads;
   t.n_threads <- tid + 1;
   tid
 
@@ -144,13 +160,37 @@ let find_thread t tid =
 let stall t tid = (find_thread t tid).stalled <- true
 let unstall t tid = (find_thread t tid).stalled <- false
 
+(* Mark a thread crash-faulted.  Crashing the *calling* thread performs
+   [Crash] so the fiber dies at this very point (its continuation is
+   abandoned, never discontinued — cleanup handlers do not run);
+   crashing another thread leaves its paused continuation wherever it
+   last suspended, equally without unwinding.  Crashing a thread that
+   already finished is a no-op: it released everything at exit. *)
+let crash t tid =
+  let th = find_thread t tid in
+  if not th.crashed && th.fiber <> Finished then begin
+    th.crashed <- true;
+    t.crashes <- t.crashes + 1;
+    match t.running with
+    | Some r when r.tid = tid -> Effect.perform Crash
+    | _ -> ()
+  end
+
+let crash_self () = Effect.perform Crash
+
+let crashes t = t.crashes
+let crashed t tid = (find_thread t tid).crashed
+
 let makespan t = t.makespan
 let thread_vtime t tid = (find_thread t tid).vtime
 let thread_quanta t tid = (find_thread t tid).quanta
 
 (* Resume a fiber for its next segment.  The deep handler converts the
-   fiber's next suspension (or termination) into a [status]. *)
-let resume_segment th =
+   fiber's next suspension (or termination) into a [status].  A [Crash]
+   abandons the continuation: it is neither resumed nor discontinued,
+   so the fiber's cleanup handlers never run — the defining difference
+   from [Stopped] unwinding. *)
+let resume_segment t th =
   match th.fiber with
   | Finished -> Done
   | Paused k ->
@@ -166,6 +206,12 @@ let resume_segment th =
         | Step -> Some (fun (k : (a, status) Effect.Deep.continuation) ->
             th.fiber <- Paused k;
             Yielded)
+        | Crash -> Some (fun (_ : (a, status) Effect.Deep.continuation) ->
+            if not th.crashed then begin
+              th.crashed <- true;
+              t.crashes <- t.crashes + 1
+            end;
+            Done)
         | _ -> None);
     } in
     Effect.Deep.match_with (fun () -> body th.tid) () handler
@@ -178,7 +224,7 @@ let run_quantum t th ~start:_ =
   let continue_ = ref true in
   t.running <- Some th;
   while !continue_ do
-    match resume_segment th with
+    match resume_segment t th with
     | Done ->
       (* Flush trailing accrued cost. *)
       consumed := !consumed + th.acc;
@@ -196,7 +242,8 @@ let run_quantum t th ~start:_ =
   th.quanta <- th.quanta + 1;
   !consumed
 
-let runnable th = (not th.stalled) && th.fiber <> Finished
+let runnable th =
+  (not th.stalled) && (not th.crashed) && th.fiber <> Finished
 
 (* Main loop.  [horizon] bounds *virtual wall-clock* time: no quantum
    is dispatched at or after it, mirroring the paper's fixed-duration
@@ -284,12 +331,29 @@ let run ?(horizon = max_int) t =
             t.n_threads > t.cfg.cores
             && t.cfg.stall_prob > 0.0
             && Rng.chance t.rng t.cfg.stall_prob
-          then th.ready_at <- th.ready_at + t.cfg.stall_len
+          then th.ready_at <- th.ready_at + t.cfg.stall_len;
+          (* Crash injection: the thread dies wherever the quantum left
+             it — almost always mid-operation, reservations posted.
+             Unlike stalls this needs no oversubscription; a crash is a
+             process fault, not a scheduling artifact. *)
+          if
+            t.crashes < t.cfg.max_crashes
+            && t.cfg.crash_prob > 0.0
+            && th.fiber <> Finished
+            && (not th.crashed)
+            && Rng.chance t.rng t.cfg.crash_prob
+          then begin
+            th.crashed <- true;
+            t.crashes <- t.crashes + 1
+          end
         end
     done;
-    (* Unwind permanently stalled / never-dispatched fibers. *)
+    (* Unwind permanently stalled / never-dispatched fibers — except
+       crashed ones, whose continuations are abandoned unresumed so
+       their cleanup handlers (end_op, reservation clears) never run. *)
     Array.iter (fun th ->
       match th.fiber with
+      | Paused _ when th.crashed -> th.fiber <- Finished
       | Paused k ->
         t.running <- Some th;
         (try ignore (Effect.Deep.discontinue k Stopped) with Stopped -> ());

@@ -12,6 +12,11 @@
 type _ Effect.t += Step : unit Effect.t
 (** Performed (via {!Hooks.step}) by code running inside a fiber. *)
 
+type _ Effect.t += Crash : unit Effect.t
+(** Performed by a fiber crashing itself ({!crash_self}); the handler
+    abandons the continuation without unwinding, so cleanup handlers
+    never run. *)
+
 exception Stopped
 (** Raised into still-running fibers when the run ends so their
     cleanup handlers execute; thread bodies must not swallow it. *)
@@ -24,6 +29,11 @@ type config = {
                                 stall; applied only when threads
                                 outnumber cores *)
   stall_len : int;          (** virtual length of an injected stall *)
+  crash_prob : float;       (** chance per quantum of a crash fault;
+                                [0.0] disables injection (and draws
+                                nothing from the PRNG, preserving
+                                existing streams) *)
+  max_crashes : int;        (** cap on injected crash faults per run *)
   perform_threshold : int;  (** min accumulated cost between
                                 suspensions (interleaving granularity) *)
   seed : int;
@@ -71,9 +81,29 @@ val run : ?horizon:int -> t -> unit
 
 val stall : t -> int -> unit
 (** Permanently prevent a thread from being dispatched (robustness
-    experiments). *)
+    experiments).  Unlike {!crash}, a stalled thread's fiber is still
+    unwound with {!Stopped} when the run ends, so its cleanups run.
+    May be called before the run or from inside another fiber. *)
 
 val unstall : t -> int -> unit
+
+val crash : t -> int -> unit
+(** [crash t tid] delivers a crash fault: the thread is removed from
+    dispatch and its continuation is abandoned {e without} unwinding —
+    cleanup handlers never execute and any reservations it holds stay
+    pinned forever (the DEBRA+/NBR crash model; contrast {!stall}).
+    Crashing the calling thread kills it at this very point; crashing
+    an already-finished thread is a no-op.  May be called before the
+    run, from inside a fiber, or from a {!decider} callback. *)
+
+val crash_self : unit -> unit
+(** Crash the calling fiber at this program point (performs {!Crash});
+    only valid inside a simulated thread. *)
+
+val crashes : t -> int
+(** Crash faults delivered so far (injected plus explicit). *)
+
+val crashed : t -> int -> bool
 
 val makespan : t -> int
 (** Virtual completion time of the run (max over cores). *)

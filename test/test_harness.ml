@@ -65,10 +65,12 @@ let test_csv_row_shape () =
     ops = 100; makespan = 1000; throughput = 1.5; avg_unreclaimed = 2.25;
     peak_unreclaimed = 7; samples = 100;
     alloc = { allocated = 10; fresh = 10; reused = 0; freed = 5; live = 5;
-              cached = 0 };
+              cached = 0; peak_footprint = 6; pressure_retries = 0;
+              oom_events = 0 };
     epoch = 3; faults = 0;
     sweep = { sweeps = 2; examined = 9; freed = 5; snapshot_entries = 8;
               snapshot_cycles = 32; skipped = 1; buckets = 4 };
+    crashes = 0; ejections = 0;
   } in
   let cells = String.split_on_char ',' (Stats.to_csv_row row) in
   let headers = String.split_on_char ',' Stats.csv_header in

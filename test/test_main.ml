@@ -20,4 +20,5 @@ let () =
       ("more", Test_more.suite);
       ("handover", Test_handover.suite);
       ("retire-backends", Test_retire_backends.suite);
+      ("robustness", Test_robustness.suite);
     ]

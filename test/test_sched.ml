@@ -150,6 +150,107 @@ let test_exception_propagates () =
   Alcotest.check_raises "body exception surfaces" (Failure "boom") (fun () ->
     Sched.run t)
 
+let test_stall_unstall_roundtrip () =
+  (* Mid-run round trip: thread 0 stalls thread 1, works a while (the
+     stalled thread must make zero progress), then unstalls it; the
+     revived thread must finish its full workload. *)
+  let t = Sched.create (Sched.test_config ~cores:1 ()) in
+  let count1 = ref 0 in
+  let at_stall = ref (-1) and at_unstall = ref (-1) in
+  let sched = t in
+  ignore
+    (Sched.spawn t (fun _ ->
+       for i = 1 to 40 do
+         Hooks.step 2;
+         if i = 10 then begin
+           Sched.stall sched 1;
+           at_stall := !count1
+         end;
+         if i = 30 then begin
+           at_unstall := !count1;
+           Sched.unstall sched 1
+         end
+       done));
+  ignore
+    (Sched.spawn t (fun _ ->
+       for _ = 1 to 25 do
+         Hooks.step 3;
+         incr count1
+       done));
+  Sched.run t;
+  Alcotest.(check bool) "stall happened mid-run" true (!at_stall >= 0);
+  Alcotest.(check int) "no progress while stalled" !at_stall !at_unstall;
+  Alcotest.(check int) "revived thread finished" 25 !count1
+
+let test_crash_self_no_unwind () =
+  let t = Sched.create (Sched.test_config ~cores:1 ()) in
+  let cleaned = ref false and after = ref false in
+  let tid =
+    Sched.spawn t (fun _ ->
+      Fun.protect
+        ~finally:(fun () -> cleaned := true)
+        (fun () ->
+           Hooks.step 1;
+           Sched.crash_self ();
+           after := true))
+  in
+  ignore (Sched.spawn t (fun _ -> for _ = 1 to 5 do Hooks.step 1 done));
+  Sched.run t;
+  Alcotest.(check bool) "no code after crash point" false !after;
+  Alcotest.(check bool) "cleanups never ran (contrast Stopped)" false !cleaned;
+  Alcotest.(check bool) "thread recorded as crashed" true (Sched.crashed t tid);
+  Alcotest.(check int) "one crash fault" 1 (Sched.crashes t)
+
+let test_crash_other_freezes_progress () =
+  let t = Sched.create (Sched.test_config ~cores:1 ()) in
+  let sched = t in
+  let count1 = ref 0 and at_crash = ref (-1) in
+  ignore
+    (Sched.spawn t (fun _ ->
+       (* The crash point sits past the first quantum boundary so the
+          victim has demonstrably run before it is killed. *)
+       for i = 1 to 60 do
+         Hooks.step 2;
+         if i = 30 then begin
+           Sched.crash sched 1;
+           at_crash := !count1
+         end
+       done));
+  ignore
+    (Sched.spawn t (fun _ ->
+       for _ = 1 to 1_000 do Hooks.step 3; incr count1 done));
+  Sched.run t;
+  Alcotest.(check bool) "victim had started" true (!at_crash > 0);
+  Alcotest.(check int) "victim frozen at the crash point" !at_crash !count1;
+  Alcotest.(check bool) "victim marked crashed" true (Sched.crashed t 1)
+
+let test_crash_injection_deterministic () =
+  (* Probabilistic injection must be a pure function of the seed, and
+     the [max_crashes] cap must hold. *)
+  let go () =
+    let cfg =
+      { (Sched.test_config ~cores:2 ~seed:41 ()) with
+        quantum = 20; crash_prob = 0.3; max_crashes = 2 }
+    in
+    let t = Sched.create cfg in
+    let buf = Buffer.create 64 in
+    for _ = 1 to 4 do
+      ignore
+        (Sched.spawn t (fun tid ->
+           for _ = 1 to 50 do
+             Hooks.step 3;
+             Buffer.add_string buf (string_of_int tid)
+           done))
+    done;
+    Sched.run t;
+    (Sched.crashes t, Buffer.contents buf)
+  in
+  let c1, tr1 = go () and c2, tr2 = go () in
+  Alcotest.(check int) "same crash count" c1 c2;
+  Alcotest.(check string) "same trace" tr1 tr2;
+  Alcotest.(check bool) "at least one crash injected" true (c1 >= 1);
+  Alcotest.(check bool) "max_crashes respected" true (c1 <= 2)
+
 let test_quanta_counted () =
   let t = Sched.create { (Sched.test_config ~cores:1 ()) with quantum = 10 } in
   let tid = Sched.spawn t (fun _ -> for _ = 1 to 10 do Hooks.step 10 done) in
@@ -171,6 +272,14 @@ let suite =
     Alcotest.test_case "now monotone" `Quick test_now_monotone_in_fiber;
     Alcotest.test_case "oversubscription stretches makespan" `Quick
       test_oversubscription_stretches_makespan;
+    Alcotest.test_case "stall/unstall round-trip" `Quick
+      test_stall_unstall_roundtrip;
+    Alcotest.test_case "crash_self abandons without unwinding" `Quick
+      test_crash_self_no_unwind;
+    Alcotest.test_case "crash freezes the victim's progress" `Quick
+      test_crash_other_freezes_progress;
+    Alcotest.test_case "crash injection deterministic and capped" `Quick
+      test_crash_injection_deterministic;
     Alcotest.test_case "spawn after run rejected" `Quick test_spawn_after_run_rejected;
     Alcotest.test_case "body exception propagates" `Quick test_exception_propagates;
     Alcotest.test_case "quanta counted" `Quick test_quanta_counted;
