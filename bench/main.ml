@@ -216,7 +216,7 @@ let run_retire_ablation ?(threads_list = [ 16; 32; 48 ]) () =
     Ibr_harness.Experiment.retire_backend_sweep ~threads_list () in
   Fmt.pr "== ablation:retire (backends on hashmap) ==@.%s@."
     (Ibr_harness.Experiment.retire_backend_table rows);
-  Fmt.pr "csv:@.%s@." Ibr_harness.Stats.csv_header;
+  Fmt.pr "csv:@.%s@." (Ibr_harness.Stats.csv_header ());
   List.iter (fun r -> Fmt.pr "%s@." (Ibr_harness.Stats.to_csv_row r)) rows;
   Fmt.pr "@."
 
@@ -233,9 +233,83 @@ let run_robustness ?threads ?horizons () =
          (if c.holds then "PASS" else "FAIL")
          c.claim c.detail)
     (Ibr_harness.Experiment.robustness_checks rows);
-  Fmt.pr "@.csv:@.%s@." Ibr_harness.Stats.csv_header;
+  Fmt.pr "@.csv:@.%s@." (Ibr_harness.Stats.csv_header ());
   List.iter (fun r -> Fmt.pr "%s@." (Ibr_harness.Stats.to_csv_row r)) rows;
   Fmt.pr "@."
+
+(* Ablation: trace overhead.  The observability tentpole's contract is
+   zero-cost-when-disabled; this mode measures both halves of it.
+
+   Virtual: the probes never call [Hooks.step], so a traced sim run
+   must be *identical* (ops, makespan, throughput) to an untraced one
+   — checked exactly, which is far stronger than the <1% acceptance
+   bar.  Native: the same bechamel kernel timed with probes disabled
+   (the shipping path: one load + branch per emitter) and with tracing
+   + histograms enabled, reporting the enabled-state slowdown. *)
+let run_trace_overhead () =
+  Fmt.pr "== ablation:trace-overhead ==@.";
+  let sim_run () =
+    let spec =
+      { (Ibr_harness.Workload.spec_for "hashmap") with key_range = 512 } in
+    let cfg =
+      Ibr_harness.Runner_sim.default_config ~threads:8 ~horizon:60_000
+        ~cores:8 ~seed:0x7ace ~spec ()
+    in
+    Option.get
+      (Ibr_harness.Runner_sim.run_named ~tracker_name:"2GEIBR"
+         ~ds_name:"hashmap" cfg)
+  in
+  let off = sim_run () in
+  Ibr_obs.Probe.start ~threads:10 ();
+  Ibr_obs.Probe.enable_hist ();
+  let on = sim_run () in
+  Ibr_obs.Probe.stop ();
+  let identical =
+    off.Ibr_harness.Stats.ops = on.Ibr_harness.Stats.ops
+    && off.Ibr_harness.Stats.makespan = on.Ibr_harness.Stats.makespan
+    && off.Ibr_harness.Stats.throughput = on.Ibr_harness.Stats.throughput
+  in
+  Fmt.pr "virtual: untraced ops=%d makespan=%d | traced ops=%d makespan=%d@."
+    off.Ibr_harness.Stats.ops off.Ibr_harness.Stats.makespan
+    on.Ibr_harness.Stats.ops on.Ibr_harness.Stats.makespan;
+  Fmt.pr "%s: tracing leaves the virtual-time run bit-identical@."
+    (if identical then "PASS" else "FAIL");
+  (* Native: one kernel, timed under both probe states. *)
+  let measure label =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+    in
+    let test =
+      Test.make ~name:label
+        (make_kernel
+           ((Ibr_ds.Ds_registry.find_exn "hashmap").instantiate
+              (Ibr_core.Registry.find_exn "2GEIBR").tracker))
+    in
+    let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    let est = ref nan in
+    Hashtbl.iter
+      (fun _ r ->
+         match Analyze.OLS.estimates r with
+         | Some [ e ] -> est := e /. float_of_int ops_per_run
+         | _ -> ())
+      results;
+    !est
+  in
+  let ns_off = measure "trace:off" in
+  Ibr_obs.Probe.start ~threads:2 ();
+  Ibr_obs.Probe.enable_hist ();
+  let ns_on = measure "trace:on" in
+  Ibr_obs.Probe.stop ();
+  let delta = (ns_on -. ns_off) /. ns_off *. 100.0 in
+  Fmt.pr
+    "native:  probes disabled %.1f ns/op | tracing+hist enabled %.1f ns/op \
+     (%+.1f%%)@."
+    ns_off ns_on delta;
+  if not identical then Stdlib.exit 1
 
 let run_figures () =
   let threads_list = Ibr_harness.Experiment.quick_threads in
@@ -279,13 +353,21 @@ let run_figures () =
   run_robustness ()
 
 let () =
-  let skip_bechamel = Array.exists (( = ) "--figures-only") Sys.argv in
-  let skip_figures = Array.exists (( = ) "--bechamel-only") Sys.argv in
-  let retire_only = Array.exists (( = ) "--retire-only") Sys.argv in
-  let retire_quick = Array.exists (( = ) "--retire-quick") Sys.argv in
-  let robust_only = Array.exists (( = ) "--robust-only") Sys.argv in
-  let robust_quick = Array.exists (( = ) "--robust-quick") Sys.argv in
-  if retire_quick then run_retire_ablation ~threads_list:[ 8; 16 ] ()
+  let module Cli = Ibr_harness.Cli in
+  let skip_bechamel = Cli.has_flag Sys.argv "--figures-only" in
+  let skip_figures = Cli.has_flag Sys.argv "--bechamel-only" in
+  let retire_only = Cli.has_flag Sys.argv "--retire-only" in
+  let retire_quick = Cli.has_flag Sys.argv "--retire-quick" in
+  let robust_only = Cli.has_flag Sys.argv "--robust-only" in
+  let robust_quick = Cli.has_flag Sys.argv "--robust-quick" in
+  let trace_overhead = Cli.has_flag Sys.argv "--trace-overhead" in
+  (* Same observability switches as bin/: a trace of a whole campaign
+     is heavy but Perfetto copes; rings drop-oldest beyond capacity. *)
+  let trace_out = Cli.find_value Sys.argv "--trace" in
+  if trace_out <> None then Ibr_obs.Probe.start ~threads:16 ();
+  if Cli.has_flag Sys.argv "--hist" then Ibr_obs.Probe.enable_hist ();
+  if trace_overhead then run_trace_overhead ()
+  else if retire_quick then run_retire_ablation ~threads_list:[ 8; 16 ] ()
   else if retire_only then run_retire_ablation ()
   else if robust_quick then
     (* Reduced scale, but the tail of the horizon ladder must still be
@@ -296,4 +378,15 @@ let () =
   else begin
     if not skip_bechamel then run_bechamel ();
     if not skip_figures then run_figures ()
-  end
+  end;
+  if Ibr_obs.Probe.hist_enabled () then
+    Fmt.pr "%t" Ibr_obs.Trace_export.report_hist;
+  match trace_out with
+  | None -> ()
+  | Some path ->
+    Ibr_obs.Trace_export.write_file path;
+    (match Ibr_obs.Trace_export.validate_file path with
+     | Ok n -> Fmt.pr "trace: %d events -> %s@." n path
+     | Error msg ->
+       Fmt.epr "trace: INVALID (%s)@." msg;
+       Stdlib.exit 1)

@@ -6,34 +6,13 @@
    Prints one result row per configuration, optionally appending CSV. *)
 
 open Cmdliner
+module Cli = Ibr_harness.Cli
 
-let parse_retire_backend s =
-  match Ibr_core.Reclaimer.backend_of_string s with
-  | Some b -> b
-  | None ->
-    failwith
-      (Printf.sprintf "unknown retire backend %S (%s)" s
-         (String.concat "|"
-            (List.map Ibr_core.Reclaimer.backend_name
-               Ibr_core.Reclaimer.all_backends)))
-
-let parse_faults s =
-  match Ibr_harness.Runner_sim.faults_of_string s with
-  | Some f -> f
-  | None ->
-    failwith
-      (Printf.sprintf "unknown fault profile %S (%s)" s
-         (String.concat "|"
-            (List.map fst Ibr_harness.Runner_sim.fault_profiles)))
-
-let run_one ~rideable ~tracker ~threads ~interval ~mix ~retire ~faults ~cores
-    ~seed ~backend ~empty_freq ~epoch_freq ~key_range ~output ~verbose =
-  let mix =
-    match mix with
-    | "write" -> Ibr_harness.Workload.write_dominated
-    | "read" -> Ibr_harness.Workload.read_dominated
-    | s -> failwith (Printf.sprintf "unknown mix %S (write|read)" s)
-  in
+let run_one ~(base : Cli.base) ~cores ~seed ~backend ~empty_freq ~epoch_freq
+    ~key_range ~output ~verbose =
+  let { Cli.rideable; tracker; threads; interval; mix; retire; faults } =
+    base in
+  let mix = Cli.parse_mix mix in
   let spec =
     let base = Ibr_harness.Workload.spec_for ~mix rideable in
     match key_range with
@@ -41,7 +20,8 @@ let run_one ~rideable ~tracker ~threads ~interval ~mix ~retire ~faults ~cores
     | None -> base
   in
   let override_tracker_cfg (cfg : Ibr_core.Tracker_intf.config) =
-    let cfg = { cfg with retire_backend = parse_retire_backend retire } in
+    let cfg =
+      { cfg with retire_backend = Cli.parse_retire_backend retire } in
     let cfg =
       match empty_freq with Some k -> { cfg with empty_freq = k } | None -> cfg
     in
@@ -54,7 +34,7 @@ let run_one ~rideable ~tracker ~threads ~interval ~mix ~retire ~faults ~cores
     | "sim" ->
       let base =
         Ibr_harness.Runner_sim.default_config ~threads ~horizon:interval
-          ~cores ~seed ~faults:(parse_faults faults) ~spec ()
+          ~cores ~seed ~faults:(Cli.parse_faults faults) ~spec ()
       in
       let cfg =
         { base with tracker_cfg = override_tracker_cfg base.tracker_cfg } in
@@ -89,42 +69,13 @@ let run_one ~rideable ~tracker ~threads ~interval ~mix ~retire ~faults ~cores
        let existed = Sys.file_exists path in
        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
        if not existed then begin
-         output_string oc Ibr_harness.Stats.csv_header;
+         output_string oc (Ibr_harness.Stats.csv_header ());
          output_char oc '\n'
        end;
        output_string oc (Ibr_harness.Stats.to_csv_row r);
        output_char oc '\n';
        close_out oc;
        Fmt.pr "appended to %s@." path)
-
-(* parharness-style meta expansion: each --meta key:v1:v2 multiplies
-   the configuration set. *)
-let expand_metas metas base =
-  let int_of_meta key v =
-    match int_of_string_opt v with
-    | Some n -> n
-    | None -> failwith (Printf.sprintf "--meta %s wants integers, got %S" key v)
-  in
-  let apply (r, d, t, i, m, b, f) (key, v) =
-    match key with
-    | "r" -> (v, d, t, i, m, b, f)
-    | "d" -> (r, v, t, i, m, b, f)
-    | "t" -> (r, d, int_of_meta key v, i, m, b, f)
-    | "i" -> (r, d, t, int_of_meta key v, m, b, f)
-    | "m" -> (r, d, t, i, v, b, f)
-    | "b" -> (r, d, t, i, m, v, f)
-    | "f" -> (r, d, t, i, m, b, v)
-    | k -> failwith (Printf.sprintf "unknown meta key %S (r,d,t,i,m,b,f)" k)
-  in
-  List.fold_left
-    (fun configs meta ->
-       match String.split_on_char ':' meta with
-       | key :: (_ :: _ as values) ->
-         List.concat_map
-           (fun cfg -> List.map (fun v -> apply cfg (key, v)) values)
-           configs
-       | _ -> failwith (Printf.sprintf "bad --meta %S; want key:v1:v2:..." meta))
-    [ base ] metas
 
 (* ---- model checking (--check / --check-replay) ---- *)
 
@@ -327,7 +278,19 @@ let check_replay =
 let metas =
   Arg.(value & opt_all string []
        & info [ "meta" ] ~docv:"KEY:V1:V2:..."
-           ~doc:"Cartesian sweep over r (rideable), d (tracker), t                  (threads), i (interval), m (mix), b (retire backend), f                  (fault profile); repeatable, parharness style.")
+           ~doc:(Printf.sprintf
+                   "Cartesian sweep over %s; repeatable, parharness style."
+                   Cli.meta_key_doc))
+
+let trace =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a probe trace of the run(s) and write it as                  Chrome trace-event JSON (load in Perfetto or                  chrome://tracing).")
+
+let hist =
+  Arg.(value & flag
+       & info [ "hist" ]
+           ~doc:"Collect retire-age and per-primitive cost histograms;                  prints a summary and adds retire_age columns to the CSV                  row.")
 
 let cmd =
   let doc = "run one IBR microbenchmark configuration" in
@@ -335,8 +298,8 @@ let cmd =
     Term.(
       const (fun menu_flag rideable tracker threads interval mix retire
               faults cores seed backend empty_freq epoch_freq key_range
-              output verbose metas check check_bound check_budget check_out
-              check_replay ->
+              output verbose metas trace hist check check_bound check_budget
+              check_out check_replay ->
           if menu_flag then list_menu ()
           else
             try
@@ -346,23 +309,36 @@ let cmd =
                   ~out:check_out ~verbose
               | None, Some path -> run_replay ~path
               | None, None ->
+                (* Observability switches.  Rings grow on demand, so
+                   the thread hint only sizes the initial table. *)
+                if trace <> None then
+                  Ibr_obs.Probe.start ~threads:(threads + 2) ();
+                if hist then Ibr_obs.Probe.enable_hist ();
                 List.iter
-                  (fun (rideable, tracker, threads, interval, mix, retire,
-                        faults) ->
-                     run_one ~rideable ~tracker ~threads ~interval ~mix
-                       ~retire ~faults ~cores ~seed ~backend ~empty_freq
+                  (fun (base : Cli.base) ->
+                     run_one ~base ~cores ~seed ~backend ~empty_freq
                        ~epoch_freq ~key_range ~output ~verbose)
-                  (expand_metas metas
-                     (rideable, tracker, threads, interval, mix, retire,
-                      faults))
+                  (Cli.expand_metas metas
+                     { Cli.rideable; tracker; threads; interval; mix;
+                       retire; faults });
+                if hist then Fmt.pr "%t" Ibr_obs.Trace_export.report_hist;
+                (match trace with
+                 | None -> ()
+                 | Some path ->
+                   Ibr_obs.Trace_export.write_file path;
+                   (match Ibr_obs.Trace_export.validate_file path with
+                    | Ok n -> Fmt.pr "trace: %d events -> %s@." n path
+                    | Error msg ->
+                      Fmt.epr "trace: INVALID (%s)@." msg;
+                      Stdlib.exit 1))
             with
             | Failure msg | Invalid_argument msg ->
               Fmt.epr "error: %s@." msg;
               Stdlib.exit 1)
       $ menu $ rideable $ tracker $ threads $ interval $ mix $ retire
       $ faults $ cores $ seed $ backend $ empty_freq $ epoch_freq $ key_range
-      $ output $ verbose $ metas $ check $ check_bound $ check_budget
-      $ check_out $ check_replay)
+      $ output $ verbose $ metas $ trace $ hist $ check $ check_bound
+      $ check_budget $ check_out $ check_replay)
   in
   Cmd.v (Cmd.info "ibr-bench" ~doc) term
 

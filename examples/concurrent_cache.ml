@@ -34,7 +34,8 @@ let () =
     Fmt.pr
       "  %-8s throughput %8.0f ops/Mcycle | avg unreclaimed %7.1f blocks \
        | peak %6d | faults %d@."
-      r.tracker r.throughput r.avg_unreclaimed r.peak_unreclaimed r.faults
+      r.tracker r.throughput r.avg_unreclaimed r.peak_unreclaimed
+      (Ibr_harness.Stats.metric r "faults")
   in
   let ebr = run_cache "EBR" in
   let ibr = run_cache "2GEIBR" in

@@ -54,8 +54,9 @@ let churn_with_stalled_reader tracker_name =
   ignore
     (Sched.spawn sched (fun tid ->
        let h = L.register t ~tid in
-       T.start_op h.th;
-       ignore (T.read_root h.th t.head)));
+       let th = L.tracker_handle h in
+       T.start_op th;
+       ignore (T.read_root th (L.head t))));
   (* Eight workers churn. *)
   for i = 1 to 8 do
     ignore
@@ -161,8 +162,9 @@ let crashed_churn ?capacity ?(watchdog = false) tracker_name =
        let h = L.register t ~tid in
        let rng = Rng.stream ~seed:77 ~index:0 in
        work h rng tid crash_at;
-       T.start_op h.th;
-       ignore (T.read_root h.th t.head);
+       let th = L.tracker_handle h in
+       T.start_op th;
+       ignore (T.read_root th (L.head t));
        Sched.crash_self ()));
   (* Workers churn until the horizon cuts the run (so the watchdog
      never mistakes a *finished* thread for a dead one). *)

@@ -104,6 +104,7 @@ let admit t ~tid =
     let attempt = ref 0 in
     while footprint t >= cap && !attempt < t.retry_budget do
       Atomic.incr t.pressure_retries;
+      Ibr_obs.Probe.pressure ();
       (match t.pressure.(tid) with Some hook -> hook () | None -> ());
       Ibr_runtime.Hooks.step (backoff_base lsl !attempt);
       incr attempt
@@ -133,23 +134,31 @@ let alloc t ~tid payload =
   Atomic.incr t.allocated;
   note_peak t;
   let cache = t.caches.(tid) in
+  (* The probe fires before [Prim.charge_alloc]: the charge's
+     [Hooks.step] is a preemption point where the horizon can unwind
+     the fiber, and the event must stay atomic with the counter
+     increments above (probes never step). *)
   match !cache with
   | b :: rest when t.reuse ->
     cache := rest;
     Block.reincarnate b payload;
     Atomic.incr t.reused;
+    Ibr_obs.Probe.alloc ~block:(Block.id b) ~reused:true;
     Prim.charge_alloc ~reused:true;
     b
   | _ ->
     Atomic.incr t.fresh;
+    let b = Block.make ~id:(Atomic.fetch_and_add t.next_id 1) payload in
+    Ibr_obs.Probe.alloc ~block:(Block.id b) ~reused:false;
     Prim.charge_alloc ~reused:false;
-    Block.make ~id:(Atomic.fetch_and_add t.next_id 1) payload
+    b
 
 (* Reclaim a retired block: poison it and (in reuse mode) cache it. *)
 let free t ~tid b =
   check_tid t tid;
   Block.transition_reclaim b;
   Atomic.incr t.freed;
+  Ibr_obs.Probe.reclaim ~block:(Block.id b) ~unpublished:false;
   Prim.charge_free ();
   if t.reuse then begin
     let cache = t.caches.(tid) in
@@ -161,6 +170,7 @@ let free_unpublished t ~tid b =
   check_tid t tid;
   Block.transition_reclaim_unpublished b;
   Atomic.incr t.freed;
+  Ibr_obs.Probe.reclaim ~block:(Block.id b) ~unpublished:true;
   Prim.charge_free ();
   if t.reuse then begin
     let cache = t.caches.(tid) in
@@ -194,6 +204,29 @@ let stats t =
     pressure_retries = Atomic.get t.pressure_retries;
     oom_events = Atomic.get t.oom_events;
   }
+
+(* Metric registration: allocator stats are instance-scoped, so they
+   are gauges the harness publishes at end of run (see Ibr_obs.Metrics
+   for the order-key scheme; these orders pin the legacy CSV layout). *)
+let m_allocated = Ibr_obs.Metrics.register_gauge ~name:"allocated" ~order:100
+let m_freed = Ibr_obs.Metrics.register_gauge ~name:"freed" ~order:110
+let m_live = Ibr_obs.Metrics.register_gauge ~name:"live" ~order:120
+let m_cached = Ibr_obs.Metrics.register_gauge ~name:"cached" ~order:130
+let m_oom = Ibr_obs.Metrics.register_gauge ~name:"oom_events" ~order:600
+
+let m_retries =
+  Ibr_obs.Metrics.register_gauge ~name:"pressure_retries" ~order:610
+
+let m_peak = Ibr_obs.Metrics.register_gauge ~name:"peak_footprint" ~order:620
+
+let publish_stats (s : stats) =
+  m_allocated := s.allocated;
+  m_freed := s.freed;
+  m_live := s.live;
+  m_cached := s.cached;
+  m_oom := s.oom_events;
+  m_retries := s.pressure_retries;
+  m_peak := s.peak_footprint
 
 let pp_stats ppf s =
   Fmt.pf ppf

@@ -76,3 +76,8 @@ type stats = {
 
 val stats : 'a t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+val publish_stats : stats -> unit
+(** Publish a stats record to the registry gauges ([allocated], [freed],
+    [live], [cached], [oom_events], [pressure_retries],
+    [peak_footprint]); called by runners at end of run. *)

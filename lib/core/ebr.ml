@@ -81,9 +81,12 @@ let retire h b =
 
 let start_op h =
   let e = Epoch.read h.t.epoch in
-  Prim.write h.t.reservations.(h.tid) e
+  Prim.write h.t.reservations.(h.tid) e;
+  Ibr_obs.Probe.reserve ~slot:0
 
-let end_op h = Prim.write h.t.reservations.(h.tid) max_int
+let end_op h =
+  Prim.write h.t.reservations.(h.tid) max_int;
+  Ibr_obs.Probe.unreserve ~slot:0
 
 let make_ptr _ ?tag target = Plain_ptr.make ?tag target
 let read _ ~slot:_ p = Plain_ptr.read p

@@ -16,12 +16,17 @@ let read t = Prim.hot_read t.value
 (* Non-charged read for assertions and metrics. *)
 let peek t = Atomic.get t.value
 
-let advance t = ignore (Prim.faa t.value 1)
+let advance t =
+  let old = Prim.faa t.value 1 in
+  Ibr_obs.Probe.epoch_advance ~epoch:(old + 1)
 
 (* Conditional advance: exactly [expected] -> [expected + 1].  Used by
    QSBR, where an unconditional increment by racing advancers would
    skip a grace period. *)
-let advance_cas t ~expected = Prim.cas t.value expected (expected + 1)
+let advance_cas t ~expected =
+  let ok = Prim.cas t.value expected (expected + 1) in
+  if ok then Ibr_obs.Probe.epoch_advance ~epoch:(expected + 1);
+  ok
 
 (* Per-thread allocation-driven advance: thread-local counter, bump
    the global epoch every [freq] calls.  Matches Fig. 2 lines 15–17 /
@@ -29,3 +34,8 @@ let advance_cas t ~expected = Prim.cas t.value expected (expected + 1)
 let tick t ~counter ~freq =
   incr counter;
   if freq > 0 && !counter mod freq = 0 then advance t
+
+(* The final epoch value is instance-scoped: a gauge the harness
+   publishes at end of run. *)
+let gauge = Ibr_obs.Metrics.register_gauge ~name:"epoch" ~order:200
+let publish v = gauge := v

@@ -27,3 +27,6 @@ val advance_cas : t -> expected:int -> bool
 val tick : t -> counter:int ref -> freq:int -> unit
 (** Allocation-driven advance: bump [counter]; advance the epoch every
     [freq] calls ([freq <= 0] never advances). *)
+
+val publish : int -> unit
+(** Publish a run's final epoch value to the ["epoch"] metric gauge. *)

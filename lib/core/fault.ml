@@ -54,6 +54,10 @@ let all_kinds =
 let total () =
   List.fold_left (fun n k -> n + count k) 0 all_kinds
 
+(* Read-backed counter: runs report the delta across their measured
+   phase (the registry diffs against a start-of-run baseline). *)
+let () = Ibr_obs.Metrics.register_counter ~name:"faults" ~order:300 total
+
 let reset () = List.iter (fun k -> Atomic.set (counter k) 0) all_kinds
 
 let set_mode m = Atomic.set mode m

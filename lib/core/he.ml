@@ -116,7 +116,10 @@ let start_op h = h.hwm <- -1
 let end_op h =
   let row = h.t.eras.(h.tid) in
   for i = 0 to h.hwm do
-    if Prim.read row.(i) <> no_era then Prim.write row.(i) no_era
+    if Prim.read row.(i) <> no_era then begin
+      Prim.write row.(i) no_era;
+      Ibr_obs.Probe.unreserve ~slot:i
+    end
   done;
   h.hwm <- -1
 
@@ -134,6 +137,7 @@ let read h ~slot p =
     if era = prev_era then v
     else begin
       Prim.write cell era;
+      Ibr_obs.Probe.reserve ~slot;
       Prim.fence ();
       loop era
     end
@@ -145,13 +149,15 @@ let write _ p ?tag target = Plain_ptr.write p ?tag target
 let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
 
 let unreserve h ~slot =
-  Prim.write h.t.eras.(h.tid).(slot) no_era
+  Prim.write h.t.eras.(h.tid).(slot) no_era;
+  Ibr_obs.Probe.unreserve ~slot
 
 let reassign h ~src ~dst =
   if h.hwm < dst then h.hwm <- dst;
   let row = h.t.eras.(h.tid) in
   Prim.local 1;
-  Prim.write row.(dst) (Prim.read row.(src))
+  Prim.write row.(dst) (Prim.read row.(src));
+  Ibr_obs.Probe.reserve ~slot:dst
 
 let retired_count h = Reclaimer.count h.rc
 let force_empty h = Reclaimer.force h.rc

@@ -98,7 +98,10 @@ let start_op h = h.hwm <- -1
 let end_op h =
   let row = h.t.slots.(h.tid) in
   for i = 0 to h.hwm do
-    if Prim.read row.(i) <> None then Prim.write row.(i) None
+    if Prim.read row.(i) <> None then begin
+      Prim.write row.(i) None;
+      Ibr_obs.Probe.unreserve ~slot:i
+    end
   done;
   h.hwm <- -1
 
@@ -113,6 +116,7 @@ let read h ~slot p =
      | None -> v   (* null needs no protection *)
      | Some b ->
        Prim.write cell (Some b);
+       Ibr_obs.Probe.reserve ~slot;
        Prim.fence ();
        let v' = Plain_ptr.read p in
        if v == v' then v else loop ())
@@ -124,7 +128,8 @@ let write _ p ?tag target = Plain_ptr.write p ?tag target
 let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
 
 let unreserve h ~slot =
-  Prim.write h.t.slots.(h.tid).(slot) None
+  Prim.write h.t.slots.(h.tid).(slot) None;
+  Ibr_obs.Probe.unreserve ~slot
 
 (* Copy a protection between slots: the target is already protected by
    [src], so no fence or re-validation is needed. *)
@@ -132,7 +137,8 @@ let reassign h ~src ~dst =
   if h.hwm < dst then h.hwm <- dst;
   let row = h.t.slots.(h.tid) in
   Prim.local 1;
-  Prim.write row.(dst) (Prim.read row.(src))
+  Prim.write row.(dst) (Prim.read row.(src));
+  Ibr_obs.Probe.reserve ~slot:dst
 
 let retired_count h = Reclaimer.count h.rc
 let force_empty h = Reclaimer.force h.rc

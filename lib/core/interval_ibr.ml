@@ -96,9 +96,12 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
 
   let start_op h =
     let e = Epoch.read h.t.epoch in
-    Tracker_common.Interval_res.start h.t.res ~tid:h.tid e
+    Tracker_common.Interval_res.start h.t.res ~tid:h.tid e;
+    Ibr_obs.Probe.reserve ~slot:0
 
-  let end_op h = Tracker_common.Interval_res.clear h.t.res ~tid:h.tid
+  let end_op h =
+    Tracker_common.Interval_res.clear h.t.res ~tid:h.tid;
+    Ibr_obs.Probe.unreserve ~slot:0
 
   let make_ptr _ ?tag target = P.make_ptr ?tag target
 

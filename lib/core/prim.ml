@@ -8,6 +8,10 @@
    read pays a fence, a TagIBR write pays an extra CAS, an EBR read
    pays nothing extra.
 
+   Each wrapper also attributes its charge to the matching
+   [Ibr_obs.Probe] cost bucket; when probes are disabled the
+   attribution call is one branch.
+
    The active cost model is a global; experiments set it once before a
    run (the simulator is single-domain, and the real-domains backend
    ignores costs). *)
@@ -19,42 +23,76 @@ let costs = ref Cost.default
 let set_costs c = costs := c
 
 let read a =
-  Hooks.step !costs.Cost.read;
+  let c = !costs.Cost.read in
+  Ibr_obs.Probe.charge Ibr_obs.Probe.K_read c;
+  Hooks.step c;
   Atomic.get a
 
 (* Read of a read-mostly global (epoch counter, born_before tag):
    cheaper than a general shared load — see Cost.hot_read. *)
 let hot_read a =
-  Hooks.step !costs.Cost.hot_read;
+  let c = !costs.Cost.hot_read in
+  Ibr_obs.Probe.charge Ibr_obs.Probe.K_hot_read c;
+  Hooks.step c;
   Atomic.get a
 
 let write a v =
-  Hooks.step !costs.Cost.write;
+  let c = !costs.Cost.write in
+  Ibr_obs.Probe.charge Ibr_obs.Probe.K_write c;
+  Hooks.step c;
   Atomic.set a v
 
 let cas a expected desired =
   let ok = Atomic.compare_and_set a expected desired in
-  Hooks.step (if ok then !costs.Cost.cas else !costs.Cost.cas_fail);
+  let c = if ok then !costs.Cost.cas else !costs.Cost.cas_fail in
+  Ibr_obs.Probe.charge
+    (if ok then Ibr_obs.Probe.K_cas else Ibr_obs.Probe.K_cas_fail) c;
+  Hooks.step c;
   ok
 
 let faa a n =
-  Hooks.step !costs.Cost.faa;
+  let c = !costs.Cost.faa in
+  Ibr_obs.Probe.charge Ibr_obs.Probe.K_faa c;
+  Hooks.step c;
   Atomic.fetch_and_add a n
 
 (* Write-read (store-load) fence.  On the real-domains backend OCaml's
    seq-cst atomics already order everything, so only the cost matters. *)
-let fence () = Hooks.step !costs.Cost.fence
+let fence () =
+  let c = !costs.Cost.fence in
+  Ibr_obs.Probe.charge Ibr_obs.Probe.K_fence c;
+  Hooks.step c
 
 (* Thread-local bookkeeping of [n] conceptual steps. *)
-let local n = Hooks.step (n * !costs.Cost.local)
+let local n =
+  let c = n * !costs.Cost.local in
+  Ibr_obs.Probe.charge Ibr_obs.Probe.K_local c;
+  Hooks.step c
 
 (* Payload dereference: same latency class as a read, and — crucially
    for fault detection — a preemption point between reading a pointer
    and touching what it points to. *)
-let charge_deref () = Hooks.step !costs.Cost.read
+let charge_deref () =
+  let c = !costs.Cost.read in
+  Ibr_obs.Probe.charge Ibr_obs.Probe.K_read c;
+  Hooks.step c
 
 let charge_alloc ~reused =
-  Hooks.step (if reused then !costs.Cost.alloc_reuse else !costs.Cost.alloc_fresh)
+  let c =
+    if reused then !costs.Cost.alloc_reuse else !costs.Cost.alloc_fresh
+  in
+  Ibr_obs.Probe.charge
+    (if reused then Ibr_obs.Probe.K_alloc_reuse
+     else Ibr_obs.Probe.K_alloc_fresh)
+    c;
+  Hooks.step c
 
-let charge_free () = Hooks.step !costs.Cost.free
-let charge_scan () = Hooks.step !costs.Cost.scan_reservation
+let charge_free () =
+  let c = !costs.Cost.free in
+  Ibr_obs.Probe.charge Ibr_obs.Probe.K_free c;
+  Hooks.step c
+
+let charge_scan () =
+  let c = !costs.Cost.scan_reservation in
+  Ibr_obs.Probe.charge Ibr_obs.Probe.K_scan_reservation c;
+  Hooks.step c

@@ -118,7 +118,8 @@ module Make (A : ADVANCE) = struct
   (* The quiescent state: no references held from here on. *)
   let end_op h =
     let e = Epoch.read h.t.epoch in
-    Prim.write h.t.quiescent.(h.tid) e
+    Prim.write h.t.quiescent.(h.tid) e;
+    Ibr_obs.Probe.unreserve ~slot:0
 
   let make_ptr _ ?tag target = Plain_ptr.make ?tag target
   let read _ ~slot:_ p = Plain_ptr.read p

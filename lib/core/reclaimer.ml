@@ -254,7 +254,10 @@ let bound_of = function
 
 let run_sweep t =
   t.gate_epoch <- -1;
+  Ibr_obs.Probe.sweep_begin ~phase:Ibr_obs.Probe.Snapshot;
   let test = t.source () in
+  Ibr_obs.Probe.sweep_end ~phase:Ibr_obs.Probe.Snapshot ~freed:0;
+  Ibr_obs.Probe.sweep_begin ~phase:Ibr_obs.Probe.Scan;
   let freed =
     match t.store with
     | Flat r ->
@@ -266,6 +269,7 @@ let run_sweep t =
       before - Tracker_common.Retired.count r
     | Bucketed bs -> bucket_sweep t bs test
   in
+  Ibr_obs.Probe.sweep_end ~phase:Ibr_obs.Probe.Scan ~freed;
   (* Gate invalidation rule: arm only after a zero-free sweep that
      left work behind, and only when there is a real epoch to watch
      (epoch-less schemes report 0 and never gate); the gate opens when
@@ -279,8 +283,13 @@ let run_sweep t =
     end
   end
 
-let sweep t =
+let prepare t =
+  Ibr_obs.Probe.sweep_begin ~phase:Ibr_obs.Probe.Prepare;
   t.prepare ();
+  Ibr_obs.Probe.sweep_end ~phase:Ibr_obs.Probe.Prepare ~freed:0
+
+let sweep t =
+  prepare t;
   if
     t.backend = Gated && t.gate_epoch >= 0
     && t.current_epoch () = t.gate_epoch
@@ -297,10 +306,11 @@ let force t = run_sweep t
    QSBR/Fraser could never free anything under pressure — then sweep
    unconditionally, bypassing the gate. *)
 let pressure t =
-  t.prepare ();
+  prepare t;
   run_sweep t
 
 let add t b =
+  Ibr_obs.Probe.retire ~block:(Block.id b);
   (match t.store with
    | Flat r -> Tracker_common.Retired.add r b
    | Bucketed bs -> bucket_add bs b);

@@ -82,6 +82,20 @@ module Sweep_stats = struct
     Atomic.set snapshot_cycles 0;
     Atomic.set skipped 0;
     Atomic.set buckets 0
+
+  (* Read-backed registry counters over the same atomics; runs report
+     the delta across their measured phase. *)
+  let () =
+    let reg name order a =
+      Ibr_obs.Metrics.register_counter ~name ~order (fun () -> Atomic.get a)
+    in
+    reg "sweeps" 400 sweeps;
+    reg "sweep_examined" 410 examined;
+    reg "sweep_freed" 420 freed;
+    reg "sweep_snapshot_entries" 430 snapshot_entries;
+    reg "sweep_snapshot_cycles" 440 snapshot_cycles;
+    reg "sweeps_skipped" 450 skipped;
+    reg "sweep_buckets" 460 buckets
 end
 
 module Retired = struct

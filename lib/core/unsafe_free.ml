@@ -31,6 +31,10 @@ let alloc h payload = Alloc.alloc h.t.alloc ~tid:h.tid payload
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
 let retire h b =
+  (* No Reclaimer here: emit the retire probe directly, so the traced
+     retire→reclaim interval exists (and is zero-length, which is the
+     whole point of this deliberately unsafe scheme). *)
+  Ibr_obs.Probe.retire ~block:(Block.id b);
   Block.transition_retire b;
   Alloc.free h.t.alloc ~tid:h.tid b
 

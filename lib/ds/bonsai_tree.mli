@@ -1,0 +1,12 @@
+(** Bonsai tree (the paper's Fig. 8d structure): a persistent
+    weight-balanced BST where every update copies the path to the root
+    and retires the replaced nodes.
+
+    Rebalancing pins an unbounded set of nodes, so [compatible]
+    excludes bounded-slot schemes (HP, HE) — the same exclusion as the
+    paper's Fig. 8d lineup.  Exposes exactly the {!Ds_intf.SET}
+    surface. *)
+
+open Ibr_core
+
+module Make (T : Tracker_intf.TRACKER) : Ds_intf.SET

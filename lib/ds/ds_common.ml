@@ -19,8 +19,7 @@ type op_stats = {
 let make_op_stats () = { ops = 0; restarts = 0; reservation_refreshes = 0 }
 
 let with_op ~stats ~start_op ~end_op ~max_cas_failures f =
-  start_op ();
-  stats.ops <- stats.ops + 1;
+  Ibr_obs.Probe.op_begin ();
   let rec attempt fails =
     match f () with
     | result -> result
@@ -36,9 +35,27 @@ let with_op ~stats ~start_op ~end_op ~max_cas_failures f =
       end
       else attempt fails
   in
-  match attempt 0 with
-  | result -> end_op (); result
-  | exception e -> end_op (); raise e
+  (* [op_end] fires before [end_op] on both arms: [end_op] charges
+     virtual time, i.e. a preemption point where the horizon can
+     unwind the fiber a second time, and the span must already be
+     closed by then (probes never step).  For the same reason
+     [start_op] sits inside the match, so an unwind during it still
+     reaches the closing probe.  Crashed fibers never reach either
+     arm: their op span stays open in the trace, which the exporter
+     and validator tolerate. *)
+  match
+    start_op ();
+    stats.ops <- stats.ops + 1;
+    attempt 0
+  with
+  | result ->
+    Ibr_obs.Probe.op_end ();
+    end_op ();
+    result
+  | exception e ->
+    Ibr_obs.Probe.op_end ();
+    end_op ();
+    raise e
 
 (* Debug hook: invoked before every retire a data structure performs,
    with (site, block id, incarnation).  Used by fault-diagnosis tests;

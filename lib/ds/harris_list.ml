@@ -152,6 +152,11 @@ module Make (T : Tracker_intf.TRACKER) = struct
 
   let contains h ~key = get h ~key <> None
 
+  (* For rigs (robustness demo) that stage a stalled or crashed reader
+     by driving the tracker handle around the [with_op] bracket. *)
+  let tracker_handle h = h.th
+  let head t = t.head
+
   let retired_count h = T.retired_count h.th
   let force_empty h = T.force_empty h.th
   let allocator_stats t = Alloc.stats (T.allocator t.tracker)

@@ -1,0 +1,45 @@
+(** Harris–Michael lock-free sorted linked list (the paper's Fig. 8a
+    structure): logical deletion by marking a node's [next] pointer,
+    physical unlink by any traversal that encounters the mark.
+
+    Beyond the {!Ds_intf.SET} surface, [Raw] exposes the per-chain
+    operations against a caller-owned head pointer so
+    {!Michael_hashmap} can run one chain per bucket over a shared
+    tracker. *)
+
+open Ibr_core
+
+module Make (T : Tracker_intf.TRACKER) : sig
+  (** List node; abstract — callers only thread [node T.ptr] head
+      cells through {!Raw}. *)
+  type node
+
+  include Ds_intf.SET
+
+  (** Chain-level operations for structures embedding lists.  The head
+      pointer is any [T.make_ptr]-created cell; the handle must be
+      inside a start_op/end_op bracket (the [SET] operations wrap this
+      via {!Ds_common.with_op}).  All three may raise
+      {!Ds_common.Restart} on CAS interference. *)
+  module Raw : sig
+    val insert :
+      node T.t -> node T.handle -> node T.ptr -> key:int -> value:int -> bool
+
+    val remove : node T.t -> node T.handle -> node T.ptr -> key:int -> bool
+
+    val get : node T.t -> node T.handle -> node T.ptr -> key:int -> int option
+  end
+
+  (** Escape hatches for test rigs that stage a stalled or crashed
+      reader by driving the tracker handle outside the operation
+      bracket (see examples/robustness_demo.ml). *)
+
+  val tracker_handle : handle -> node T.handle
+  val head : t -> node T.ptr
+
+  (** Sequential-context helpers against a caller-owned chain
+      (quiescent structure only). *)
+
+  val dump_chain : node T.t -> node T.ptr -> (int * int) list
+  val check_chain : node T.t -> node T.ptr -> unit
+end

@@ -1,0 +1,16 @@
+(** Michael's lock-free hash map (the paper's Fig. 8b structure): a
+    fixed power-of-two bucket array of Harris–Michael chains sharing
+    one tracker, with Fibonacci hashing to spread clustered keys. *)
+
+open Ibr_core
+
+module Make (T : Tracker_intf.TRACKER) : sig
+  include Ds_intf.SET
+
+  val default_buckets : int
+
+  val create_sized : ?buckets:int -> threads:int -> Tracker_intf.config -> t
+  (** [create] with an explicit bucket count.  Raises
+      [Invalid_argument] unless [buckets] is a positive power of two
+      (the hash is masked, not reduced modulo). *)
+end

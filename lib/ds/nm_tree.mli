@@ -1,0 +1,11 @@
+(** Natarajan–Mittal external (leaf-oriented) binary search tree (the
+    paper's Fig. 8c structure): keys live in leaves, internal nodes
+    route; deletion flags and tags edges before unlinking a leaf and
+    its parent.
+
+    Exposes exactly the {!Ds_intf.SET} surface; the seek-record
+    machinery and the edge flag/tag bits are internal. *)
+
+open Ibr_core
+
+module Make (T : Tracker_intf.TRACKER) : Ds_intf.SET

@@ -1,0 +1,42 @@
+(** Treiber's lock-free stack — the paper's §3.1 example of a
+    persistent structure (immutable [next] pointers, all mutation
+    through the top-of-stack pointer).
+
+    Not map-shaped, so not a {!Ds_intf.SET}: it keeps its own
+    stack-shaped surface and is used by the quickstart, the POIBR
+    examples, and the tests rather than the figure lineup. *)
+
+open Ibr_core
+
+module Make (T : Tracker_intf.TRACKER) : sig
+  val name : string
+  val compatible : Tracker_intf.properties -> bool
+  val slots_needed : int
+
+  type t
+  type handle
+
+  val create : threads:int -> Tracker_intf.config -> t
+  val register : t -> tid:int -> handle
+
+  (** Each operation brackets itself in start_op/end_op (see
+      {!Ds_common.with_op}); a pop must not free a node another
+      thread's pop is still inspecting — that is the whole point. *)
+
+  val push : handle -> int -> unit
+  val pop : handle -> int option
+  val peek : handle -> int option
+  val is_empty : handle -> bool
+
+  (** Observability and fault hooks, mirroring {!Ds_intf.SET}. *)
+
+  val retired_count : handle -> int
+  val force_empty : handle -> unit
+  val allocator_stats : t -> Alloc.stats
+  val epoch_value : t -> int
+  val set_capacity : t -> int option -> unit
+  val eject : t -> tid:int -> unit
+
+  val to_list : t -> int list
+  (** Sequential-context dump, top first (quiescent structure only). *)
+end

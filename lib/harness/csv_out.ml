@@ -1,10 +1,12 @@
 (* CSV output, matching the artifact's workflow of dumping rows and
-   post-processing externally. *)
+   post-processing externally.  The row header is derived from the
+   metric registry (via [Stats.csv_header]), so new metrics appear
+   here without touching this file. *)
 
 let write_rows path rows =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-    output_string oc Stats.csv_header;
+    output_string oc (Stats.csv_header ());
     output_char oc '\n';
     List.iter (fun r ->
       output_string oc (Stats.to_csv_row r);

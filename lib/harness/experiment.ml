@@ -268,11 +268,12 @@ let retire_backend_table (rows : Stats.t list) =
        "skipped" "buckets");
   List.iter
     (fun (r : Stats.t) ->
+       let m = Stats.metric r in
        Buffer.add_string b
          (Printf.sprintf "%-16s %-4d %10.2f %8d %10d %8d %8d %8d\n"
-            r.tracker r.threads r.throughput r.sweep.sweeps
-            r.sweep.examined r.sweep.freed r.sweep.skipped
-            r.sweep.buckets))
+            r.tracker r.threads r.throughput (m "sweeps")
+            (m "sweep_examined") (m "sweep_freed") (m "sweeps_skipped")
+            (m "sweep_buckets")))
     rows;
   Buffer.contents b
 
@@ -338,11 +339,12 @@ let robustness_table (rows : Stats.t list) =
        "retries" "crsh" "ejct");
   List.iter
     (fun (r : Stats.t) ->
+       let m = Stats.metric r in
        Buffer.add_string b
          (Printf.sprintf "%-20s %8d %8d %9d %9d %7d %7d %4d %4d\n" r.tracker
-            r.makespan r.ops r.peak_unreclaimed r.alloc.peak_footprint
-            r.alloc.oom_events r.alloc.pressure_retries r.crashes
-            r.ejections))
+            r.makespan r.ops r.peak_unreclaimed (m "peak_footprint")
+            (m "oom_events") (m "pressure_retries") (m "crashes")
+            (m "ejections")))
     rows;
   Buffer.contents b
 
@@ -497,8 +499,9 @@ let robustness_checks (rows : Stats.t list) =
    | Some r ->
      add
        { claim = "crash+capped: EBR exhausts the capped allocator";
-         holds = r.Stats.alloc.oom_events > 0;
-         detail = Printf.sprintf "oom_events=%d" r.Stats.alloc.oom_events }
+         holds = Stats.metric r "oom_events" > 0;
+         detail =
+           Printf.sprintf "oom_events=%d" (Stats.metric r "oom_events") }
    | None -> ());
   List.iter
     (fun tracker ->
@@ -508,10 +511,11 @@ let robustness_checks (rows : Stats.t list) =
            { claim =
                Printf.sprintf "crash+capped: %s survives the capped heap"
                  tracker;
-             holds = r.Stats.alloc.oom_events = 0;
+             holds = Stats.metric r "oom_events" = 0;
              detail =
                Printf.sprintf "oom_events=%d retries=%d"
-                 r.Stats.alloc.oom_events r.Stats.alloc.pressure_retries }
+                 (Stats.metric r "oom_events")
+                 (Stats.metric r "pressure_retries") }
        | None -> ())
     [ "HP"; "HE"; "2GEIBR" ];
   (* (c) the watchdog rescue. *)
@@ -520,11 +524,11 @@ let robustness_checks (rows : Stats.t list) =
      add
        { claim = "crash+watchdog: ejection restores EBR's bound";
          holds =
-           w.Stats.ejections >= 1
+           Stats.metric w "ejections" >= 1
            && 2 * w.Stats.peak_unreclaimed < c.Stats.peak_unreclaimed;
          detail =
            Printf.sprintf "ejections=%d peak %d (vs %d unwatched)"
-             w.Stats.ejections w.Stats.peak_unreclaimed
+             (Stats.metric w "ejections") w.Stats.peak_unreclaimed
              c.Stats.peak_unreclaimed }
    | _ -> ());
   List.rev !checks

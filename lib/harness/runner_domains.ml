@@ -32,8 +32,7 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
   let prefill_rng = Ibr_runtime.Rng.create (cfg.seed lxor 0x5eed) in
   Workload.prefill ~rng:prefill_rng ~spec:cfg.spec
     ~insert:(fun ~key ~value -> S.insert h0 ~key ~value);
-  let faults_before = Ibr_core.Fault.total () in
-  let sweep_before = Ibr_core.Tracker_common.Sweep_stats.snap () in
+  let baseline = Ibr_obs.Metrics.begin_run () in
   let start = now_ns () in
   let deadline = Unix.gettimeofday () +. cfg.duration_s in
   let worker tid () =
@@ -65,6 +64,10 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
   let makespan = now_ns () - start in
   let total_ops = List.fold_left (fun n (o, _) -> n + o) 0 results in
   let merged = Stats.merge_samplers (List.map snd results) in
+  (* Crash/ejection gauges stay at the zero [begin_run] left them:
+     fault injection is a simulator capability. *)
+  Ibr_core.Alloc.publish_stats (S.allocator_stats t);
+  Ibr_core.Epoch.publish (S.epoch_value t);
   {
     Stats.tracker = tracker_name;
     ds = ds_name;
@@ -76,15 +79,7 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
     avg_unreclaimed = Stats.mean merged;
     peak_unreclaimed = merged.peak;
     samples = merged.n;
-    alloc = S.allocator_stats t;
-    epoch = S.epoch_value t;
-    faults = Ibr_core.Fault.total () - faults_before;
-    sweep =
-      Ibr_core.Tracker_common.Sweep_stats.diff sweep_before
-        (Ibr_core.Tracker_common.Sweep_stats.snap ());
-    (* Fault injection is a simulator capability. *)
-    crashes = 0;
-    ejections = 0;
+    metrics = Ibr_obs.Metrics.collect baseline;
   }
 
 let run_named ~tracker_name ~ds_name cfg =

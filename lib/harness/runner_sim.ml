@@ -160,12 +160,18 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
            ())
     | _ -> None
   in
-  let faults_before = Ibr_core.Fault.total () in
-  let sweep_before = Ibr_core.Tracker_common.Sweep_stats.snap () in
+  (* Baseline the registry counters at the edge of the measured phase
+     (gauges and histograms are zeroed here too). *)
+  let baseline = Ibr_obs.Metrics.begin_run () in
   Sched.run ~horizon:cfg.horizon sched;
   let total_ops = Array.fold_left ( + ) 0 ops in
   let merged = Stats.merge_samplers (Array.to_list samplers) in
   let makespan = min (Sched.makespan sched) cfg.horizon in
+  (* Publish the instance-scoped gauges, then snapshot. *)
+  Ibr_core.Alloc.publish_stats (S.allocator_stats t);
+  Ibr_core.Epoch.publish (S.epoch_value t);
+  Sched.publish_crashes sched;
+  (match watchdog with Some w -> Watchdog.publish w | None -> ());
   {
     Stats.tracker = tracker_name;
     ds = ds_name;
@@ -177,15 +183,7 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
     avg_unreclaimed = Stats.mean merged;
     peak_unreclaimed = merged.peak;
     samples = merged.n;
-    alloc = S.allocator_stats t;
-    epoch = S.epoch_value t;
-    faults = Ibr_core.Fault.total () - faults_before;
-    sweep =
-      Ibr_core.Tracker_common.Sweep_stats.diff sweep_before
-        (Ibr_core.Tracker_common.Sweep_stats.snap ());
-    crashes = Sched.crashes sched;
-    ejections =
-      (match watchdog with Some w -> Watchdog.ejections w | None -> 0);
+    metrics = Ibr_obs.Metrics.collect baseline;
   }
 
 (* Convenience: resolve names through the registries and run. *)

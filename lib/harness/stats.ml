@@ -1,8 +1,12 @@
 (* Result record for one benchmark run — the row the artifact's CSV
-   output carried, extended with the allocator and fault telemetry our
-   substrate provides. *)
+   output carried.
 
-open Ibr_core
+   The identity and figure fields (who ran, and the two quantities the
+   paper's plots are made of) are ordinary record fields; everything
+   else — allocator, epoch, fault, sweep, crash, pressure telemetry —
+   is a snapshot of the [Ibr_obs.Metrics] registry, taken by the
+   runner.  Adding a metric means registering it where it is measured;
+   this record, the CSV header, and the writers follow automatically. *)
 
 type t = {
   tracker : string;
@@ -15,54 +19,45 @@ type t = {
   avg_unreclaimed : float;     (* paper Fig. 9 metric *)
   peak_unreclaimed : int;
   samples : int;
-  alloc : Alloc.stats;
-  epoch : int;
-  faults : int;
-  sweep : Tracker_common.Sweep_stats.snap;
-  (* Reclamation-sweep telemetry accumulated during the run: sweeps
-     run, blocks examined/freed, and the reservation-snapshot cost. *)
-  crashes : int;    (* crash faults delivered during the run *)
-  ejections : int;  (* stale threads neutralized by the watchdog *)
+  metrics : Ibr_obs.Metrics.snapshot;
 }
 
-let no_sweep : Tracker_common.Sweep_stats.snap =
-  { sweeps = 0; examined = 0; freed = 0; snapshot_entries = 0;
-    snapshot_cycles = 0; skipped = 0; buckets = 0 }
+let metric r name = Ibr_obs.Metrics.get r.metrics name
 
 let throughput ~ops ~makespan =
   if makespan <= 0 then 0.0
   else float_of_int ops /. (float_of_int makespan /. 1_000_000.0)
 
 let pp ppf r =
+  let m = metric r in
   Fmt.pf ppf
     "%-12s %-8s t=%-3d %-15s ops=%-8d thr=%8.3f Mops/Ms unrec=%8.1f \
      peak=%-6d live=%-7d epoch=%-6d faults=%d sweeps=%d swept=%d%s"
     r.tracker r.ds r.threads r.mix r.ops r.throughput r.avg_unreclaimed
-    r.peak_unreclaimed r.alloc.live r.epoch r.faults r.sweep.sweeps
-    r.sweep.examined
-    (if r.crashes = 0 && r.ejections = 0 && r.alloc.oom_events = 0 then ""
+    r.peak_unreclaimed (m "live") (m "epoch") (m "faults") (m "sweeps")
+    (m "sweep_examined")
+    (if m "crashes" = 0 && m "ejections" = 0 && m "oom_events" = 0 then ""
      else
-       Printf.sprintf " crashes=%d ejections=%d oom=%d" r.crashes
-         r.ejections r.alloc.oom_events)
+       Printf.sprintf " crashes=%d ejections=%d oom=%d" (m "crashes")
+         (m "ejections") (m "oom_events"))
 
-let csv_header =
+(* The run-identity and figure columns; the rest of the header is the
+   registry's column list, in registration-order-key order. *)
+let identity_header =
   "tracker,ds,threads,mix,ops,makespan,throughput,avg_unreclaimed,\
-   peak_unreclaimed,samples,allocated,freed,live,cached,epoch,faults,\
-   sweeps,sweep_examined,sweep_freed,sweep_snapshot_entries,\
-   sweep_snapshot_cycles,sweeps_skipped,sweep_buckets,crashes,ejections,\
-   oom_events,pressure_retries,peak_footprint"
+   peak_unreclaimed,samples"
+
+let csv_header () =
+  String.concat "," (identity_header :: Ibr_obs.Metrics.columns ())
 
 let to_csv_row r =
-  Printf.sprintf
-    "%s,%s,%d,%s,%d,%d,%.6f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,\
-     %d,%d,%d,%d,%d,%d,%d"
-    r.tracker r.ds r.threads r.mix r.ops r.makespan r.throughput
-    r.avg_unreclaimed r.peak_unreclaimed r.samples r.alloc.allocated
-    r.alloc.freed r.alloc.live r.alloc.cached r.epoch r.faults
-    r.sweep.sweeps r.sweep.examined r.sweep.freed r.sweep.snapshot_entries
-    r.sweep.snapshot_cycles r.sweep.skipped r.sweep.buckets r.crashes
-    r.ejections r.alloc.oom_events r.alloc.pressure_retries
-    r.alloc.peak_footprint
+  let prefix =
+    Printf.sprintf "%s,%s,%d,%s,%d,%d,%.6f,%.3f,%d,%d" r.tracker r.ds
+      r.threads r.mix r.ops r.makespan r.throughput r.avg_unreclaimed
+      r.peak_unreclaimed r.samples
+  in
+  String.concat ","
+    (prefix :: List.map (fun (_, v) -> string_of_int v) r.metrics)
 
 (* Incremental mean/peak accumulator for the unreclaimed metric. *)
 type sampler = {

@@ -1,6 +1,11 @@
 (** Result record for one benchmark run, plus the sampling helpers
     used to compute the paper's Fig. 9 metric (average
-    retired-but-unreclaimed blocks at operation start). *)
+    retired-but-unreclaimed blocks at operation start).
+
+    Identity and figure quantities are record fields; all other
+    telemetry is a {!Ibr_obs.Metrics} registry snapshot taken by the
+    runner — look values up with {!metric}.  Rows built outside a
+    runner use [Ibr_obs.Metrics.zero ()] for the snapshot. *)
 
 type t = {
   tracker : string;
@@ -13,24 +18,23 @@ type t = {
   avg_unreclaimed : float;  (** the Fig. 9 metric *)
   peak_unreclaimed : int;
   samples : int;
-  alloc : Ibr_core.Alloc.stats;
-  epoch : int;
-  faults : int;
-  sweep : Ibr_core.Tracker_common.Sweep_stats.snap;
-  (** Reclamation-sweep telemetry accumulated during the run. *)
-
-  crashes : int;    (** crash faults delivered during the run *)
-  ejections : int;  (** stale threads neutralized by the watchdog *)
+  metrics : Ibr_obs.Metrics.snapshot;
 }
 
-val no_sweep : Ibr_core.Tracker_common.Sweep_stats.snap
-(** All-zero sweep telemetry, for rows built outside a runner. *)
+val metric : t -> string -> int
+(** [metric r name] is the registry value for column [name] in this
+    row (0 if absent — e.g. a column registered after the row was
+    taken). *)
 
 val throughput : ops:int -> makespan:int -> float
 
 val pp : Format.formatter -> t -> unit
 
-val csv_header : string
+val csv_header : unit -> string
+(** The identity/figure columns followed by every registered metric
+    column, in order.  A function: the column set can grow when
+    histogram metrics are enabled. *)
+
 val to_csv_row : t -> string
 
 (** Incremental mean/peak accumulator. *)

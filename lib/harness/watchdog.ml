@@ -30,6 +30,10 @@ let ejections w = w.ejections
 let recovered w = w.recovered
 let ejected w tid = w.ejected.(tid)
 
+(* Watchdog instances are per-run; the metric is published at end. *)
+let gauge = Ibr_obs.Metrics.register_gauge ~name:"ejections" ~order:510
+let publish w = gauge := w.ejections
+
 let spawn ~sched ~period ~grace ~threads ~progress ~footprint ~eject () =
   if period < 1 then invalid_arg "Watchdog.spawn: period < 1";
   if grace < 1 then invalid_arg "Watchdog.spawn: grace < 1";
@@ -69,6 +73,7 @@ let spawn ~sched ~period ~grace ~threads ~progress ~footprint ~eject () =
                if stale.(tid) >= grace then begin
                  w.footprint_at_eject.(tid) <- Some (footprint ());
                  eject tid;
+                 Ibr_obs.Probe.ejection ~victim:tid;
                  w.ejected.(tid) <- true;
                  w.ejections <- w.ejections + 1
                end

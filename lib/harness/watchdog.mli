@@ -41,3 +41,7 @@ val recovered : t -> int
     footprint between each ejection and the following check, summed. *)
 
 val ejected : t -> int -> bool
+
+val publish : t -> unit
+(** Publish {!ejections} to the ["ejections"] metric gauge (end of
+    run). *)

@@ -1,0 +1,15 @@
+(* Minimal JSON reader for validating exported traces (tests, CI). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_string : t -> string option

@@ -1,0 +1,13 @@
+(* Chrome trace-event JSON export of the recorded probe stream, plus
+   the validator CI gates on and the --hist console report. *)
+
+val write : out_channel -> unit
+val write_file : string -> unit
+
+(* Well-formedness + per-track timestamp monotonicity.  Ok n = number
+   of events checked. *)
+val validate : string -> (int, string) result
+val validate_file : string -> (int, string) result
+
+(* Retire-age percentiles and per-primitive cost attribution. *)
+val report_hist : Format.formatter -> unit

@@ -38,3 +38,10 @@ let with_handler h f =
   let old = Domain.DLS.get key in
   Domain.DLS.set key h;
   Fun.protect ~finally:(fun () -> Domain.DLS.set key old) f
+
+(* The observability layer sits below the runtime, so it cannot name
+   us; inject its clock and thread-id sources here.  Hooks is linked
+   by everything, making this the one reliable wiring point. *)
+let () =
+  Ibr_obs.Probe.set_clock global_now;
+  Ibr_obs.Probe.set_tid current_tid

@@ -171,6 +171,7 @@ let crash t tid =
   if not th.crashed && th.fiber <> Finished then begin
     th.crashed <- true;
     t.crashes <- t.crashes + 1;
+    Ibr_obs.Probe.crash ~tid;
     match t.running with
     | Some r when r.tid = tid -> Effect.perform Crash
     | _ -> ()
@@ -180,6 +181,10 @@ let crash_self () = Effect.perform Crash
 
 let crashes t = t.crashes
 let crashed t tid = (find_thread t tid).crashed
+
+(* Scheduler instances come and go; the metric is published per run. *)
+let crashes_gauge = Ibr_obs.Metrics.register_gauge ~name:"crashes" ~order:500
+let publish_crashes t = crashes_gauge := t.crashes
 
 let makespan t = t.makespan
 let thread_vtime t tid = (find_thread t tid).vtime
@@ -209,7 +214,8 @@ let resume_segment t th =
         | Crash -> Some (fun (_ : (a, status) Effect.Deep.continuation) ->
             if not th.crashed then begin
               th.crashed <- true;
-              t.crashes <- t.crashes + 1
+              t.crashes <- t.crashes + 1;
+              Ibr_obs.Probe.crash ~tid:th.tid
             end;
             Done)
         | _ -> None);
@@ -344,7 +350,8 @@ let run ?(horizon = max_int) t =
             && Rng.chance t.rng t.cfg.crash_prob
           then begin
             th.crashed <- true;
-            t.crashes <- t.crashes + 1
+            t.crashes <- t.crashes + 1;
+            Ibr_obs.Probe.crash ~tid:th.tid
           end
         end
     done;

@@ -103,6 +103,9 @@ val crash_self : unit -> unit
 val crashes : t -> int
 (** Crash faults delivered so far (injected plus explicit). *)
 
+val publish_crashes : t -> unit
+(** Publish {!crashes} to the ["crashes"] metric gauge (end of run). *)
+
 val crashed : t -> int -> bool
 
 val makespan : t -> int

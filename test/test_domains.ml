@@ -20,10 +20,11 @@ let run_domains (e : Registry.entry) ds_name () =
   with
   | None -> ()
   | Some r ->
-    Alcotest.(check int) "no faults" 0 r.faults;
+    Alcotest.(check int) "no faults" 0 (Ibr_harness.Stats.metric r "faults");
     Alcotest.(check bool) "ops happened" true (r.ops > 0);
     Alcotest.(check bool) "freed <= allocated" true
-      (r.alloc.freed <= r.alloc.allocated)
+      (Ibr_harness.Stats.metric r "freed"
+       <= Ibr_harness.Stats.metric r "allocated")
 
 (* Every rideable crossed with a tracker lineup that covers each
    reservation style: epoch (EBR, Fraser-EBR, QSBR), pointer (HP, HE)

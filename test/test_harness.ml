@@ -64,16 +64,10 @@ let test_csv_row_shape () =
     Stats.tracker = "EBR"; ds = "list"; threads = 4; mix = "write-dominated";
     ops = 100; makespan = 1000; throughput = 1.5; avg_unreclaimed = 2.25;
     peak_unreclaimed = 7; samples = 100;
-    alloc = { allocated = 10; fresh = 10; reused = 0; freed = 5; live = 5;
-              cached = 0; peak_footprint = 6; pressure_retries = 0;
-              oom_events = 0 };
-    epoch = 3; faults = 0;
-    sweep = { sweeps = 2; examined = 9; freed = 5; snapshot_entries = 8;
-              snapshot_cycles = 32; skipped = 1; buckets = 4 };
-    crashes = 0; ejections = 0;
+    metrics = Ibr_obs.Metrics.zero ();
   } in
   let cells = String.split_on_char ',' (Stats.to_csv_row row) in
-  let headers = String.split_on_char ',' Stats.csv_header in
+  let headers = String.split_on_char ',' (Stats.csv_header ()) in
   Alcotest.(check int) "row matches header width" (List.length headers)
     (List.length cells);
   Alcotest.(check string) "first cell" "EBR" (List.hd cells)
@@ -109,7 +103,7 @@ let test_runner_sim_basic () =
   | Some r ->
     Alcotest.(check bool) "did ops" true (r.ops > 100);
     Alcotest.(check bool) "throughput positive" true (r.throughput > 0.0);
-    Alcotest.(check bool) "no faults" true (r.faults = 0);
+    Alcotest.(check bool) "no faults" true (Stats.metric r "faults" = 0);
     Alcotest.(check string) "tracker name" "EBR" r.tracker;
     Alcotest.(check int) "threads recorded" 4 r.threads
 

@@ -21,4 +21,5 @@ let () =
       ("handover", Test_handover.suite);
       ("retire-backends", Test_retire_backends.suite);
       ("robustness", Test_robustness.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -130,18 +130,22 @@ let qcheck_capped_crash_separates =
        let hp = crash_run ~tracker:"HP" ~faults ~seed ~horizon:40_000 in
        let ebr = crash_run ~tracker:"EBR" ~faults ~seed ~horizon:40_000 in
        let books (r : Stats.t) =
-         r.alloc.allocated = r.alloc.fresh + r.alloc.reused
+         let m = Stats.metric r in
+         m "allocated" - m "freed" = m "live"
        in
        books hp && books ebr
-       && hp.alloc.oom_events = 0
-       && (ebr.crashes = 0 || ebr.alloc.oom_events > 0))
+       && Stats.metric hp "oom_events" = 0
+       && (Stats.metric ebr "crashes" = 0
+           || Stats.metric ebr "oom_events" > 0))
 
 let test_crash_pins_ebr_not_hp () =
   let faults = Runner_sim.Crash { crash_prob = 0.5; max_crashes = 1 } in
   let ebr = crash_run ~tracker:"EBR" ~faults ~seed:0xc4a5 ~horizon:60_000 in
   let hp = crash_run ~tracker:"HP" ~faults ~seed:0xc4a5 ~horizon:60_000 in
-  Alcotest.(check int) "EBR run crashed a thread" 1 ebr.crashes;
-  Alcotest.(check int) "HP run crashed a thread" 1 hp.crashes;
+  Alcotest.(check int) "EBR run crashed a thread" 1
+    (Stats.metric ebr "crashes");
+  Alcotest.(check int) "HP run crashed a thread" 1
+    (Stats.metric hp "crashes");
   Alcotest.(check bool)
     (Printf.sprintf "EBR peak (%d) dwarfs HP peak (%d)"
        ebr.peak_unreclaimed hp.peak_unreclaimed)
