@@ -311,6 +311,90 @@ let run_trace_overhead () =
     ns_off ns_on delta;
   if not identical then Stdlib.exit 1
 
+(* The PR-6 BENCH trajectory: background-reclamation ablation
+   (DESIGN.md §9).  Each sweeping paper-set scheme runs the same
+   seeded sim workload with reclamation inline (background=false) and
+   decoupled through the handoff service (background=true).  A row
+   records throughput, the allocator's peak footprint, and the p99
+   on-thread retire cost in virtual cycles — the [retire_cost]
+   histogram times exactly the mutator-side retire path, which with
+   the feature on is a queue append and with it off includes the
+   amortized sweep.  Virtual time makes every number deterministic,
+   so the committed BENCH_6.json is byte-reproducible and
+   tools/bench_check.exe can gate CI on schema and regressions. *)
+let run_bench_json ~quick path =
+  let schemes = [ "EBR"; "QSBR"; "HP"; "HE"; "TagIBR"; "2GEIBR" ] in
+  let threads = if quick then 4 else 8 in
+  let horizon = if quick then 30_000 else 100_000 in
+  let spec =
+    { (Ibr_harness.Workload.spec_for "hashmap") with key_range = 512 } in
+  Ibr_obs.Probe.enable_hist ();
+  let row tracker background =
+    (* One spare core beyond the mutators: the service fiber gets its
+       own core, as a dedicated reclaimer thread would, and off-rows
+       are unaffected (the mutators never queue either way) — so the
+       ablation isolates the retire-path effect from core stealing. *)
+    let cfg =
+      Ibr_harness.Runner_sim.default_config ~threads ~cores:(threads + 1)
+        ~horizon ~seed:0xb6 ~spec ()
+    in
+    let cfg =
+      { cfg with
+        Ibr_harness.Runner_sim.tracker_cfg =
+          { cfg.Ibr_harness.Runner_sim.tracker_cfg with
+            Ibr_core.Tracker_intf.background_reclaim = background } }
+    in
+    let r =
+      Option.get
+        (Ibr_harness.Runner_sim.run_named ~tracker_name:tracker
+           ~ds_name:"hashmap" cfg)
+    in
+    (* The histogram was re-baselined by the runner's [begin_run], so
+       this summary covers exactly the run above. *)
+    let retire_p99 =
+      match Ibr_obs.Probe.cost_hist () with
+      | Some h ->
+        let _, _, _, p99, _ = Ibr_obs.Metrics.summary h in
+        p99
+      | None -> 0
+    in
+    Fmt.pr "%-8s background=%-5b thr=%10.0f peak=%6d retire_p99=%4d@."
+      tracker background r.Ibr_harness.Stats.throughput
+      (Ibr_harness.Stats.metric r "peak_footprint")
+      retire_p99;
+    Ibr_obs.Json.Obj
+      [
+        ("tracker", Ibr_obs.Json.Str tracker);
+        ("background", Ibr_obs.Json.Bool background);
+        ("throughput", Ibr_obs.Json.Num r.Ibr_harness.Stats.throughput);
+        ("peak_footprint",
+         Ibr_obs.Json.Num
+           (float_of_int (Ibr_harness.Stats.metric r "peak_footprint")));
+        ("retire_p99", Ibr_obs.Json.Num (float_of_int retire_p99));
+      ]
+  in
+  Fmt.pr "== bench: background-reclaim ablation (sim, deterministic) ==@.";
+  let rows =
+    List.concat_map
+      (fun s ->
+         let off = row s false in
+         let on = row s true in
+         [ off; on ])
+      schemes
+  in
+  Ibr_obs.Probe.stop ();
+  let oc = open_out path in
+  output_string oc "{\n  \"rows\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+       output_string oc ("    " ^ Ibr_obs.Json.encode r);
+       output_string oc (if i < last then ",\n" else "\n"))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Fmt.pr "bench: wrote %d rows -> %s@." (List.length rows) path
+
 let run_figures () =
   let threads_list = Ibr_harness.Experiment.quick_threads in
   Fmt.pr "== Fig. 7: scheme tradeoffs ==@.%s@."
@@ -361,12 +445,16 @@ let () =
   let robust_only = Cli.has_flag Sys.argv "--robust-only" in
   let robust_quick = Cli.has_flag Sys.argv "--robust-quick" in
   let trace_overhead = Cli.has_flag Sys.argv "--trace-overhead" in
+  let bench_json = Cli.find_value Sys.argv "--bench-json" in
+  let bench_quick = Cli.has_flag Sys.argv "--bench-quick" in
   (* Same observability switches as bin/: a trace of a whole campaign
      is heavy but Perfetto copes; rings drop-oldest beyond capacity. *)
   let trace_out = Cli.find_value Sys.argv "--trace" in
   if trace_out <> None then Ibr_obs.Probe.start ~threads:16 ();
   if Cli.has_flag Sys.argv "--hist" then Ibr_obs.Probe.enable_hist ();
   if trace_overhead then run_trace_overhead ()
+  else if bench_json <> None then
+    run_bench_json ~quick:bench_quick (Option.get bench_json)
   else if retire_quick then run_retire_ablation ~threads_list:[ 8; 16 ] ()
   else if retire_only then run_retire_ablation ()
   else if robust_quick then

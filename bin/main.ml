@@ -9,7 +9,7 @@ open Cmdliner
 module Cli = Ibr_harness.Cli
 
 let run_one ~(base : Cli.base) ~cores ~seed ~backend ~empty_freq ~epoch_freq
-    ~key_range ~output ~verbose =
+    ~key_range ~background_reclaim ~magazine_size ~output ~verbose =
   let { Cli.rideable; tracker; threads; interval; mix; retire; faults } =
     base in
   let mix = Cli.parse_mix mix in
@@ -25,8 +25,18 @@ let run_one ~(base : Cli.base) ~cores ~seed ~backend ~empty_freq ~epoch_freq
     let cfg =
       match empty_freq with Some k -> { cfg with empty_freq = k } | None -> cfg
     in
-    match epoch_freq with
-    | Some k -> { cfg with epoch_freq = k * threads }
+    let cfg =
+      match epoch_freq with
+      | Some k -> { cfg with epoch_freq = k * threads }
+      | None -> cfg
+    in
+    let cfg =
+      if background_reclaim then
+        { cfg with Ibr_core.Tracker_intf.background_reclaim = true }
+      else cfg
+    in
+    match magazine_size with
+    | Some m -> { cfg with magazine_size = m }
     | None -> cfg
   in
   let result =
@@ -218,6 +228,19 @@ let cores =
   Arg.(value & opt int 72
        & info [ "cores" ] ~docv:"N" ~doc:"Simulated hardware threads.")
 
+let background_reclaim =
+  Arg.(value & flag
+       & info [ "background-reclaim" ]
+           ~doc:"Take reclamation off the critical path: retire appends \
+                 to a per-thread handoff queue drained by a dedicated \
+                 reclaimer (a fiber on sim, a domain on domains).")
+
+let magazine_size =
+  Arg.(value & opt (some int) None
+       & info [ "magazine-size" ] ~docv:"N"
+           ~doc:"Blocks per allocator magazine (per-thread free-block \
+                 cache; default 64).")
+
 let seed =
   Arg.(value & opt int 0xbeef & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
@@ -298,6 +321,7 @@ let cmd =
     Term.(
       const (fun menu_flag rideable tracker threads interval mix retire
               faults cores seed backend empty_freq epoch_freq key_range
+              background_reclaim magazine_size
               output verbose metas trace hist check check_bound check_budget
               check_out check_replay ->
           if menu_flag then list_menu ()
@@ -317,7 +341,8 @@ let cmd =
                 List.iter
                   (fun (base : Cli.base) ->
                      run_one ~base ~cores ~seed ~backend ~empty_freq
-                       ~epoch_freq ~key_range ~output ~verbose)
+                       ~epoch_freq ~key_range ~background_reclaim
+                       ~magazine_size ~output ~verbose)
                   (Cli.expand_metas metas
                      { Cli.rideable; tracker; threads; interval; mix;
                        retire; faults });
@@ -337,6 +362,7 @@ let cmd =
               Stdlib.exit 1)
       $ menu $ rideable $ tracker $ threads $ interval $ mix $ retire
       $ faults $ cores $ seed $ backend $ empty_freq $ epoch_freq $ key_range
+      $ background_reclaim $ magazine_size
       $ output $ verbose $ metas $ trace $ hist $ check $ check_bound
       $ check_budget $ check_out $ check_replay)
   in

@@ -178,9 +178,12 @@ let crashed_churn ?capacity ?(watchdog = false) tracker_name =
     if not watchdog then None
     else
       (* Period spans several scheduling quanta so every live thread
-         provably gets core time between checks (DESIGN.md §7c). *)
+         provably gets core time between checks, with headroom for the
+         longest legitimate gap between completed ops — a sweep burst
+         plus a magazine depot flush, charged to the freeing thread
+         (DESIGN.md §7c, §9b). *)
       Some
-        (Ibr_harness.Watchdog.spawn ~sched ~period:200 ~grace:3 ~threads
+        (Ibr_harness.Watchdog.spawn ~sched ~period:500 ~grace:3 ~threads
            ~progress:(fun tid -> ops.(tid))
            ~footprint:(fun () -> (L.allocator_stats t).live)
            ~eject:(fun tid -> L.eject t ~tid)

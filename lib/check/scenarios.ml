@@ -140,6 +140,51 @@ let advance_race (entry : Registry.entry) =
     { Scenario.bodies = [| reader; retirer; advancer |];
       finish = (fun () -> None) })
 
+(* The background-reclaim shape (DESIGN.md §9): with
+   [background_reclaim = true] a retire is only a handoff-queue
+   append, and reclamation happens when the service drains the queues
+   into its reclaimer and sweeps.  Three threads: a reader holding a
+   guarded root read, a writer that detaches and retires (in-flight in
+   the queue from that moment), and the drain service itself — so the
+   explored schedules interleave the queue push, the take-all
+   exchange, the sweep, and the reader's deref in every order the
+   bound admits.  A sound tracker must keep the reader safe on all of
+   them: the drain must not launder a still-reserved block past its
+   conflict test.  Trackers with no service ([reclaim_service] = None:
+   NoMM, UnsafeFree) fall back to a force-empty third thread, keeping
+   the scenario instantiable for the Faulty oracle. *)
+let handoff_drain (entry : Registry.entry) =
+  let module T = (val entry.tracker : Tracker_intf.TRACKER) in
+  Scenario.v ~name:("handoff_drain/" ^ entry.name) ~threads:3 (fun () ->
+    let c = { (cfg 2) with Tracker_intf.background_reclaim = true } in
+    let t = T.create ~threads:2 c in
+    let h0 = T.register t ~tid:0 and h1 = T.register t ~tid:1 in
+    let ptr = T.make_ptr t None in
+    let reader _ =
+      T.start_op h0;
+      let v = T.read_root h0 ptr in
+      deref v;
+      T.end_op h0
+    in
+    let writer _ =
+      T.start_op h1;
+      let b = T.alloc h1 1 in
+      T.write h1 ptr (Some b);
+      T.write h1 ptr None;
+      T.retire h1 b;
+      T.end_op h1
+    in
+    let drainer =
+      match T.reclaim_service t with
+      | Some svc ->
+        fun _ ->
+          ignore (svc.Handoff.drain ());
+          svc.Handoff.flush ()
+      | None -> fun _ -> T.force_empty h1
+    in
+    { Scenario.bodies = [| reader; writer; drainer |];
+      finish = (fun () -> None) })
+
 type expectation = Safe | Faulty
 
 type case = {
@@ -161,7 +206,13 @@ type case = {
    happens inside the explored schedules.  Bound 2 keeps the larger
    step count (a sweep per retire) tractable while still admitting the
    known witness shapes; [Unsafe_free] rides along Faulty to show the
-   fault detector sees through the new stores too. *)
+   fault detector sees through the new stores too.
+
+   [handoff_drain] re-certifies every sound tracker with the retire
+   path rerouted through the background-reclaim handoff queue, the
+   drain and sweep racing the reader inside the explored schedules;
+   [Unsafe_free] again rides along Faulty (its immediate free needs no
+   queue, so the same bound separates it). *)
 let cases () =
   let rw e expect bound = { scenario = reader_writer e; expect; bound } in
   let rwb backend e expect bound =
@@ -170,9 +221,12 @@ let cases () =
   in
   let ar e expect bound = { scenario = advance_race e; expect; bound } in
   let cm e expect bound = { scenario = crash_mid_op e; expect; bound } in
+  let hd e expect bound = { scenario = handoff_drain e; expect; bound } in
   List.map (fun e -> rw e Safe 3) Registry.all
   @ List.map (fun e -> cm e Safe 3) Registry.all
   @ [ cm Registry.unsafe_free Faulty 3 ]
+  @ List.map (fun e -> hd e Safe 2) Registry.all
+  @ [ hd Registry.unsafe_free Faulty 2 ]
   @ List.concat_map
       (fun backend ->
          List.map (fun e -> rwb backend e Safe 2) Registry.all

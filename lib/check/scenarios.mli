@@ -26,6 +26,17 @@ val advance_race : Ibr_core.Registry.entry -> Scenario.t
     §5a.3) — [Qsbr.Noncas]'s use-after-free lives here
     (2 preemptions). *)
 
+val handoff_drain : Ibr_core.Registry.entry -> Scenario.t
+(** Three threads under [background_reclaim = true]: a reader holding
+    a guarded root read, a writer whose retire is a handoff-queue
+    append (in-flight from that moment), and the drain service itself
+    (drain + flush through {!Ibr_core.Handoff.service}).  Every
+    explored schedule interleaves the push, the take-all exchange, the
+    sweep and the deref — a sound tracker's drain must not launder a
+    still-reserved block past its conflict test (DESIGN.md §9).
+    Trackers without a service fall back to a force-empty third
+    thread. *)
+
 type expectation = Safe | Faulty
 
 type case = {
@@ -38,9 +49,10 @@ val cases : unit -> case list
 (** The full suite: [reader_writer] and [crash_mid_op] for every
     correct tracker (Safe) and for the oracles, the reader_writer
     shape re-certified under the Buckets and Gated retirement backends
-    with per-retire sweeps, and [advance_race] for the QSBR-shaped
-    trackers.  Expectations are what {!Check.explore} must conclude
-    within each case's bound. *)
+    with per-retire sweeps, [handoff_drain] for every tracker with
+    [Unsafe_free] riding along Faulty, and [advance_race] for the
+    QSBR-shaped trackers.  Expectations are what {!Check.explore} must
+    conclude within each case's bound. *)
 
 val find : string -> case option
 (** Look a case up by its scenario name (e.g. for trace replay). *)

@@ -1,78 +1,128 @@
 (* Simulated manual allocator.
 
-   Stands in for jemalloc in the paper's setup: per-thread free-list
-   caches (so allocation is contention-free, as jemalloc's arenas
-   make it), explicit [free] with poisoning, and full statistics.  Two
-   operating modes:
+   Stands in for jemalloc in the paper's setup: per-thread magazine
+   caches (so allocation is contention-free, as jemalloc's tcache
+   makes it), explicit [free] with poisoning, and full statistics.
+   Two operating modes:
 
    - [reuse = true]  (default; benchmark mode): freed blocks go to the
-     freeing thread's cache and are reincarnated by later allocations.
-     The allocator is type-preserving by construction — an ['a t] only
-     ever recycles ['a Block.t]s — which is precisely the guarantee
-     the TagIBR-TPA variant requires (§3.2.1).
+     freeing thread's magazine and are reincarnated by later
+     allocations.  The allocator is type-preserving by construction —
+     an ['a t] only ever recycles ['a Block.t]s — which is precisely
+     the guarantee the TagIBR-TPA variant requires (§3.2.1).
    - [reuse = false] (checker mode): blocks are never reused, so a
      reclaimed block stays [Reclaimed] forever and every dangling
      access is detected with certainty.  Tests run in this mode.
 
+   Free-block caching is the Bonwick magazine design jemalloc's tcache
+   descends from: each thread holds a [loaded] magazine and a spare
+   [previous]; frees fill [loaded], and when both are full a whole
+   magazine of [magazine_size] blocks is flushed to a shared depot (a
+   Treiber stack of full magazines) in one CAS.  Allocation pops
+   [loaded], falls back to swapping in [previous], then to refilling a
+   whole magazine from the depot, then to a fresh block.  Cross-thread
+   block flow costs O(1/magazine_size) CASes per block instead of a
+   shared free-list CAS per block, and every cache keeps a counted
+   size so [stats] never walks another thread's lists.
+
    An optional [capacity] turns the arena into a bounded heap: the
-   footprint (Live + Retired blocks; cached free-list blocks have been
-   returned to the arena and do not count) may not exceed it.  An
-   allocation finding the heap full applies backpressure — it invokes
-   the caller's registered memory-pressure hook (the tracker's forced
-   sweep) and backs off exponentially in virtual time, giving other
-   threads' reclamation a chance to land — and only after the retry
-   budget is spent reports [Fault.Alloc_exhausted] and aborts the
-   operation by raising [Exhausted].
+   footprint (Live + Retired blocks; cached free blocks have been
+   returned to the arena and do not count) may not exceed it.
+   Admission is a *reservation* on an atomic footprint counter —
+   fetch-and-add then undo on overshoot — so the bound is strict even
+   under concurrent admitters (a plain check-then-increment lets N
+   racing threads overshoot by N).  An allocation failing to reserve
+   applies backpressure — it invokes the caller's registered
+   memory-pressure hook (the tracker's forced sweep) and backs off
+   exponentially in virtual time, giving other threads' reclamation a
+   chance to land — and only after the retry budget is spent reports
+   [Fault.Alloc_exhausted] and aborts the operation by raising
+   [Exhausted].
 
    Statistics are atomics so the real-domains backend can share an
    allocator across domains. *)
 
 exception Exhausted
 
+(* A per-thread cache: the loaded magazine, a spare that is always
+   either full or empty, and an atomic count of blocks across both so
+   other threads can read the cache size without touching the lists
+   (only the owner writes them). *)
+type 'a cache = {
+  mutable loaded : 'a Block.t list;
+  mutable loaded_n : int;
+  mutable previous : 'a Block.t list;
+  mutable previous_n : int;
+  count : int Atomic.t;
+}
+
 type 'a t = {
   reuse : bool;
-  caches : 'a Block.t list ref array;  (* per-thread free lists *)
+  magazine_size : int;
+  caches : 'a cache array;                  (* per-thread magazines *)
+  depot : 'a Block.t list list Atomic.t;    (* stack of full magazines *)
+  depot_count : int Atomic.t;               (* blocks in the depot *)
   next_id : int Atomic.t;
   allocated : int Atomic.t;   (* total alloc calls *)
   fresh : int Atomic.t;       (* allocations served by new blocks *)
   reused : int Atomic.t;      (* allocations served from a cache *)
   freed : int Atomic.t;       (* total free calls *)
+  footprint : int Atomic.t;   (* live+retired; admission reserves here *)
   mutable capacity : int option;       (* max live+retired blocks *)
   pressure : (unit -> unit) option array; (* per-thread pressure hooks *)
   retry_budget : int;
   peak_footprint : int Atomic.t;
   pressure_retries : int Atomic.t;
   oom_events : int Atomic.t;
+  mag_hits : int Atomic.t;      (* allocs served from loaded/previous *)
+  mag_misses : int Atomic.t;    (* allocs that went to depot or fresh *)
+  depot_refills : int Atomic.t; (* magazines taken from the depot *)
+  depot_flushes : int Atomic.t; (* magazines pushed to the depot *)
 }
 
-let create ?(reuse = true) ?capacity ?(retry_budget = 8) ~threads () =
+let create ?(reuse = true) ?capacity ?(retry_budget = 8)
+    ?(magazine_size = 64) ~threads () =
   if threads < 1 then invalid_arg "Alloc.create: threads must be >= 1";
+  if magazine_size < 1 then
+    invalid_arg "Alloc.create: magazine_size must be >= 1";
   (match capacity with
    | Some c when c < 1 -> invalid_arg "Alloc.create: capacity must be >= 1"
    | _ -> ());
   {
     reuse;
-    caches = Array.init threads (fun _ -> ref []);
+    magazine_size;
+    caches =
+      Array.init threads (fun _ ->
+          { loaded = []; loaded_n = 0; previous = []; previous_n = 0;
+            count = Atomic.make 0 });
+    depot = Atomic.make [];
+    depot_count = Atomic.make 0;
     next_id = Atomic.make 0;
     allocated = Atomic.make 0;
     fresh = Atomic.make 0;
     reused = Atomic.make 0;
     freed = Atomic.make 0;
+    footprint = Atomic.make 0;
     capacity;
     pressure = Array.make threads None;
     retry_budget;
     peak_footprint = Atomic.make 0;
     pressure_retries = Atomic.make 0;
     oom_events = Atomic.make 0;
+    mag_hits = Atomic.make 0;
+    mag_misses = Atomic.make 0;
+    depot_refills = Atomic.make 0;
+    depot_flushes = Atomic.make 0;
   }
 
 let threads t = Array.length t.caches
+let magazine_size t = t.magazine_size
 
 let check_tid t tid =
   if tid < 0 || tid >= Array.length t.caches then
     invalid_arg "Alloc: thread id out of range"
 
-let footprint t = Atomic.get t.allocated - Atomic.get t.freed
+let footprint t = Atomic.get t.footprint
 
 let capacity t = t.capacity
 
@@ -92,35 +142,7 @@ let set_pressure_hook t ~tid hook =
    in total — long enough for every other thread to get a sweep in. *)
 let backoff_base = 64
 
-(* Backpressure ladder: while the heap is at capacity, alternate the
-   caller's pressure hook (the tracker's forced sweep) with an
-   exponentially growing virtual-time backoff — each [Hooks.step] is a
-   preemption point, so other threads' frees can land between checks.
-   Admission failure is a reported fault plus a graceful abort. *)
-let admit t ~tid =
-  match t.capacity with
-  | None -> ()
-  | Some cap ->
-    let attempt = ref 0 in
-    while footprint t >= cap && !attempt < t.retry_budget do
-      Atomic.incr t.pressure_retries;
-      Ibr_obs.Probe.pressure ();
-      (match t.pressure.(tid) with Some hook -> hook () | None -> ());
-      Ibr_runtime.Hooks.step (backoff_base lsl !attempt);
-      incr attempt
-    done;
-    if footprint t >= cap then begin
-      Atomic.incr t.oom_events;
-      Fault.report Alloc_exhausted
-        (Printf.sprintf
-           "alloc: %d live+retired blocks at capacity %d after %d \
-            pressure retries (tid %d)"
-           (footprint t) cap t.retry_budget tid);
-      raise Exhausted
-    end
-
-let note_peak t =
-  let fp = footprint t in
+let note_peak t fp =
   let rec go () =
     let peak = Atomic.get t.peak_footprint in
     if fp > peak && not (Atomic.compare_and_set t.peak_footprint peak fp)
@@ -128,25 +150,151 @@ let note_peak t =
   in
   go ()
 
+(* Admission by reservation: fetch-and-add the footprint, undo if that
+   overshot the cap.  The peak is taken from the *successful*
+   reservation's value, so undone reservations can never inflate it
+   past the cap.  On reservation failure, the backpressure ladder
+   alternates the caller's pressure hook (the tracker's forced sweep)
+   with an exponentially growing virtual-time backoff — each
+   [Hooks.step] is a preemption point, so other threads' frees can
+   land between attempts.  Admission failure is a reported fault plus
+   a graceful abort. *)
+let admit t ~tid =
+  match t.capacity with
+  | None ->
+    note_peak t (Atomic.fetch_and_add t.footprint 1 + 1)
+  | Some cap ->
+    let try_reserve () =
+      let f = Atomic.fetch_and_add t.footprint 1 + 1 in
+      if f <= cap then Some f
+      else begin
+        Atomic.decr t.footprint;
+        None
+      end
+    in
+    let attempt = ref 0 in
+    let rec go () =
+      match try_reserve () with
+      | Some f -> note_peak t f
+      | None ->
+        if !attempt < t.retry_budget then begin
+          Atomic.incr t.pressure_retries;
+          Ibr_obs.Probe.pressure ();
+          (match t.pressure.(tid) with Some hook -> hook () | None -> ());
+          Ibr_runtime.Hooks.step (backoff_base lsl !attempt);
+          incr attempt;
+          go ()
+        end
+        else begin
+          Atomic.incr t.oom_events;
+          Fault.report Alloc_exhausted
+            (Printf.sprintf
+               "alloc: %d live+retired blocks at capacity %d after %d \
+                pressure retries (tid %d)"
+               (footprint t) cap t.retry_budget tid);
+          raise Exhausted
+        end
+    in
+    go ()
+
+(* -- magazine machinery (owner-thread only, except the depot) -- *)
+
+let depot_push t mag =
+  let rec loop () =
+    let cur = Atomic.get t.depot in
+    if not (Atomic.compare_and_set t.depot cur (mag :: cur)) then loop ()
+  in
+  loop ();
+  ignore (Atomic.fetch_and_add t.depot_count t.magazine_size);
+  Atomic.incr t.depot_flushes
+
+let depot_pop t =
+  let rec loop () =
+    match Atomic.get t.depot with
+    | [] -> None
+    (* CAS against the value read, not a reconstruction: a fresh cons
+       cell is never physically equal to the stored list. *)
+    | (mag :: rest) as cur ->
+      if Atomic.compare_and_set t.depot cur rest then begin
+        ignore (Atomic.fetch_and_add t.depot_count (-t.magazine_size));
+        Atomic.incr t.depot_refills;
+        Some mag
+      end
+      else loop ()
+  in
+  loop ()
+
+(* Pop the head of [loaded] (which the caller has ensured is
+   non-empty). *)
+let pop_loaded c =
+  match c.loaded with
+  | [] -> assert false
+  | b :: rest ->
+    c.loaded <- rest;
+    c.loaded_n <- c.loaded_n - 1;
+    Atomic.decr c.count;
+    b
+
+(* Pop one cached block, or None.  Order: loaded, then swap in the
+   full previous, then refill a whole magazine from the depot. *)
+let cache_pop t c =
+  if c.loaded_n > 0 then begin
+    Atomic.incr t.mag_hits;
+    Some (pop_loaded c)
+  end
+  else if c.previous_n > 0 then begin
+    c.loaded <- c.previous;
+    c.loaded_n <- c.previous_n;
+    c.previous <- [];
+    c.previous_n <- 0;
+    Atomic.incr t.mag_hits;
+    Some (pop_loaded c)
+  end
+  else begin
+    Atomic.incr t.mag_misses;
+    match depot_pop t with
+    | Some mag ->
+      c.loaded <- mag;
+      c.loaded_n <- t.magazine_size;
+      ignore (Atomic.fetch_and_add c.count t.magazine_size);
+      Some (pop_loaded c)
+    | None -> None
+  end
+
+(* Push one freed block.  When [loaded] is full, rotate it to
+   [previous]; when both are full, flush the (full) [previous] to the
+   depot first — one CAS moves [magazine_size] blocks. *)
+let cache_push t c b =
+  if c.loaded_n >= t.magazine_size then begin
+    if c.previous_n > 0 then begin
+      depot_push t c.previous;
+      ignore (Atomic.fetch_and_add c.count (-t.magazine_size))
+    end;
+    c.previous <- c.loaded;
+    c.previous_n <- c.loaded_n;
+    c.loaded <- [];
+    c.loaded_n <- 0
+  end;
+  c.loaded <- b :: c.loaded;
+  c.loaded_n <- c.loaded_n + 1;
+  Atomic.incr c.count
+
 let alloc t ~tid payload =
   check_tid t tid;
   admit t ~tid;
   Atomic.incr t.allocated;
-  note_peak t;
-  let cache = t.caches.(tid) in
   (* The probe fires before [Prim.charge_alloc]: the charge's
      [Hooks.step] is a preemption point where the horizon can unwind
      the fiber, and the event must stay atomic with the counter
      increments above (probes never step). *)
-  match !cache with
-  | b :: rest when t.reuse ->
-    cache := rest;
+  match if t.reuse then cache_pop t t.caches.(tid) else None with
+  | Some b ->
     Block.reincarnate b payload;
     Atomic.incr t.reused;
     Ibr_obs.Probe.alloc ~block:(Block.id b) ~reused:true;
     Prim.charge_alloc ~reused:true;
     b
-  | _ ->
+  | None ->
     Atomic.incr t.fresh;
     let b = Block.make ~id:(Atomic.fetch_and_add t.next_id 1) payload in
     Ibr_obs.Probe.alloc ~block:(Block.id b) ~reused:false;
@@ -158,24 +306,20 @@ let free t ~tid b =
   check_tid t tid;
   Block.transition_reclaim b;
   Atomic.incr t.freed;
+  Atomic.decr t.footprint;
   Ibr_obs.Probe.reclaim ~block:(Block.id b) ~unpublished:false;
   Prim.charge_free ();
-  if t.reuse then begin
-    let cache = t.caches.(tid) in
-    cache := b :: !cache
-  end
+  if t.reuse then cache_push t t.caches.(tid) b
 
 (* Reclaim a block that was never published (lost install CAS). *)
 let free_unpublished t ~tid b =
   check_tid t tid;
   Block.transition_reclaim_unpublished b;
   Atomic.incr t.freed;
+  Atomic.decr t.footprint;
   Ibr_obs.Probe.reclaim ~block:(Block.id b) ~unpublished:true;
   Prim.charge_free ();
-  if t.reuse then begin
-    let cache = t.caches.(tid) in
-    cache := b :: !cache
-  end
+  if t.reuse then cache_push t t.caches.(tid) b
 
 type stats = {
   allocated : int;
@@ -183,14 +327,22 @@ type stats = {
   reused : int;
   freed : int;
   live : int;       (* allocated - freed: Live or Retired blocks *)
-  cached : int;     (* blocks sitting in free lists *)
+  cached : int;     (* blocks sitting in magazines and the depot *)
   peak_footprint : int;  (* high-water mark of live *)
   pressure_retries : int;
   oom_events : int;
+  mag_hits : int;
+  mag_misses : int;
+  depot_refills : int;
+  depot_flushes : int;
 }
 
 let stats t =
-  let cached = Array.fold_left (fun n c -> n + List.length !c) 0 t.caches in
+  (* Counted at push/pop: no walks over other threads' lists. *)
+  let cached =
+    Array.fold_left (fun n c -> n + Atomic.get c.count) 0 t.caches
+    + Atomic.get t.depot_count
+  in
   let allocated = Atomic.get t.allocated in
   let freed = Atomic.get t.freed in
   {
@@ -203,6 +355,10 @@ let stats t =
     peak_footprint = Atomic.get t.peak_footprint;
     pressure_retries = Atomic.get t.pressure_retries;
     oom_events = Atomic.get t.oom_events;
+    mag_hits = Atomic.get t.mag_hits;
+    mag_misses = Atomic.get t.mag_misses;
+    depot_refills = Atomic.get t.depot_refills;
+    depot_flushes = Atomic.get t.depot_flushes;
   }
 
 (* Metric registration: allocator stats are instance-scoped, so they
@@ -218,6 +374,14 @@ let m_retries =
   Ibr_obs.Metrics.register_gauge ~name:"pressure_retries" ~order:610
 
 let m_peak = Ibr_obs.Metrics.register_gauge ~name:"peak_footprint" ~order:620
+let m_hits = Ibr_obs.Metrics.register_gauge ~name:"mag_hits" ~order:630
+let m_misses = Ibr_obs.Metrics.register_gauge ~name:"mag_misses" ~order:640
+
+let m_refills =
+  Ibr_obs.Metrics.register_gauge ~name:"depot_refills" ~order:650
+
+let m_flushes =
+  Ibr_obs.Metrics.register_gauge ~name:"depot_flushes" ~order:660
 
 let publish_stats (s : stats) =
   m_allocated := s.allocated;
@@ -226,12 +390,18 @@ let publish_stats (s : stats) =
   m_cached := s.cached;
   m_oom := s.oom_events;
   m_retries := s.pressure_retries;
-  m_peak := s.peak_footprint
+  m_peak := s.peak_footprint;
+  m_hits := s.mag_hits;
+  m_misses := s.mag_misses;
+  m_refills := s.depot_refills;
+  m_flushes := s.depot_flushes
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "alloc=%d (fresh=%d reused=%d) freed=%d live=%d cached=%d peak=%d%s"
+    "alloc=%d (fresh=%d reused=%d) freed=%d live=%d cached=%d peak=%d \
+     mag=%d/%d depot=%d/%d%s"
     s.allocated s.fresh s.reused s.freed s.live s.cached s.peak_footprint
+    s.mag_hits s.mag_misses s.depot_refills s.depot_flushes
     (if s.pressure_retries = 0 && s.oom_events = 0 then ""
      else Printf.sprintf " retries=%d oom=%d" s.pressure_retries
             s.oom_events)

@@ -30,10 +30,18 @@ let advance_cas t ~expected =
 
 (* Per-thread allocation-driven advance: thread-local counter, bump
    the global epoch every [freq] calls.  Matches Fig. 2 lines 15–17 /
-   Fig. 5 lines 31–33. *)
+   Fig. 5 lines 31–33.  The counter is reset on advance so it cannot
+   grow without bound over a long run; a non-positive [freq] is a
+   configuration error (a silently-never-advancing epoch breaks every
+   epoch-based scheme's bound), rejected here and at tracker config
+   validation. *)
 let tick t ~counter ~freq =
+  if freq <= 0 then invalid_arg "Epoch.tick: epoch_freq must be positive";
   incr counter;
-  if freq > 0 && !counter mod freq = 0 then advance t
+  if !counter >= freq then begin
+    counter := 0;
+    advance t
+  end
 
 (* The final epoch value is instance-scoped: a gauge the harness
    publishes at end of run. *)

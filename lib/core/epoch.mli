@@ -25,8 +25,10 @@ val advance_cas : t -> expected:int -> bool
     unconditional increments would skip one.) *)
 
 val tick : t -> counter:int ref -> freq:int -> unit
-(** Allocation-driven advance: bump [counter]; advance the epoch every
-    [freq] calls ([freq <= 0] never advances). *)
+(** Allocation-driven advance: bump [counter]; advance the epoch and
+    reset the counter every [freq] calls.  Raises [Invalid_argument]
+    if [freq <= 0] — a never-advancing epoch is a config error, not a
+    mode. *)
 
 val publish : int -> unit
 (** Publish a run's final epoch value to the ["epoch"] metric gauge. *)

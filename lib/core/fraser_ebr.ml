@@ -34,22 +34,16 @@ type 'a t = {
   reservations : int Atomic.t array;
   alloc : 'a Alloc.t;
   cfg : Tracker_intf.config;
+  mutable handoff : 'a Handoff.t option;
 }
 
 type 'a handle = {
   t : 'a t;
   tid : int;
-  rc : 'a Reclaimer.t;
+  path : 'a Handoff.path;
 }
 
 type 'a ptr = 'a Plain_ptr.t
-
-let create ~threads (cfg : Tracker_intf.config) = {
-  epoch = Epoch.create ();
-  reservations = Array.init threads (fun _ -> Atomic.make inactive);
-  alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
-  cfg;
-}
 
 (* Advance e -> e+1 iff every active thread has posted e (or later —
    possible when it raced past us). *)
@@ -69,20 +63,41 @@ let try_advance t =
    advance attempt is the reclaimer's [prepare] hook so it still runs
    when the Gated backend skips the sweep itself — otherwise a closed
    gate would freeze the epoch it is waiting on. *)
+let make_reclaimer t ~tid =
+  Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+    ~empty_freq:t.cfg.Tracker_intf.empty_freq
+    ~prepare:(fun () -> try_advance t)
+    ~current_epoch:(fun () -> Epoch.peek t.epoch)
+    ~source:(fun () ->
+      let e = Epoch.read t.epoch in
+      Reclaimer.Shape (Tracker_common.Conflict.Threshold (e - 1)))
+    ~free:(fun b -> Alloc.free t.alloc ~tid b)
+    ()
+
+let create ~threads (cfg : Tracker_intf.config) =
+  Tracker_intf.validate ~threads cfg;
+  let t = {
+    epoch = Epoch.create ();
+    reservations = Array.init threads (fun _ -> Atomic.make inactive);
+    alloc =
+      Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
+        ~threads:(threads + if cfg.background_reclaim then 1 else 0) ();
+    cfg;
+    handoff = None;
+  } in
+  if cfg.background_reclaim then
+    t.handoff <-
+      Some (Handoff.create ~producers:threads (make_reclaimer t ~tid:threads));
+  t
+
 let register t ~tid =
-  let rc =
-    Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
-      ~empty_freq:t.cfg.Tracker_intf.empty_freq
-      ~prepare:(fun () -> try_advance t)
-      ~current_epoch:(fun () -> Epoch.peek t.epoch)
-      ~source:(fun () ->
-        let e = Epoch.read t.epoch in
-        Reclaimer.Shape (Tracker_common.Conflict.Threshold (e - 1)))
-      ~free:(fun b -> Alloc.free t.alloc ~tid b)
-      ()
+  let path =
+    match t.handoff with
+    | Some h -> Handoff.Queued h
+    | None -> Handoff.Direct (make_reclaimer t ~tid)
   in
-  Alloc.set_pressure_hook t.alloc ~tid (fun () -> Reclaimer.pressure rc);
-  { t; tid; rc }
+  Alloc.set_pressure_hook t.alloc ~tid (fun () -> Handoff.path_pressure path);
+  { t; tid; path }
 
 let alloc h payload =
   let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
@@ -94,7 +109,7 @@ let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 let retire h b =
   Block.transition_retire b;
   Block.set_retire_epoch b (Epoch.read h.t.epoch);
-  Reclaimer.add h.rc b
+  Handoff.path_add h.path ~tid:h.tid b
 
 let start_op h =
   let e = Epoch.read h.t.epoch in
@@ -113,17 +128,19 @@ let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
 let unreserve _ ~slot:_ = ()
 let reassign _ ~src:_ ~dst:_ = ()
 
-let retired_count h = Reclaimer.count h.rc
+let retired_count h = Handoff.path_count h.path
 
 (* Caller is between operations: help the epoch forward two steps so
    blocks retired before its last operation become reclaimable. *)
 let force_empty h =
+  Handoff.path_drain h.path;
   try_advance h.t;
   try_advance h.t;
-  Reclaimer.force h.rc
+  Reclaimer.force (Handoff.path_reclaimer h.path)
 
 let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch
+let reclaim_service t = Option.map Handoff.service t.handoff
 
 (* Neutralize a dead thread: marking it inactive both unpins its
    reservation and lets the all-observed advance proceed again. *)

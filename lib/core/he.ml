@@ -29,26 +29,18 @@ type 'a t = {
   eras : int Atomic.t array array;   (* eras.(tid).(slot) *)
   alloc : 'a Alloc.t;
   cfg : Tracker_intf.config;
+  mutable handoff : 'a Handoff.t option;
 }
 
 type 'a handle = {
   t : 'a t;
   tid : int;
-  mutable alloc_counter : int;
+  alloc_counter : int ref;
   mutable hwm : int;
-  rc : 'a Reclaimer.t;
+  path : 'a Handoff.path;
 }
 
 type 'a ptr = 'a Plain_ptr.t
-
-let create ~threads (cfg : Tracker_intf.config) = {
-  epoch = Epoch.create ();
-  eras =
-    Array.init threads (fun _ ->
-      Array.init cfg.slots (fun _ -> Atomic.make no_era));
-  alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
-  cfg;
-}
 
 (* A block survives if any reserved era intersects its lifetime.  The
    era table is read once into a flat array, then digested into a
@@ -84,22 +76,43 @@ let source_of_eras eras =
       (Tracker_common.Conflict.Intervals
          (Tracker_common.Sweep_snapshot.of_points ~none:no_era eras))
 
+let make_reclaimer t ~tid =
+  Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+    ~empty_freq:t.cfg.Tracker_intf.empty_freq
+    ~current_epoch:(fun () -> Epoch.peek t.epoch)
+    ~source:(fun () -> source_of_eras (scan_eras t))
+    ~free:(fun b -> Alloc.free t.alloc ~tid b)
+    ()
+
+let create ~threads (cfg : Tracker_intf.config) =
+  Tracker_intf.validate ~threads cfg;
+  let t = {
+    epoch = Epoch.create ();
+    eras =
+      Array.init threads (fun _ ->
+        Array.init cfg.slots (fun _ -> Atomic.make no_era));
+    alloc =
+      Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
+        ~threads:(threads + if cfg.background_reclaim then 1 else 0) ();
+    cfg;
+    handoff = None;
+  } in
+  if cfg.background_reclaim then
+    t.handoff <-
+      Some (Handoff.create ~producers:threads (make_reclaimer t ~tid:threads));
+  t
+
 let register t ~tid =
-  let rc =
-    Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
-      ~empty_freq:t.cfg.Tracker_intf.empty_freq
-      ~current_epoch:(fun () -> Epoch.peek t.epoch)
-      ~source:(fun () -> source_of_eras (scan_eras t))
-      ~free:(fun b -> Alloc.free t.alloc ~tid b)
-      ()
+  let path =
+    match t.handoff with
+    | Some h -> Handoff.Queued h
+    | None -> Handoff.Direct (make_reclaimer t ~tid)
   in
-  Alloc.set_pressure_hook t.alloc ~tid (fun () -> Reclaimer.pressure rc);
-  { t; tid; alloc_counter = 0; hwm = -1; rc }
+  Alloc.set_pressure_hook t.alloc ~tid (fun () -> Handoff.path_pressure path);
+  { t; tid; alloc_counter = ref 0; hwm = -1; path }
 
 let alloc h payload =
-  h.alloc_counter <- h.alloc_counter + 1;
-  if h.t.cfg.epoch_freq > 0 && h.alloc_counter mod h.t.cfg.epoch_freq = 0
-  then Epoch.advance h.t.epoch;
+  Epoch.tick h.t.epoch ~counter:h.alloc_counter ~freq:h.t.cfg.epoch_freq;
   let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
   Block.set_birth_epoch b (Epoch.read h.t.epoch);
   b
@@ -109,7 +122,7 @@ let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 let retire h b =
   Block.transition_retire b;
   Block.set_retire_epoch b (Epoch.read h.t.epoch);
-  Reclaimer.add h.rc b
+  Handoff.path_add h.path ~tid:h.tid b
 
 let start_op h = h.hwm <- -1
 
@@ -159,10 +172,15 @@ let reassign h ~src ~dst =
   Prim.write row.(dst) (Prim.read row.(src));
   Ibr_obs.Probe.reserve ~slot:dst
 
-let retired_count h = Reclaimer.count h.rc
-let force_empty h = Reclaimer.force h.rc
+let retired_count h = Handoff.path_count h.path
+
+let force_empty h =
+  Handoff.path_drain h.path;
+  Reclaimer.force (Handoff.path_reclaimer h.path)
+
 let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch
+let reclaim_service t = Option.map Handoff.service t.handoff
 
 (* Neutralize a dead thread: clear every era slot in its row. *)
 let eject t ~tid =

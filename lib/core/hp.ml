@@ -29,34 +29,27 @@ type 'a t = {
   alloc : 'a Alloc.t;
   cfg : Tracker_intf.config;
   threads : int;
+  mutable handoff : 'a Handoff.t option;
 }
 
 type 'a handle = {
   t : 'a t;
   tid : int;
   mutable hwm : int;   (* highest slot used this op, for cheap end_op *)
-  rc : 'a Reclaimer.t;
+  path : 'a Handoff.path;
 }
 
 type 'a ptr = 'a Plain_ptr.t
-
-let create ~threads (cfg : Tracker_intf.config) = {
-  slots =
-    Array.init threads (fun _ ->
-      Array.init cfg.slots (fun _ -> Atomic.make None));
-  alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
-  cfg;
-  threads;
-}
 
 (* Michael's scan: snapshot all hazard slots into an id set, then
    sweep the local retired store against membership.  An opaque
    predicate — blocks carry no retire epochs here, so the bucketed
    backends degenerate to per-block tests (and, with the epoch peek
    pinned at 0, Gated never gates). *)
-let register t ~tid =
+let make_reclaimer t ~tid =
   (* Reused across sweeps so a scan does not allocate (and regrow) a
-     fresh table; cleared, not reset, to keep its buckets. *)
+     fresh table; cleared, not reset, to keep its buckets.  One per
+     reclaimer: the background service sweeps with its own scratch. *)
   let hazard_scratch : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   let source () =
     Hashtbl.clear hazard_scratch;
@@ -74,23 +67,46 @@ let register t ~tid =
       ~cycles:(!entries * !Prim.costs.Ibr_runtime.Cost.scan_reservation);
     Reclaimer.Predicate (fun b -> Hashtbl.mem hazard_scratch (Block.id b))
   in
-  let rc =
-    Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
-      ~empty_freq:t.cfg.Tracker_intf.empty_freq
-      ~current_epoch:(fun () -> 0)
-      ~source
-      ~free:(fun b -> Alloc.free t.alloc ~tid b)
-      ()
+  Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+    ~empty_freq:t.cfg.Tracker_intf.empty_freq
+    ~current_epoch:(fun () -> 0)
+    ~source
+    ~free:(fun b -> Alloc.free t.alloc ~tid b)
+    ()
+
+let create ~threads (cfg : Tracker_intf.config) =
+  Tracker_intf.validate ~threads cfg;
+  let t = {
+    slots =
+      Array.init threads (fun _ ->
+        Array.init cfg.slots (fun _ -> Atomic.make None));
+    alloc =
+      Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
+        ~threads:(threads + if cfg.background_reclaim then 1 else 0) ();
+    cfg;
+    threads;
+    handoff = None;
+  } in
+  if cfg.background_reclaim then
+    t.handoff <-
+      Some (Handoff.create ~producers:threads (make_reclaimer t ~tid:threads));
+  t
+
+let register t ~tid =
+  let path =
+    match t.handoff with
+    | Some h -> Handoff.Queued h
+    | None -> Handoff.Direct (make_reclaimer t ~tid)
   in
-  Alloc.set_pressure_hook t.alloc ~tid (fun () -> Reclaimer.pressure rc);
-  { t; tid; hwm = -1; rc }
+  Alloc.set_pressure_hook t.alloc ~tid (fun () -> Handoff.path_pressure path);
+  { t; tid; hwm = -1; path }
 
 let alloc h payload = Alloc.alloc h.t.alloc ~tid:h.tid payload
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 
 let retire h b =
   Block.transition_retire b;
-  Reclaimer.add h.rc b
+  Handoff.path_add h.path ~tid:h.tid b
 
 let start_op h = h.hwm <- -1
 
@@ -140,10 +156,15 @@ let reassign h ~src ~dst =
   Prim.write row.(dst) (Prim.read row.(src));
   Ibr_obs.Probe.reserve ~slot:dst
 
-let retired_count h = Reclaimer.count h.rc
-let force_empty h = Reclaimer.force h.rc
+let retired_count h = Handoff.path_count h.path
+
+let force_empty h =
+  Handoff.path_drain h.path;
+  Reclaimer.force (Handoff.path_reclaimer h.path)
+
 let allocator t = t.alloc
 let epoch_value _ = 0
+let reclaim_service t = Option.map Handoff.service t.handoff
 
 (* Neutralize a dead thread: clear every hazard slot in its row. *)
 let eject t ~tid =

@@ -35,29 +35,23 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
     res : Tracker_common.Interval_res.t;
     alloc : 'a Alloc.t;
     cfg : Tracker_intf.config;
+    mutable handoff : 'a Handoff.t option;
   }
 
   type 'a handle = {
     t : 'a t;
     tid : int;
-    mutable alloc_counter : int;
-    rc : 'a Reclaimer.t;
+    alloc_counter : int ref;
+    path : 'a Handoff.path;
   }
 
   type 'a ptr = 'a P.ptr
-
-  let create ~threads (cfg : Tracker_intf.config) = {
-    epoch = Epoch.create ();
-    res = Tracker_common.Interval_res.create threads;
-    alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
-    cfg;
-  }
 
   (* Fig. 5 lines 22–29: interval-intersection sweep.  The table is
      digested once into a sorted snapshot; each block then pays
      O(log T) instead of a rescan of every thread's endpoints.  The
      legacy path keeps the per-block rescan as a differential oracle. *)
-  let register t ~tid =
+  let make_reclaimer t ~tid =
     let source () =
       if !Tracker_common.legacy_sweep then
         Reclaimer.Predicate
@@ -67,22 +61,43 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
           (Tracker_common.Conflict.Intervals
              (Tracker_common.Interval_res.sweep_snapshot t.res))
     in
-    let rc =
-      Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
-        ~empty_freq:t.cfg.Tracker_intf.empty_freq
-        ~current_epoch:(fun () -> Epoch.peek t.epoch)
-        ~source
-        ~free:(fun b -> Alloc.free t.alloc ~tid b)
-        ()
+    Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+      ~empty_freq:t.cfg.Tracker_intf.empty_freq
+      ~current_epoch:(fun () -> Epoch.peek t.epoch)
+      ~source
+      ~free:(fun b -> Alloc.free t.alloc ~tid b)
+      ()
+
+  let create ~threads (cfg : Tracker_intf.config) =
+    Tracker_intf.validate ~threads cfg;
+    let t = {
+      epoch = Epoch.create ();
+      res = Tracker_common.Interval_res.create threads;
+      alloc =
+        Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
+          ~threads:(threads + if cfg.background_reclaim then 1 else 0) ();
+      cfg;
+      handoff = None;
+    } in
+    if cfg.background_reclaim then
+      t.handoff <-
+        Some
+          (Handoff.create ~producers:threads (make_reclaimer t ~tid:threads));
+    t
+
+  let register t ~tid =
+    let path =
+      match t.handoff with
+      | Some h -> Handoff.Queued h
+      | None -> Handoff.Direct (make_reclaimer t ~tid)
     in
-    Alloc.set_pressure_hook t.alloc ~tid (fun () -> Reclaimer.pressure rc);
-    { t; tid; alloc_counter = 0; rc }
+    Alloc.set_pressure_hook t.alloc ~tid (fun () ->
+      Handoff.path_pressure path);
+    { t; tid; alloc_counter = ref 0; path }
 
   (* Fig. 5 lines 30–36: epoch tick on allocation, tag birth epoch. *)
   let alloc h payload =
-    h.alloc_counter <- h.alloc_counter + 1;
-    if h.t.cfg.epoch_freq > 0 && h.alloc_counter mod h.t.cfg.epoch_freq = 0
-    then Epoch.advance h.t.epoch;
+    Epoch.tick h.t.epoch ~counter:h.alloc_counter ~freq:h.t.cfg.epoch_freq;
     let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
     Block.set_birth_epoch b (Epoch.read h.t.epoch);
     b
@@ -92,7 +107,7 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
   let retire h b =
     Block.transition_retire b;
     Block.set_retire_epoch b (Epoch.read h.t.epoch);
-    Reclaimer.add h.rc b
+    Handoff.path_add h.path ~tid:h.tid b
 
   let start_op h =
     let e = Epoch.read h.t.epoch in
@@ -116,10 +131,15 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
   let unreserve _ ~slot:_ = ()
   let reassign _ ~src:_ ~dst:_ = ()
 
-  let retired_count h = Reclaimer.count h.rc
-  let force_empty h = Reclaimer.force h.rc
+  let retired_count h = Handoff.path_count h.path
+
+  let force_empty h =
+    Handoff.path_drain h.path;
+    Reclaimer.force (Handoff.path_reclaimer h.path)
+
   let allocator t = t.alloc
   let epoch_value t = Epoch.peek t.epoch
+  let reclaim_service t = Option.map Handoff.service t.handoff
 
   (* Neutralize a dead thread: clearing its [lower, upper] interval
      unpins every block whose lifetime it intersected. *)

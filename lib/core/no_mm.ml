@@ -28,7 +28,13 @@ type 'a handle = {
 type 'a ptr = 'a Plain_ptr.t
 
 let create ~threads (cfg : Tracker_intf.config) =
-  { alloc = Alloc.create ~reuse:cfg.reuse ~threads (); cfg }
+  Tracker_intf.validate ~threads cfg;
+  (* Nothing ever sweeps, so a background reclaimer has no work:
+     [background_reclaim] is ignored and [reclaim_service] is [None]. *)
+  { alloc =
+      Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
+        ~threads ();
+    cfg }
 
 (* empty_freq:0 — the reclaimer only stores; nothing ever sweeps. *)
 let register t ~tid =
@@ -65,6 +71,7 @@ let retired_count h = Reclaimer.count h.rc
 let force_empty _ = ()
 let allocator t = t.alloc
 let epoch_value _ = 0
+let reclaim_service _ = None
 
 (* Holds no reservations: nothing to expire. *)
 let eject _ ~tid:_ = ()

@@ -27,23 +27,17 @@ type 'a t = {
   reservations : int Atomic.t array;
   alloc : 'a Alloc.t;
   cfg : Tracker_intf.config;
+  mutable handoff : 'a Handoff.t option;
 }
 
 type 'a handle = {
   t : 'a t;
   tid : int;
-  mutable alloc_counter : int;
-  rc : 'a Reclaimer.t;
+  alloc_counter : int ref;
+  path : 'a Handoff.path;
 }
 
 type 'a ptr = 'a Plain_ptr.t
-
-let create ~threads (cfg : Tracker_intf.config) = {
-  epoch = Epoch.create ();
-  reservations = Array.init threads (fun _ -> Atomic.make max_int);
-  alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
-  cfg;
-}
 
 (* Fig. 4 lines 1–8: a block is protected iff some reserved epoch lies
    within its lifetime.  The snapshot is sorted once so each block's
@@ -61,23 +55,42 @@ let source t =
          (Tracker_common.Sweep_snapshot.of_points ~none:max_int
             reservations))
 
+let make_reclaimer t ~tid =
+  Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+    ~empty_freq:t.cfg.Tracker_intf.empty_freq
+    ~current_epoch:(fun () -> Epoch.peek t.epoch)
+    ~source:(fun () -> source t)
+    ~free:(fun b -> Alloc.free t.alloc ~tid b)
+    ()
+
+let create ~threads (cfg : Tracker_intf.config) =
+  Tracker_intf.validate ~threads cfg;
+  let t = {
+    epoch = Epoch.create ();
+    reservations = Array.init threads (fun _ -> Atomic.make max_int);
+    alloc =
+      Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
+        ~threads:(threads + if cfg.background_reclaim then 1 else 0) ();
+    cfg;
+    handoff = None;
+  } in
+  if cfg.background_reclaim then
+    t.handoff <-
+      Some (Handoff.create ~producers:threads (make_reclaimer t ~tid:threads));
+  t
+
 let register t ~tid =
-  let rc =
-    Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
-      ~empty_freq:t.cfg.Tracker_intf.empty_freq
-      ~current_epoch:(fun () -> Epoch.peek t.epoch)
-      ~source:(fun () -> source t)
-      ~free:(fun b -> Alloc.free t.alloc ~tid b)
-      ()
+  let path =
+    match t.handoff with
+    | Some h -> Handoff.Queued h
+    | None -> Handoff.Direct (make_reclaimer t ~tid)
   in
-  Alloc.set_pressure_hook t.alloc ~tid (fun () -> Reclaimer.pressure rc);
-  { t; tid; alloc_counter = 0; rc }
+  Alloc.set_pressure_hook t.alloc ~tid (fun () -> Handoff.path_pressure path);
+  { t; tid; alloc_counter = ref 0; path }
 
 (* Fig. 4 lines 9–15: epoch tick on allocation, tag the birth epoch. *)
 let alloc h payload =
-  h.alloc_counter <- h.alloc_counter + 1;
-  if h.t.cfg.epoch_freq > 0 && h.alloc_counter mod h.t.cfg.epoch_freq = 0
-  then Epoch.advance h.t.epoch;
+  Epoch.tick h.t.epoch ~counter:h.alloc_counter ~freq:h.t.cfg.epoch_freq;
   let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
   Block.set_birth_epoch b (Epoch.read h.t.epoch);
   b
@@ -87,7 +100,7 @@ let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
 let retire h b =
   Block.transition_retire b;
   Block.set_retire_epoch b (Epoch.read h.t.epoch);
-  Reclaimer.add h.rc b
+  Handoff.path_add h.path ~tid:h.tid b
 
 let start_op h =
   let e = Epoch.read h.t.epoch in
@@ -124,10 +137,15 @@ let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
 let unreserve _ ~slot:_ = ()
 let reassign _ ~src:_ ~dst:_ = ()
 
-let retired_count h = Reclaimer.count h.rc
-let force_empty h = Reclaimer.force h.rc
+let retired_count h = Handoff.path_count h.path
+
+let force_empty h =
+  Handoff.path_drain h.path;
+  Reclaimer.force (Handoff.path_reclaimer h.path)
+
 let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch
+let reclaim_service t = Option.map Handoff.service t.handoff
 
 (* Neutralize a dead thread: clearing its epoch reservation unpins
    everything reachable from the root it had snapshotted. *)

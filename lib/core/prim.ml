@@ -42,12 +42,20 @@ let write a v =
   Hooks.step c;
   Atomic.set a v
 
-let cas a expected desired =
-  let ok = Atomic.compare_and_set a expected desired in
+(* Charge for a CAS the caller already performed raw.  For callers
+   that must do bookkeeping between the CAS landing and the preemption
+   point: the step below can unwind the fiber at the horizon, and
+   [cas] steps after its atomic op, so state that must stay atomic
+   with the CAS has to be written before this charge. *)
+let charge_cas ~ok =
   let c = if ok then !costs.Cost.cas else !costs.Cost.cas_fail in
   Ibr_obs.Probe.charge
     (if ok then Ibr_obs.Probe.K_cas else Ibr_obs.Probe.K_cas_fail) c;
-  Hooks.step c;
+  Hooks.step c
+
+let cas a expected desired =
+  let ok = Atomic.compare_and_set a expected desired in
+  charge_cas ~ok;
   ok
 
 let faa a n =

@@ -22,6 +22,13 @@ val cas : 'a Atomic.t -> 'a -> 'a -> bool
 (** Physical-equality compare-and-set; charges success or failure
     cost accordingly. *)
 
+val charge_cas : ok:bool -> unit
+(** Charge for a CAS the caller performed raw with
+    [Atomic.compare_and_set].  Use when bookkeeping must stay atomic
+    with the CAS: the charge's step is a preemption point where the
+    horizon can unwind the fiber, and {!cas} steps after its atomic
+    op. *)
+
 val faa : int Atomic.t -> int -> int
 
 val fence : unit -> unit

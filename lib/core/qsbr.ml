@@ -50,24 +50,16 @@ module Make (A : ADVANCE) = struct
     alloc : 'a Alloc.t;
     cfg : Tracker_intf.config;
     threads : int;
+    mutable handoff : 'a Handoff.t option;
   }
 
   type 'a handle = {
     t : 'a t;
     tid : int;
-    rc : 'a Reclaimer.t;
+    path : 'a Handoff.path;
   }
 
   type 'a ptr = 'a Plain_ptr.t
-
-  let create ~threads (cfg : Tracker_intf.config) = {
-    epoch = Epoch.create ();
-    (* Initially every thread is quiescent in epoch 1. *)
-    quiescent = Array.init threads (fun _ -> Atomic.make 1);
-    alloc = Alloc.create ~reuse:cfg.reuse ~threads ();
-    cfg;
-    threads;
-  }
 
   (* Advance the global epoch if every thread has quiesced in it. *)
   let try_advance t =
@@ -86,20 +78,45 @@ module Make (A : ADVANCE) = struct
      even when the Gated backend skips the sweep, because QSBR's epoch
      only moves through it — a gate that suppressed it would wait on
      an epoch that can no longer advance. *)
+  let make_reclaimer t ~tid =
+    Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+      ~empty_freq:t.cfg.Tracker_intf.empty_freq
+      ~prepare:(fun () -> try_advance t)
+      ~current_epoch:(fun () -> Epoch.peek t.epoch)
+      ~source:(fun () ->
+        let e = Epoch.read t.epoch in
+        Reclaimer.Shape (Tracker_common.Conflict.Threshold (e - 1)))
+      ~free:(fun b -> Alloc.free t.alloc ~tid b)
+      ()
+
+  let create ~threads (cfg : Tracker_intf.config) =
+    Tracker_intf.validate ~threads cfg;
+    let t = {
+      epoch = Epoch.create ();
+      (* Initially every thread is quiescent in epoch 1. *)
+      quiescent = Array.init threads (fun _ -> Atomic.make 1);
+      alloc =
+        Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
+          ~threads:(threads + if cfg.background_reclaim then 1 else 0) ();
+      cfg;
+      threads;
+      handoff = None;
+    } in
+    if cfg.background_reclaim then
+      t.handoff <-
+        Some
+          (Handoff.create ~producers:threads (make_reclaimer t ~tid:threads));
+    t
+
   let register t ~tid =
-    let rc =
-      Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
-        ~empty_freq:t.cfg.Tracker_intf.empty_freq
-        ~prepare:(fun () -> try_advance t)
-        ~current_epoch:(fun () -> Epoch.peek t.epoch)
-        ~source:(fun () ->
-          let e = Epoch.read t.epoch in
-          Reclaimer.Shape (Tracker_common.Conflict.Threshold (e - 1)))
-        ~free:(fun b -> Alloc.free t.alloc ~tid b)
-        ()
+    let path =
+      match t.handoff with
+      | Some h -> Handoff.Queued h
+      | None -> Handoff.Direct (make_reclaimer t ~tid)
     in
-    Alloc.set_pressure_hook t.alloc ~tid (fun () -> Reclaimer.pressure rc);
-    { t; tid; rc }
+    Alloc.set_pressure_hook t.alloc ~tid (fun () ->
+      Handoff.path_pressure path);
+    { t; tid; path }
 
   let alloc h payload =
     let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
@@ -111,7 +128,7 @@ module Make (A : ADVANCE) = struct
   let retire h b =
     Block.transition_retire b;
     Block.set_retire_epoch b (Epoch.read h.t.epoch);
-    Reclaimer.add h.rc b
+    Handoff.path_add h.path ~tid:h.tid b
 
   let start_op _ = ()
 
@@ -129,20 +146,22 @@ module Make (A : ADVANCE) = struct
   let unreserve _ ~slot:_ = ()
   let reassign _ ~src:_ ~dst:_ = ()
 
-  let retired_count h = Reclaimer.count h.rc
+  let retired_count h = Handoff.path_count h.path
 
   (* The caller of force_empty is between operations, i.e. quiescent:
      announce that, then drive up to two grace periods so that blocks
      whose other readers have all quiesced become reclaimable. *)
   let force_empty h =
+    Handoff.path_drain h.path;
     end_op h;
     try_advance h.t;
     end_op h;
     try_advance h.t;
-    Reclaimer.force h.rc
+    Reclaimer.force (Handoff.path_reclaimer h.path)
 
   let allocator t = t.alloc
   let epoch_value t = Epoch.peek t.epoch
+  let reclaim_service t = Option.map Handoff.service t.handoff
 
   (* Neutralize a dead thread: a slot of [max_int] reads as quiescent
      in every future epoch, so the thread never blocks an advance

@@ -160,13 +160,20 @@ let bucket_add bs b =
    O(freed + buckets) the backend exists for. *)
 let bucket_sweep t bs test =
   Tracker_common.Sweep_stats.note_buckets (List.length bs.newest);
-  let examined = ref 0 and freed = ref 0 in
-  let reclaim b =
-    t.free b;
-    t.total_reclaimed <- t.total_reclaimed + 1;
+  (* Decide-then-commit-then-free: the walk only *condemns* blocks
+     (accumulating them), the surviving store is committed in one
+     mutation, and the frees run last.  The decide phase charges cost
+     (preemption points), so a horizon stop or crash that lands inside
+     it leaves every block still in the store; one landing inside the
+     free loop can only leak condemned blocks — never leave a freed
+     block where a later sweep (the background reclaimer's shutdown
+     flush, a pressure sweep from another path) would free it again. *)
+  let examined = ref 0 and doomed = ref [] and freed = ref 0 in
+  let condemn b =
+    doomed := b :: !doomed;
     incr freed
   in
-  let free_whole bk = List.iter reclaim bk.blocks in
+  let condemn_whole bk = List.iter condemn bk.blocks in
   (* Per-block fallback inside one bucket; None when it drained. *)
   let filter_bucket pred bk =
     let kept =
@@ -176,7 +183,7 @@ let bucket_sweep t bs test =
            incr examined;
            if pred b then true
            else begin
-             reclaim b;
+             condemn b;
              false
            end)
         bk.blocks
@@ -194,7 +201,7 @@ let bucket_sweep t bs test =
       List.iter
         (fun bk ->
            Prim.local 1;
-           free_whole bk)
+           condemn_whole bk)
         bs.newest;
       []
     | Shape (Tracker_common.Conflict.Threshold n) ->
@@ -209,7 +216,7 @@ let bucket_sweep t bs test =
           List.iter
             (fun bk ->
                Prim.local 1;
-               free_whole bk)
+               condemn_whole bk)
             old;
           []
       in
@@ -226,7 +233,7 @@ let bucket_sweep t bs test =
         (fun bk ->
            Prim.local 1;
            if bk.epoch < lo_min then begin
-             free_whole bk;
+             condemn_whole bk;
              None
            end
            else filter_bucket pred bk)
@@ -241,6 +248,11 @@ let bucket_sweep t bs test =
   bs.newest <- kept;
   bs.count <- List.fold_left (fun acc bk -> acc + bk.size) 0 kept;
   Tracker_common.Sweep_stats.note_sweep ~examined:!examined ~freed:!freed;
+  List.iter
+    (fun b ->
+       t.total_reclaimed <- t.total_reclaimed + 1;
+       t.free b)
+    (List.rev !doomed);
   !freed
 
 (* The gate's observable for re-arming: the bound the failed sweep

@@ -120,18 +120,28 @@ module Retired = struct
   let count t = t.count
 
   (* Keep blocks satisfying [conflict]; hand the rest to [free].
-     Charges one local step per examined block (list walk). *)
+     Charges one local step per examined block (list walk).  The
+     store is committed before any free runs: the examination steps
+     are preemption points, so an abort (horizon stop, crash) inside
+     the walk must leave every block still stored, and one inside the
+     free loop may leak condemned blocks but can never leave a freed
+     block where a later sweep would double-free it. *)
   let sweep t ~conflict ~free =
     let examined = t.count in
-    let kept = ref [] and n = ref 0 in
+    let kept = ref [] and doomed = ref [] and n = ref 0 in
     List.iter (fun b ->
       Prim.local 1;
       if conflict b then begin kept := b :: !kept; incr n end
-      else begin free b; t.total_reclaimed <- t.total_reclaimed + 1 end)
+      else doomed := b :: !doomed)
       t.blocks;
     t.blocks <- !kept;
     t.count <- !n;
-    Sweep_stats.note_sweep ~examined ~freed:(examined - !n)
+    Sweep_stats.note_sweep ~examined ~freed:(examined - !n);
+    List.iter
+      (fun b ->
+         t.total_reclaimed <- t.total_reclaimed + 1;
+         free b)
+      (List.rev !doomed)
 
   (* Plain iterator over the still-retired blocks, in most-recently-
      retired-first order.  Purely observational (diagnostics and

@@ -30,6 +30,17 @@ type config = {
      [List] (the differential oracle), epoch-bucketed limbo lists
      ([Buckets]), or buckets plus sweep gating ([Gated]).  See
      [Reclaimer]. *)
+  background_reclaim : bool;
+  (* Route retirements through per-thread handoff queues drained by a
+     dedicated reclaimer thread (DEBRA-style decoupling) instead of
+     sweeping inline on the mutator.  The runner owns the drain loop;
+     under allocator backpressure mutators fall back to a synchronous
+     drain+sweep so the robustness bounds still hold.  Off by default:
+     inline sweeping is the paper's configuration and keeps traced
+     runs bit-identical with earlier PRs. *)
+  magazine_size : int;
+  (* Capacity of each per-thread allocator magazine (jemalloc
+     tcache-style free-block caching; see [Alloc]). *)
 }
 
 let default_config ?(threads = 1) () = {
@@ -39,7 +50,22 @@ let default_config ?(threads = 1) () = {
   max_cas_failures = 128;
   reuse = true;
   retire_backend = Reclaimer.List;
+  background_reclaim = false;
+  magazine_size = 64;
 }
+
+(* Reject configurations that would silently disable a scheme's
+   safety argument rather than merely tune it.  Called by every
+   tracker's [create].  Threads first: a zero-thread census makes the
+   derived epoch_freq zero too, and the root cause is the better
+   error. *)
+let validate ~threads cfg =
+  if threads < 1 then
+    invalid_arg "Tracker config: threads must be >= 1";
+  if cfg.epoch_freq <= 0 then
+    invalid_arg "Tracker config: epoch_freq must be positive";
+  if cfg.magazine_size < 1 then
+    invalid_arg "Tracker config: magazine_size must be >= 1"
 
 (* Fig. 7 row: qualitative properties of a scheme. *)
 type properties = {
@@ -103,6 +129,12 @@ module type TRACKER = sig
   val force_empty : 'a handle -> unit
   val allocator : 'a t -> 'a Alloc.t
   val epoch_value : 'a t -> int   (* 0 for epoch-less schemes *)
+
+  val reclaim_service : 'a t -> Handoff.service option
+  (* The background-reclamation service when [background_reclaim] is
+     set: the runner's reclaimer thread calls [drain] in a loop and
+     [flush] at shutdown.  [None] when the feature is off or the
+     scheme never sweeps (NoMM, UnsafeFree). *)
 
   val eject : 'a t -> tid:int -> unit
   (* DEBRA+/NBR-style neutralization: expire thread [tid]'s

@@ -23,7 +23,12 @@ type 'a handle = { t : 'a t; tid : int }
 type 'a ptr = 'a Plain_ptr.t
 
 let create ~threads (cfg : Tracker_intf.config) =
-  { alloc = Alloc.create ~reuse:cfg.reuse ~threads () }
+  Tracker_intf.validate ~threads cfg;
+  (* Frees on retire: there is no deferred work to hand off, so
+     [background_reclaim] is ignored and [reclaim_service] is [None]. *)
+  { alloc =
+      Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
+        ~threads () }
 
 let register t ~tid = { t; tid }
 
@@ -53,6 +58,7 @@ let retired_count _ = 0
 let force_empty _ = ()
 let allocator t = t.alloc
 let epoch_value _ = 0
+let reclaim_service _ = None
 
 (* Holds no reservations: nothing to expire. *)
 let eject _ ~tid:_ = ()

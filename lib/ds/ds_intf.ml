@@ -38,6 +38,11 @@ module type SET = sig
   val allocator_stats : t -> Alloc.stats
   val epoch_value : t -> int
 
+  val reclaim_service : t -> Handoff.service option
+  (* The underlying tracker's background-reclaim service, when the
+     tracker was created with [background_reclaim = true]; the runner
+     drives it from a dedicated fiber/domain. *)
+
   (* Fault-injection hooks (see DESIGN.md §7): cap the underlying
      allocator's footprint, and expire a dead thread's reservations. *)
   val set_capacity : t -> int option -> unit

@@ -40,6 +40,12 @@ module type SET = sig
   val allocator_stats : t -> Alloc.stats
   val epoch_value : t -> int
 
+  val reclaim_service : t -> Handoff.service option
+  (** The underlying tracker's background-reclaim service, when the
+      tracker was created with [background_reclaim = true]; the runner
+      drives it from a dedicated fiber/domain.  [None] when background
+      reclamation is off or the scheme has no deferred work. *)
+
   (** Fault-injection hooks (see DESIGN.md §7). *)
 
   val set_capacity : t -> int option -> unit

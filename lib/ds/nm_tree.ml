@@ -325,6 +325,7 @@ module Make (T : Tracker_intf.TRACKER) = struct
   let retired_count h = T.retired_count h.th
   let force_empty h = T.force_empty h.th
   let allocator_stats t = Alloc.stats (T.allocator t.tracker)
+  let reclaim_service t = T.reclaim_service t.tracker
   let epoch_value t = T.epoch_value t.tracker
   let set_capacity t cap = Alloc.set_capacity (T.allocator t.tracker) cap
   let eject t ~tid = T.eject t.tracker ~tid

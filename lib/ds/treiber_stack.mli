@@ -34,6 +34,7 @@ module Make (T : Tracker_intf.TRACKER) : sig
   val force_empty : handle -> unit
   val allocator_stats : t -> Alloc.stats
   val epoch_value : t -> int
+  val reclaim_service : t -> Handoff.service option
   val set_capacity : t -> int option -> unit
   val eject : t -> tid:int -> unit
 

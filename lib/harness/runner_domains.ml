@@ -32,6 +32,11 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
   let prefill_rng = Ibr_runtime.Rng.create (cfg.seed lxor 0x5eed) in
   Workload.prefill ~rng:prefill_rng ~spec:cfg.spec
     ~insert:(fun ~key ~value -> S.insert h0 ~key ~value);
+  (* Prefill replacements may have queued retirements; drain them now
+     so the run's shutdown invariant (drained = pushed) is exact. *)
+  (match S.reclaim_service t with
+   | Some svc -> ignore (svc.Ibr_core.Handoff.drain ())
+   | None -> ());
   let baseline = Ibr_obs.Metrics.begin_run () in
   let start = now_ns () in
   let deadline = Unix.gettimeofday () +. cfg.duration_s in
@@ -58,9 +63,28 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
     done;
     (!ops, sampler)
   in
+  (* The background reclaimer is a real domain here: it drains the
+     handoff queues and runs the sweep cadence in parallel with the
+     mutators until every worker has joined, then flushes.  The final
+     flush runs on this domain while the main domain waits in join —
+     still exclusive, so the plain [flush] (not [shutdown_flush])
+     suffices: nothing can abandon the lock on this backend. *)
+  let stop = Atomic.make false in
+  let reclaimer =
+    Option.map
+      (fun (svc : Ibr_core.Handoff.service) ->
+         Domain.spawn (fun () ->
+           while not (Atomic.get stop) do
+             if svc.drain () = 0 then Domain.cpu_relax ()
+           done;
+           svc.flush ()))
+      (S.reclaim_service t)
+  in
   let domains =
     List.init cfg.threads (fun tid -> Domain.spawn (worker tid)) in
   let results = List.map Domain.join domains in
+  Atomic.set stop true;
+  Option.iter Domain.join reclaimer;
   let makespan = now_ns () - start in
   let total_ops = List.fold_left (fun n (o, _) -> n + o) 0 results in
   let merged = Stats.merge_samplers (List.map snd results) in

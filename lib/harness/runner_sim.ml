@@ -146,6 +146,24 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
          ignore i;
          loop ()))
   done;
+  (* The background reclaimer (tracker cfg [background_reclaim]) rides
+     on the machine as one more fiber: it drains the handoff queues
+     and runs the sweep cadence on its own time budget, off the
+     mutators' critical path.  An idle poll still steps — the step is
+     both the livelock guard (a fiber that never steps can neither be
+     preempted nor unwound at the horizon) and the polling period. *)
+  let service = S.reclaim_service t in
+  (match service with
+   | Some svc ->
+     ignore
+       (Sched.spawn sched (fun _rtid ->
+          let idle_poll = 128 in
+          let rec loop () =
+            if svc.Ibr_core.Handoff.drain () = 0 then Hooks.step idle_poll;
+            loop ()
+          in
+          loop ()))
+   | None -> ());
   (* The watchdog rides on the machine as one more thread.  Progress =
      attempts, not completions, so a live thread stuck aborting
      against a full heap is not mistaken for a dead one. *)
@@ -160,10 +178,25 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
            ())
     | _ -> None
   in
+  (* Prefill replacements may have queued retirements; drain them now
+     so the measured phase starts with empty queues and the shutdown
+     invariant (drained = pushed within the run) is exact. *)
+  (match service with
+   | Some svc -> ignore (svc.Ibr_core.Handoff.drain ())
+   | None -> ());
   (* Baseline the registry counters at the edge of the measured phase
      (gauges and histograms are zeroed here too). *)
   let baseline = Ibr_obs.Metrics.begin_run () in
   Sched.run ~horizon:cfg.horizon sched;
+  (* Shutdown quiescence: every fiber is unwound (or crashed), so one
+     final flush moves still-queued blocks into the reclaimer and
+     sweeps.  The [Hooks] handler is back to the no-op default here —
+     the flush costs no virtual time and cannot be unwound.  A crash
+     that abandoned a fiber mid-drain leaves the handoff lock held;
+     the run is single-threaded now, so seizing it is sound. *)
+  (match service with
+   | Some svc -> svc.Ibr_core.Handoff.shutdown_flush ()
+   | None -> ());
   let total_ops = Array.fold_left ( + ) 0 ops in
   let merged = Stats.merge_samplers (Array.to_list samplers) in
   let makespan = min (Sched.makespan sched) cfg.horizon in

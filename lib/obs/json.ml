@@ -125,6 +125,42 @@ let parse (s : string) : (t, string) result =
   | exception Bad (msg, at) ->
     Error (Printf.sprintf "%s at offset %d" msg at)
 
+(* Serializer for the JSON artifacts the repo emits (the bench
+   records); [parse] inverts it.  Integral floats print without a
+   fractional part so counters stay readable and diffable. *)
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | '\r' -> Buffer.add_string b "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec encode = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.6f" f
+  | Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Arr l -> "[" ^ String.concat "," (List.map encode l) ^ "]"
+  | Obj l ->
+    "{"
+    ^ String.concat ", "
+        (List.map
+           (fun (k, v) -> Printf.sprintf "\"%s\": %s" (escape k) (encode v))
+           l)
+    ^ "}"
+
 let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None

@@ -9,6 +9,10 @@ type t =
   | Obj of (string * t) list
 
 val parse : string -> (t, string) result
+
+(* Compact one-line serialization; [parse] inverts it.  Integral
+   floats print without a fractional part. *)
+val encode : t -> string
 val member : string -> t -> t option
 val to_list : t -> t list option
 val to_float : t -> float option

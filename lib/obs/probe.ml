@@ -35,6 +35,8 @@ type event =
   | Pressure
   | Op_begin
   | Op_end
+  | Handoff of { block : int }
+  | Drain of { drained : int }
 
 type record = { ts : int; tid : int; ev : event }
 
@@ -92,6 +94,14 @@ let age_order = 700
 let retire_age : Metrics.hist option ref = ref None
 let retire_ts : (int, int) Hashtbl.t = Hashtbl.create 1024
 
+(* -- retire-path cost histogram (lazy, same discipline): virtual
+   cycles the mutator spends inside one [retire] call, including any
+   inline sweep it triggers — the quantity the background reclaimer
+   moves off the critical path. *)
+
+let cost_order = 710
+let retire_cost : Metrics.hist option ref = ref None
+
 (* -- per-primitive cost attribution, bucketed by the Cost fields -- *)
 
 type cost_kind =
@@ -136,6 +146,11 @@ let enable_hist () =
    | None ->
      retire_age := Some (Metrics.register_histogram ~name:"retire_age"
                            ~order:age_order));
+  (match !retire_cost with
+   | Some _ -> ()
+   | None ->
+     retire_cost := Some (Metrics.register_histogram ~name:"retire_cost"
+                            ~order:cost_order));
   Hashtbl.reset retire_ts;
   Array.fill charge_count 0 12 0;
   Array.fill charge_cycles 0 12 0;
@@ -169,6 +184,7 @@ let events () =
   |> List.stable_sort (fun a b -> compare a.ts b.ts)
 
 let age_hist () = !retire_age
+let cost_hist () = !retire_cost
 
 let charges () =
   List.filter_map
@@ -230,6 +246,14 @@ let ejection ~victim = if !live then record (Ejection { victim })
 let pressure () = if !live then record Pressure
 let op_begin () = if !live then record Op_begin
 let op_end () = if !live then record Op_end
+let handoff ~block = if !live then record (Handoff { block })
+let drain ~drained = if !live then record (Drain { drained })
+
+let note_retire_cost cycles =
+  if !histing then
+    match !retire_cost with
+    | Some h -> Metrics.observe h cycles
+    | None -> ()
 
 let charge kind cycles =
   if !live && !histing then begin

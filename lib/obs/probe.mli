@@ -20,6 +20,8 @@ type event =
   | Pressure
   | Op_begin
   | Op_end
+  | Handoff of { block : int }   (* retire queued for the reclaimer *)
+  | Drain of { drained : int }   (* one reclaimer drain batch *)
 
 type record = { ts : int; tid : int; ev : event }
 
@@ -67,6 +69,12 @@ val ejection : victim:int -> unit
 val pressure : unit -> unit
 val op_begin : unit -> unit
 val op_end : unit -> unit
+val handoff : block:int -> unit
+val drain : drained:int -> unit
+
+(* Observe one retire call's on-thread cost (virtual cycles) into the
+   lazy [retire_cost] histogram; no-op unless [enable_hist] ran. *)
+val note_retire_cost : int -> unit
 
 (* -- cost attribution, bucketed by the [Cost] fields -- *)
 
@@ -80,5 +88,7 @@ val charge : cost_kind -> int -> unit
 (* Non-zero buckets: (kind, count, total cycles). *)
 val charges : unit -> (cost_kind * int * int) list
 
-(* The retire-age histogram, once [enable_hist] has registered it. *)
+(* The retire-age and retire-path-cost histograms, once [enable_hist]
+   has registered them. *)
 val age_hist : unit -> Metrics.hist option
+val cost_hist : unit -> Metrics.hist option

@@ -99,7 +99,11 @@ let write oc =
        | Probe.Crash -> instant oc ~first ~name:"crash" ~tid ~ts []
        | Probe.Ejection { victim } ->
          instant oc ~first ~name:"ejection" ~tid ~ts [ ("victim", victim) ]
-       | Probe.Pressure -> instant oc ~first ~name:"pressure" ~tid ~ts [])
+       | Probe.Pressure -> instant oc ~first ~name:"pressure" ~tid ~ts []
+       | Probe.Handoff { block } ->
+         instant oc ~first ~name:"handoff" ~tid ~ts [ ("block", block) ]
+       | Probe.Drain { drained } ->
+         instant oc ~first ~name:"drain" ~tid ~ts [ ("drained", drained) ])
     events;
   Printf.fprintf oc "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\
                      \"dropped\":%d}}\n"

@@ -18,11 +18,27 @@ let test_epoch_tick_frequency () =
   (* Ticks at 3, 6, 9. *)
   Alcotest.(check int) "3 advances in 10 ticks" 4 (Epoch.peek e)
 
+(* A non-positive freq used to be a silent no-advance guard — an epoch
+   that never moves starves every epoch-based scheme's bound, so it is
+   a configuration error now. *)
 let test_epoch_tick_zero_freq () =
   let e = Epoch.create () in
   let counter = ref 0 in
-  for _ = 1 to 10 do Epoch.tick e ~counter ~freq:0 done;
-  Alcotest.(check int) "freq 0 never advances" 1 (Epoch.peek e)
+  Alcotest.check_raises "freq 0 rejected"
+    (Invalid_argument "Epoch.tick: epoch_freq must be positive")
+    (fun () -> Epoch.tick e ~counter ~freq:0);
+  Alcotest.check_raises "negative freq rejected"
+    (Invalid_argument "Epoch.tick: epoch_freq must be positive")
+    (fun () -> Epoch.tick e ~counter ~freq:(-1))
+
+let test_epoch_tick_counter_resets () =
+  let e = Epoch.create () in
+  let counter = ref 0 in
+  for _ = 1 to 1_000 do Epoch.tick e ~counter ~freq:4 done;
+  (* The counter is reset on every advance, so it stays below [freq]
+     forever instead of growing without bound. *)
+  Alcotest.(check bool) "counter bounded" true (!counter < 4);
+  Alcotest.(check int) "250 advances" 251 (Epoch.peek e)
 
 let test_epoch_read_equals_peek () =
   let e = Epoch.create () in
@@ -87,6 +103,8 @@ let suite =
     Alcotest.test_case "epoch advance" `Quick test_epoch_advance;
     Alcotest.test_case "epoch tick freq" `Quick test_epoch_tick_frequency;
     Alcotest.test_case "epoch tick freq 0" `Quick test_epoch_tick_zero_freq;
+    Alcotest.test_case "epoch tick counter resets" `Quick
+      test_epoch_tick_counter_resets;
     Alcotest.test_case "epoch read" `Quick test_epoch_read_equals_peek;
     Alcotest.test_case "view defaults" `Quick test_view_make_defaults;
     Alcotest.test_case "view deref" `Quick test_view_deref;

@@ -20,6 +20,7 @@ let () =
       ("more", Test_more.suite);
       ("handover", Test_handover.suite);
       ("retire-backends", Test_retire_backends.suite);
+      ("background", Test_background.suite);
       ("robustness", Test_robustness.suite);
       ("obs", Test_obs.suite);
     ]

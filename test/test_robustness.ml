@@ -54,6 +54,56 @@ let qcheck_capped_alloc_reconciles =
        in
        ok)
 
+(* The admission race, with real parallelism: N domains hammer a
+   capped allocator with mixed alloc/free traffic.  Admission is a
+   reservation (fetch-and-add, undone on overshoot), so the peak
+   footprint — taken only from successful reservations — can never
+   exceed the cap, no matter how the admitters interleave; a
+   check-then-increment admission lets N racing threads overshoot by
+   N - 1 and this test catches it.  Books must still balance across
+   domains once everyone joins. *)
+let qcheck_concurrent_admission_cap_holds =
+  QCheck.Test.make ~name:"capped allocator: cap holds under concurrent admitters"
+    ~count:20
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 2 4) (int_range 2 32) (int_range 0 9999)))
+    (fun (domains, capacity, seed) ->
+       let (ok, _), _ =
+         Fault.with_counting (fun () ->
+           let a =
+             Alloc.create ~capacity ~retry_budget:1 ~threads:domains ()
+           in
+           let worker tid =
+             Domain.spawn (fun () ->
+               let rng = Ibr_runtime.Rng.stream ~seed ~index:tid in
+               let live = ref [] in
+               let drop b =
+                 Block.transition_retire b;
+                 Alloc.free a ~tid b
+               in
+               for _ = 1 to 300 do
+                 match !live with
+                 | b :: rest when Ibr_runtime.Rng.chance rng 0.5 ->
+                   live := rest;
+                   drop b
+                 | _ ->
+                   (match Alloc.alloc a ~tid 0 with
+                    | b -> live := b :: !live
+                    | exception Alloc.Exhausted -> ())
+               done;
+               List.iter drop !live)
+           in
+           List.iter Domain.join (List.init domains worker);
+           let st = Alloc.stats a in
+           (st.peak_footprint <= capacity
+            && st.peak_footprint > 0
+            && st.live = st.allocated - st.freed
+            && st.allocated = st.fresh + st.reused
+            && Alloc.footprint a = 0,
+            st))
+       in
+       ok)
+
 let test_pressure_hook_rescues () =
   (* A hook that can actually free something turns a would-be oom into
      a retried success: the backpressure ladder is observable
@@ -155,6 +205,7 @@ let test_crash_pins_ebr_not_hp () =
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_capped_alloc_reconciles;
+    QCheck_alcotest.to_alcotest qcheck_concurrent_admission_cap_holds;
     Alcotest.test_case "pressure hook rescues a full heap" `Quick
       test_pressure_hook_rescues;
     Alcotest.test_case "exhaustion reports Alloc_exhausted" `Quick
