@@ -395,6 +395,48 @@ let run_bench_json ~quick path =
   close_out oc;
   Fmt.pr "bench: wrote %d rows -> %s@." (List.length rows) path
 
+(* The PR-7 service campaign (DESIGN.md §10): every sound scheme runs
+   the same open-loop profile — Poisson arrivals with the diurnal ramp
+   and two spike windows, Zipf-skewed keys, a fleet of six workers
+   churning through four census slots — and is held to the same SLO.
+   Virtual time makes each row deterministic, so the table in
+   EXPERIMENTS.md §8 is byte-reproducible; the exit status gates CI on
+   every scheme passing.  The quick variant shrinks the horizon, not
+   the shape: churn, spikes and slot reuse all still happen. *)
+let run_service_campaign ?(quick = false) () =
+  let module Service = Ibr_harness.Service in
+  let profile =
+    Service.default_profile ~workers:4 ~fleet:6 ~cores:8
+      ~horizon:(if quick then 60_000 else 150_000)
+      ~seed:0xca11 ~spec:(Ibr_harness.Workload.spec_for "hashmap") ()
+  in
+  Fmt.pr "== service: open-loop SLO certification (hashmap, churn) ==@.";
+  Fmt.pr "%-12s %8s %9s %7s %7s %7s %7s %7s %8s  %s@." "tracker" "arrivals"
+    "completed" "att/det" "p50" "p90" "p99" "p999" "peak" "SLO";
+  let rows = ref [] and failed = ref 0 in
+  List.iter
+    (fun (e : Ibr_core.Registry.entry) ->
+       match
+         Service.run_named ~tracker_name:e.name ~ds_name:"hashmap" profile
+       with
+       | None -> ()
+       | Some r ->
+         if not r.Service.slo_pass then incr failed;
+         rows := r :: !rows;
+         Fmt.pr "%-12s %8d %9d %3d/%-3d %7d %7d %7d %7d %8d  %s@."
+           r.Service.tracker r.Service.arrivals r.Service.completed
+           r.Service.attaches r.Service.detaches r.Service.p50 r.Service.p90
+           r.Service.p99 r.Service.p999 r.Service.peak_footprint
+           (if r.Service.slo_pass then "PASS" else "FAIL"))
+    Ibr_core.Registry.all;
+  Fmt.pr "@.csv:@.%s@." Service.csv_header;
+  List.iter (fun r -> Fmt.pr "%s@." (Service.to_csv_row r)) (List.rev !rows);
+  Fmt.pr "@.";
+  if !failed > 0 then begin
+    Fmt.epr "service: %d scheme(s) missed the SLO@." !failed;
+    Stdlib.exit 1
+  end
+
 let run_figures () =
   let threads_list = Ibr_harness.Experiment.quick_threads in
   Fmt.pr "== Fig. 7: scheme tradeoffs ==@.%s@."
@@ -434,7 +476,8 @@ let run_figures () =
     (Ibr_harness.Chart.to_string
        (Ibr_harness.Experiment.tagibr_strategy_sweep ()));
   run_retire_ablation ();
-  run_robustness ()
+  run_robustness ();
+  run_service_campaign ()
 
 let () =
   let module Cli = Ibr_harness.Cli in
@@ -444,6 +487,8 @@ let () =
   let retire_quick = Cli.has_flag Sys.argv "--retire-quick" in
   let robust_only = Cli.has_flag Sys.argv "--robust-only" in
   let robust_quick = Cli.has_flag Sys.argv "--robust-quick" in
+  let service_only = Cli.has_flag Sys.argv "--service-only" in
+  let service_quick = Cli.has_flag Sys.argv "--service-quick" in
   let trace_overhead = Cli.has_flag Sys.argv "--trace-overhead" in
   let bench_json = Cli.find_value Sys.argv "--bench-json" in
   let bench_quick = Cli.has_flag Sys.argv "--bench-quick" in
@@ -457,6 +502,8 @@ let () =
     run_bench_json ~quick:bench_quick (Option.get bench_json)
   else if retire_quick then run_retire_ablation ~threads_list:[ 8; 16 ] ()
   else if retire_only then run_retire_ablation ()
+  else if service_quick then run_service_campaign ~quick:true ()
+  else if service_only then run_service_campaign ()
   else if robust_quick then
     (* Reduced scale, but the tail of the horizon ladder must still be
        past the robust schemes' pinned-set saturation point or the

@@ -87,6 +87,67 @@ let run_one ~(base : Cli.base) ~cores ~seed ~backend ~empty_freq ~epoch_freq
        close_out oc;
        Fmt.pr "appended to %s@." path)
 
+(* ---- open-loop service simulation (--service) ---- *)
+
+let run_service ~rideable ~tracker ~threads ~interval ~cores ~seed
+    ~fleet ~period ~arrival ~zipf ~watchdog ~slo_p50 ~slo_p99 ~slo_p999
+    ~slo_peak ~key_range ~output ~verbose =
+  let module Service = Ibr_harness.Service in
+  let spec =
+    let base = Ibr_harness.Workload.spec_for rideable in
+    match key_range with
+    | Some r -> { base with key_range = r }
+    | None -> base
+  in
+  let arrival =
+    match Service.arrival_of_string arrival with
+    | Some a -> a
+    | None ->
+      failwith
+        (Printf.sprintf "unknown arrival process %S (poisson|bursty)" arrival)
+  in
+  let slo =
+    let d = Service.default_slo in
+    {
+      Service.p50 = Option.value slo_p50 ~default:d.Service.p50;
+      p99 = Option.value slo_p99 ~default:d.Service.p99;
+      p999 = Option.value slo_p999 ~default:d.Service.p999;
+      peak_footprint = Option.value slo_peak ~default:d.Service.peak_footprint;
+    }
+  in
+  let profile =
+    Service.default_profile ~workers:threads
+      ~fleet:(Option.value fleet ~default:(threads + 2))
+      ~cores ~horizon:interval ~seed ~arrival ~period ~zipf_theta:zipf
+      ?watchdog:(if watchdog then Some (15_000, 3) else None)
+      ~slo ~spec ()
+  in
+  match
+    Service.run_named ~tracker_name:tracker ~ds_name:rideable profile
+  with
+  | None ->
+    Fmt.epr "error: tracker %s is not compatible with rideable %s@." tracker
+      rideable;
+    exit 1
+  | Some r ->
+    Fmt.pr "%a@." Service.pp r;
+    if verbose then Fmt.pr "verdicts: %s@." (Service.verdicts_csv r);
+    (match output with
+     | None -> ()
+     | Some path ->
+       let existed = Sys.file_exists path in
+       let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+       if not existed then begin
+         output_string oc Service.csv_header;
+         output_char oc '\n'
+       end;
+       output_string oc (Service.to_csv_row r);
+       output_char oc '\n';
+       close_out oc;
+       Fmt.pr "appended to %s@." path);
+    (* CI gates on the SLO verdict. *)
+    if not r.Service.slo_pass then exit 1
+
 (* ---- model checking (--check / --check-replay) ---- *)
 
 let trace_filename name =
@@ -298,6 +359,64 @@ let check_replay =
        & info [ "check-replay" ] ~docv:"FILE"
            ~doc:"Replay a recorded schedule trace and verify the fault                  reproduces.")
 
+let service =
+  Arg.(value & flag
+       & info [ "service" ]
+           ~doc:"Run the open-loop service simulation instead of the \
+                 closed-loop microbenchmark: arrivals on a Poisson or \
+                 bursty schedule (diurnal ramp + spikes), Zipf-skewed \
+                 keys, worker fibers joining and leaving the tracker \
+                 census, SLO pass/fail verdicts (exit status 1 on \
+                 FAIL).  -t sets the census capacity, -i the horizon.")
+
+let service_fleet =
+  Arg.(value & opt (some int) None
+       & info [ "service-fleet" ] ~docv:"N"
+           ~doc:"Worker fibers sharing the census slots (default \
+                 threads + 2, so attach contention and slot reuse \
+                 happen constantly).")
+
+let service_period =
+  Arg.(value & opt int 60
+       & info [ "service-period" ] ~docv:"CYCLES"
+           ~doc:"Base mean inter-arrival gap in virtual cycles.")
+
+let service_arrival =
+  Arg.(value & opt string "poisson"
+       & info [ "service-arrival" ] ~docv:"PROCESS"
+           ~doc:"Arrival process: poisson or bursty.")
+
+let service_zipf =
+  Arg.(value & opt float 0.9
+       & info [ "service-zipf" ] ~docv:"THETA"
+           ~doc:"Zipf hot-key skew exponent (0 = uniform).")
+
+let service_watchdog =
+  Arg.(value & flag
+       & info [ "service-watchdog" ]
+           ~doc:"Arm the census-aware ejection watchdog during the \
+                 service run.")
+
+let slo_p50 =
+  Arg.(value & opt (some int) None
+       & info [ "slo-p50" ] ~docv:"CYCLES"
+           ~doc:"SLO target for p50 latency (virtual cycles).")
+
+let slo_p99 =
+  Arg.(value & opt (some int) None
+       & info [ "slo-p99" ] ~docv:"CYCLES"
+           ~doc:"SLO target for p99 latency (virtual cycles).")
+
+let slo_p999 =
+  Arg.(value & opt (some int) None
+       & info [ "slo-p999" ] ~docv:"CYCLES"
+           ~doc:"SLO target for p999 latency (virtual cycles).")
+
+let slo_peak =
+  Arg.(value & opt (some int) None
+       & info [ "slo-peak" ] ~docv:"BLOCKS"
+           ~doc:"SLO target for peak allocator footprint (blocks).")
+
 let metas =
   Arg.(value & opt_all string []
        & info [ "meta" ] ~docv:"KEY:V1:V2:..."
@@ -323,7 +442,9 @@ let cmd =
               faults cores seed backend empty_freq epoch_freq key_range
               background_reclaim magazine_size
               output verbose metas trace hist check check_bound check_budget
-              check_out check_replay ->
+              check_out check_replay service service_fleet service_period
+              service_arrival service_zipf service_watchdog slo_p50 slo_p99
+              slo_p999 slo_peak ->
           if menu_flag then list_menu ()
           else
             try
@@ -332,6 +453,12 @@ let cmd =
                 run_check ~target ~bound:check_bound ~budget:check_budget
                   ~out:check_out ~verbose
               | None, Some path -> run_replay ~path
+              | None, None when service ->
+                run_service ~rideable ~tracker ~threads ~interval ~cores
+                  ~seed ~fleet:service_fleet ~period:service_period
+                  ~arrival:service_arrival ~zipf:service_zipf
+                  ~watchdog:service_watchdog ~slo_p50 ~slo_p99 ~slo_p999
+                  ~slo_peak ~key_range ~output ~verbose
               | None, None ->
                 (* Observability switches.  Rings grow on demand, so
                    the thread hint only sizes the initial table. *)
@@ -364,7 +491,9 @@ let cmd =
       $ faults $ cores $ seed $ backend $ empty_freq $ epoch_freq $ key_range
       $ background_reclaim $ magazine_size
       $ output $ verbose $ metas $ trace $ hist $ check $ check_bound
-      $ check_budget $ check_out $ check_replay)
+      $ check_budget $ check_out $ check_replay $ service $ service_fleet
+      $ service_period $ service_arrival $ service_zipf $ service_watchdog
+      $ slo_p50 $ slo_p99 $ slo_p999 $ slo_peak)
   in
   Cmd.v (Cmd.info "ibr-bench" ~doc) term
 

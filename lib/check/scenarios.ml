@@ -185,6 +185,70 @@ let handoff_drain (entry : Registry.entry) =
     { Scenario.bodies = [| reader; writer; drainer |];
       finish = (fun () -> None) })
 
+(* Dynamic-census churn (DESIGN.md §10): the detach protocol raced
+   against a reader mid-interval, plus slot reuse by a joiner.  Census
+   capacity 2, three bodies:
+
+   - the reader (attached in setup) holds a guarded root read of [x]
+     across its deref;
+   - the churner (also attached in setup) unlinks and retires [x],
+     then detaches — from that moment its slot is reusable and its
+     pending retirement must have been either reclaimed by the
+     detach's final guarded sweep or handed to the slot's persistent
+     path, but never freed *past* the reader's reservation;
+   - the joiner tries to attach (bounded retries: a slot only frees
+     after a leaver's detach, so an unbounded spin would diverge on
+     schedules where no detach has happened yet), and on success runs
+     a guarded read on the reused slot and detaches again.
+
+   A sound tracker keeps every interleaving fault-free: detach's final
+   sweep honours the reader's live reservation, and the joiner's
+   reused slot starts from a quiescent reservation instead of aliasing
+   the leaver's.  [Ebr_noflush] — detach frees its pending retirements
+   without that final guarded sweep — has its use-after-free here
+   (2 preemptions), and [Unsafe_free]'s immediate free needs the same
+   bound. *)
+let thread_churn (entry : Registry.entry) =
+  let module T = (val entry.tracker : Tracker_intf.TRACKER) in
+  Scenario.v ~name:("thread_churn/" ^ entry.name) ~threads:3 (fun () ->
+    let t = T.create ~threads:2 (cfg 2) in
+    (* Setup runs uncharged: both slots are occupied before any body
+       is scheduled, so the joiner contends with real leavers. *)
+    let h0 = match T.attach t with Some h -> h | None -> assert false in
+    let h1 = match T.attach t with Some h -> h | None -> assert false in
+    let x = T.alloc h1 42 in
+    let ptr = T.make_ptr t (Some x) in
+    let reader _ =
+      T.start_op h0;
+      let v = T.read_root h0 ptr in
+      deref v;
+      T.end_op h0;
+      T.detach h0
+    in
+    let churner _ =
+      T.start_op h1;
+      T.write h1 ptr None;
+      T.retire h1 x;
+      T.end_op h1;
+      T.detach h1
+    in
+    let joiner _ =
+      let rec go attempts =
+        if attempts > 0 then
+          match T.attach t with
+          | None -> go (attempts - 1)
+          | Some h2 ->
+            T.start_op h2;
+            let v = T.read_root h2 ptr in
+            deref v;
+            T.end_op h2;
+            T.detach h2
+      in
+      go 4
+    in
+    { Scenario.bodies = [| reader; churner; joiner |];
+      finish = (fun () -> None) })
+
 type expectation = Safe | Faulty
 
 type case = {
@@ -222,11 +286,14 @@ let cases () =
   let ar e expect bound = { scenario = advance_race e; expect; bound } in
   let cm e expect bound = { scenario = crash_mid_op e; expect; bound } in
   let hd e expect bound = { scenario = handoff_drain e; expect; bound } in
+  let tc e expect bound = { scenario = thread_churn e; expect; bound } in
   List.map (fun e -> rw e Safe 3) Registry.all
   @ List.map (fun e -> cm e Safe 3) Registry.all
   @ [ cm Registry.unsafe_free Faulty 3 ]
   @ List.map (fun e -> hd e Safe 2) Registry.all
   @ [ hd Registry.unsafe_free Faulty 2 ]
+  @ List.map (fun e -> tc e Safe 2) Registry.all
+  @ [ tc Registry.unsafe_free Faulty 2; tc Registry.ebr_noflush Faulty 2 ]
   @ List.concat_map
       (fun backend ->
          List.map (fun e -> rwb backend e Safe 2) Registry.all

@@ -37,6 +37,16 @@ val handoff_drain : Ibr_core.Registry.entry -> Scenario.t
     Trackers without a service fall back to a force-empty third
     thread. *)
 
+val thread_churn : Ibr_core.Registry.entry -> Scenario.t
+(** Three bodies on a census of capacity 2 (DESIGN.md §10): a reader
+    holding a guarded root read, a churner that retires the block the
+    reader may hold and then {e detaches}, and a joiner that reuses a
+    leaver's slot (bounded attach retries) for a guarded read of its
+    own.  A sound detach's final guarded sweep must honour the
+    reader's live reservation and leave the reused slot quiescent;
+    [Ebr_noflush] (detach frees pending retirements without that
+    sweep) has its use-after-free here (2 preemptions). *)
+
 type expectation = Safe | Faulty
 
 type case = {
@@ -50,9 +60,10 @@ val cases : unit -> case list
     correct tracker (Safe) and for the oracles, the reader_writer
     shape re-certified under the Buckets and Gated retirement backends
     with per-retire sweeps, [handoff_drain] for every tracker with
-    [Unsafe_free] riding along Faulty, and [advance_race] for the
-    QSBR-shaped trackers.  Expectations are what {!Check.explore} must
-    conclude within each case's bound. *)
+    [Unsafe_free] riding along Faulty, [thread_churn] for every
+    tracker with [Unsafe_free] and [Ebr_noflush] riding along Faulty,
+    and [advance_race] for the QSBR-shaped trackers.  Expectations are
+    what {!Check.explore} must conclude within each case's bound. *)
 
 val find : string -> case option
 (** Look a case up by its scenario name (e.g. for trace replay). *)

@@ -60,7 +60,10 @@ type 'a t = {
   reuse : bool;
   magazine_size : int;
   caches : 'a cache array;                  (* per-thread magazines *)
-  depot : 'a Block.t list list Atomic.t;    (* stack of full magazines *)
+  (* Stack of size-tagged magazines.  The overflow path only ever
+     pushes full ones; [flush_magazines] (the detach path) pushes
+     partials, so each entry carries its block count. *)
+  depot : (int * 'a Block.t list) list Atomic.t;
   depot_count : int Atomic.t;               (* blocks in the depot *)
   next_id : int Atomic.t;
   allocated : int Atomic.t;   (* total alloc calls *)
@@ -199,13 +202,14 @@ let admit t ~tid =
 
 (* -- magazine machinery (owner-thread only, except the depot) -- *)
 
-let depot_push t mag =
+let depot_push t ~n mag =
   let rec loop () =
     let cur = Atomic.get t.depot in
-    if not (Atomic.compare_and_set t.depot cur (mag :: cur)) then loop ()
+    if not (Atomic.compare_and_set t.depot cur ((n, mag) :: cur)) then
+      loop ()
   in
   loop ();
-  ignore (Atomic.fetch_and_add t.depot_count t.magazine_size);
+  ignore (Atomic.fetch_and_add t.depot_count n);
   Atomic.incr t.depot_flushes
 
 let depot_pop t =
@@ -214,11 +218,11 @@ let depot_pop t =
     | [] -> None
     (* CAS against the value read, not a reconstruction: a fresh cons
        cell is never physically equal to the stored list. *)
-    | (mag :: rest) as cur ->
+    | ((n, mag) :: rest) as cur ->
       if Atomic.compare_and_set t.depot cur rest then begin
-        ignore (Atomic.fetch_and_add t.depot_count (-t.magazine_size));
+        ignore (Atomic.fetch_and_add t.depot_count (-n));
         Atomic.incr t.depot_refills;
-        Some mag
+        Some (n, mag)
       end
       else loop ()
   in
@@ -253,10 +257,10 @@ let cache_pop t c =
   else begin
     Atomic.incr t.mag_misses;
     match depot_pop t with
-    | Some mag ->
+    | Some (n, mag) ->
       c.loaded <- mag;
-      c.loaded_n <- t.magazine_size;
-      ignore (Atomic.fetch_and_add c.count t.magazine_size);
+      c.loaded_n <- n;
+      ignore (Atomic.fetch_and_add c.count n);
       Some (pop_loaded c)
     | None -> None
   end
@@ -267,8 +271,8 @@ let cache_pop t c =
 let cache_push t c b =
   if c.loaded_n >= t.magazine_size then begin
     if c.previous_n > 0 then begin
-      depot_push t c.previous;
-      ignore (Atomic.fetch_and_add c.count (-t.magazine_size))
+      depot_push t ~n:c.previous_n c.previous;
+      ignore (Atomic.fetch_and_add c.count (-c.previous_n))
     end;
     c.previous <- c.loaded;
     c.previous_n <- c.loaded_n;
@@ -320,6 +324,28 @@ let free_unpublished t ~tid b =
   Ibr_obs.Probe.reclaim ~block:(Block.id b) ~unpublished:true;
   Prim.charge_free ();
   if t.reuse then cache_push t t.caches.(tid) b
+
+(* Detach path: return thread [tid]'s cached free blocks to the shared
+   depot so they stay allocatable after the thread leaves.  Only the
+   magazine owner may walk its lists, so a departing thread must do
+   this itself — otherwise its cached blocks are stranded until (and
+   unless) the census slot is reused.  Partial magazines are pushed
+   as-is; the depot's size tags exist for exactly this call. *)
+let flush_magazines t ~tid =
+  check_tid t tid;
+  let c = t.caches.(tid) in
+  let flush blocks n =
+    if n > 0 then begin
+      depot_push t ~n blocks;
+      ignore (Atomic.fetch_and_add c.count (-n))
+    end
+  in
+  flush c.loaded c.loaded_n;
+  c.loaded <- [];
+  c.loaded_n <- 0;
+  flush c.previous c.previous_n;
+  c.previous <- [];
+  c.previous_n <- 0
 
 type stats = {
   allocated : int;

@@ -70,6 +70,13 @@ val free : 'a t -> tid:int -> 'a Block.t -> unit
 val free_unpublished : 'a t -> tid:int -> 'a Block.t -> unit
 (** Reclaim a block that was never published. *)
 
+val flush_magazines : 'a t -> tid:int -> unit
+(** Return thread [tid]'s cached free blocks (both magazines, partial
+    or full) to the shared depot.  Called by the tracker detach path:
+    only the magazine owner may walk its lists, so a departing thread
+    must flush them itself or its cached blocks stay stranded until
+    the slot is reused. *)
+
 type stats = {
   allocated : int;  (** total alloc calls *)
   fresh : int;      (** served by fresh blocks *)

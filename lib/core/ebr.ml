@@ -25,6 +25,7 @@ type 'a t = {
   reservations : int Atomic.t array;
   alloc : 'a Alloc.t;
   cfg : Tracker_intf.config;
+  census : 'a Handoff.path Tracker_common.Census.t;
   mutable handoff : 'a Handoff.t option;
 }
 
@@ -65,6 +66,7 @@ let create ~threads (cfg : Tracker_intf.config) =
       Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
         ~threads:(threads + if cfg.background_reclaim then 1 else 0) ();
     cfg;
+    census = Tracker_common.Census.create threads;
     handoff = None;
   } in
   if cfg.background_reclaim then
@@ -80,6 +82,25 @@ let register t ~tid =
   in
   Alloc.set_pressure_hook t.alloc ~tid (fun () -> Handoff.path_pressure path);
   { t; tid; alloc_counter = ref 0; path }
+
+(* Dynamic registration: claim a free census slot ([None] when all
+   are taken).  The slot's reclaimer path is created once and adopted
+   by later occupants, so retirements a departing thread could not
+   yet free stay owned by the slot. *)
+let attach t =
+  match
+    Tracker_common.Census.try_attach t.census ~make:(fun tid ->
+      match t.handoff with
+      | Some h -> Handoff.Queued h
+      | None -> Handoff.Direct (make_reclaimer t ~tid))
+  with
+  | None -> None
+  | Some (tid, path) ->
+    Alloc.set_pressure_hook t.alloc ~tid (fun () ->
+      Handoff.path_pressure path);
+    Some { t; tid; alloc_counter = ref 0; path }
+
+let handle_tid h = h.tid
 
 let alloc h payload =
   (* Fig. 2 ties epoch advancement to retirement; we tie it to
@@ -127,3 +148,14 @@ let reclaim_service t = Option.map Handoff.service t.handoff
 (* Neutralize a dead thread: clearing its epoch reservation unpins
    everything it held. *)
 let eject t ~tid = Prim.write t.reservations.(tid) max_int
+
+(* Dynamic deregistration (caller between operations): a last
+   drain-and-sweep while still registered, publish the quiescent
+   reservation, return the magazines to the depot, then release the
+   census slot — in that order, so a joiner reusing the slot can
+   never alias a reservation this thread still held. *)
+let detach h =
+  force_empty h;
+  eject h.t ~tid:h.tid;
+  Alloc.flush_magazines h.t.alloc ~tid:h.tid;
+  Tracker_common.Census.detach h.t.census ~tid:h.tid

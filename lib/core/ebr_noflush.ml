@@ -1,25 +1,27 @@
-(* Persistent-object IBR (paper §3.1, Fig. 4).
+(* An intentionally *unsound* EBR variant: its [detach] skips the
+   final guarded sweep and frees every block it still holds retired,
+   without testing them against other threads' reservations — the
+   classic broken lifecycle shortcut ("my thread is leaving, so its
+   garbage must be droppable") that per-thread registration papers
+   (DEBRA, Stamp-it) warn about.  A reader mid-interval that still
+   guards one of those blocks dereferences freed memory.
 
-   For data structures where every pointer except the root is
-   immutable.  A single reserved epoch per thread, posted with the
-   snapshot idiom when the root is read: because the root is the
-   newest block and all interior pointers are immutable, an epoch that
-   intersects the root's lifetime intersects the lifetime of
-   everything reachable from it.  Interior reads are completely
-   uninstrumented — cheaper even than EBR's reads. *)
+   Exists only so the [thread_churn] scenario has a bug to find: the
+   shrunk UnsafeFree witness for this scheme is pinned under
+   test/traces/.  Everything except [detach] is the sound [Ebr]. *)
 
-let name = "POIBR"
+let name = "EBR-noflush"
 
 let props = {
-  Tracker_intf.robust = true;
+  Tracker_intf.robust = false;
   needs_unreserve = false;
-  mutable_pointers = false;
+  mutable_pointers = true;
   bounded_slots = false;
   pointer_tag_words = 0;
   fence_per_read = false;
   summary =
-    "start epoch covers everything reachable from the root at start \
-     time; all pointers but the root must be immutable";
+    "UNSOUND detach: frees pending retirements without a final \
+     guarded sweep; kept as a demonstration oracle for thread churn";
 }
 
 type 'a t = {
@@ -40,27 +42,15 @@ type 'a handle = {
 
 type 'a ptr = 'a Plain_ptr.t
 
-(* Fig. 4 lines 1–8: a block is protected iff some reserved epoch lies
-   within its lifetime.  The snapshot is sorted once so each block's
-   test is a binary search, not a scan of every thread's slot. *)
-let source t =
-  let reservations = Tracker_common.snapshot_reservations t.reservations in
-  if !Tracker_common.legacy_sweep then
-    Reclaimer.Predicate
-      (fun b ->
-         let birth = Block.birth_epoch b and retire = Block.retire_epoch b in
-         Array.exists (fun res -> birth <= res && res <= retire) reservations)
-  else
-    Reclaimer.Shape
-      (Tracker_common.Conflict.Intervals
-         (Tracker_common.Sweep_snapshot.of_points ~none:max_int
-            reservations))
-
 let make_reclaimer t ~tid =
   Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
     ~empty_freq:t.cfg.Tracker_intf.empty_freq
     ~current_epoch:(fun () -> Epoch.peek t.epoch)
-    ~source:(fun () -> source t)
+    ~source:(fun () ->
+      let reservations =
+        Tracker_common.snapshot_reservations t.reservations in
+      let max_safe = Array.fold_left min max_int reservations in
+      Reclaimer.Shape (Tracker_common.Conflict.Threshold max_safe))
     ~free:(fun b -> Alloc.free t.alloc ~tid b)
     ()
 
@@ -90,9 +80,6 @@ let register t ~tid =
   Alloc.set_pressure_hook t.alloc ~tid (fun () -> Handoff.path_pressure path);
   { t; tid; alloc_counter = ref 0; path }
 
-(* Dynamic registration.  A released slot reads [max_int]
-   (unreserved), which is a joiner's correct state until its first
-   guarded root read. *)
 let attach t =
   match
     Tracker_common.Census.try_attach t.census ~make:(fun tid ->
@@ -108,11 +95,10 @@ let attach t =
 
 let handle_tid h = h.tid
 
-(* Fig. 4 lines 9–15: epoch tick on allocation, tag the birth epoch. *)
 let alloc h payload =
   Epoch.tick h.t.epoch ~counter:h.alloc_counter ~freq:h.t.cfg.epoch_freq;
   let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
-  Block.set_birth_epoch b (Epoch.read h.t.epoch);
+  Block.set_birth_epoch b (Epoch.peek h.t.epoch);
   b
 
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
@@ -132,26 +118,8 @@ let end_op h =
   Ibr_obs.Probe.unreserve ~slot:0
 
 let make_ptr _ ?tag target = Plain_ptr.make ?tag target
-
-(* Interior pointers are immutable, so a plain read is already safe:
-   the root reservation covers the whole reachable set. *)
 let read _ ~slot:_ p = Plain_ptr.read p
-
-(* Fig. 4 lines 25–30: reserve the epoch, fence, read the root, and
-   verify the epoch is unchanged — the "snapshot" idiom that pins the
-   root's contents inside the reserved epoch. *)
-let read_root h p =
-  let cell = h.t.reservations.(h.tid) in
-  let rec loop () =
-    let e = Epoch.read h.t.epoch in
-    Prim.write cell e;
-    Prim.fence ();
-    let v = Plain_ptr.read p in
-    let e' = Epoch.read h.t.epoch in
-    if e = e' then v else loop ()
-  in
-  loop ()
-
+let read_root h p = read h ~slot:0 p
 let write _ p ?tag target = Plain_ptr.write p ?tag target
 let cas _ p ~expected ?tag target = Plain_ptr.cas p ~expected ?tag target
 let unreserve _ ~slot:_ = ()
@@ -167,14 +135,17 @@ let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch
 let reclaim_service t = Option.map Handoff.service t.handoff
 
-(* Neutralize a dead thread: clearing its epoch reservation unpins
-   everything reachable from the root it had snapshotted. *)
 let eject t ~tid = Prim.write t.reservations.(tid) max_int
 
-(* Dynamic deregistration: final sweep, clear the reservation, flush
-   the magazines, release the slot. *)
+(* THE BUG: the leaver frees its pending retirements unconditionally
+   ([Reclaimer.drain_all]), skipping the conflict test a sound
+   detach's final guarded sweep performs while still registered.  Any
+   block another thread still guards is freed under that reader's
+   feet. *)
 let detach h =
-  force_empty h;
+  Handoff.path_drain h.path;
+  let rc = Handoff.path_reclaimer h.path in
+  Reclaimer.drain_all rc (fun b -> Alloc.free h.t.alloc ~tid:h.tid b);
   eject h.t ~tid:h.tid;
   Alloc.flush_magazines h.t.alloc ~tid:h.tid;
   Tracker_common.Census.detach h.t.census ~tid:h.tid

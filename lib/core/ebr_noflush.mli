@@ -1,0 +1,9 @@
+(** Intentionally unsound EBR variant whose [detach] frees its pending
+    retirements without the final guarded sweep — the detach-without-
+    flush lifecycle bug the [thread_churn] scenario exists to catch.
+    Demonstration oracle only; not in {!Registry.all}.
+
+    Sealed to the common memory-manager signature of Fig. 1; see
+    {!Tracker_intf.TRACKER} for the operations. *)
+
+include Tracker_intf.TRACKER

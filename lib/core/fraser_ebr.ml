@@ -34,6 +34,7 @@ type 'a t = {
   reservations : int Atomic.t array;
   alloc : 'a Alloc.t;
   cfg : Tracker_intf.config;
+  census : 'a Handoff.path Tracker_common.Census.t;
   mutable handoff : 'a Handoff.t option;
 }
 
@@ -83,6 +84,7 @@ let create ~threads (cfg : Tracker_intf.config) =
       Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
         ~threads:(threads + if cfg.background_reclaim then 1 else 0) ();
     cfg;
+    census = Tracker_common.Census.create threads;
     handoff = None;
   } in
   if cfg.background_reclaim then
@@ -98,6 +100,24 @@ let register t ~tid =
   in
   Alloc.set_pressure_hook t.alloc ~tid (fun () -> Handoff.path_pressure path);
   { t; tid; path }
+
+(* Dynamic registration.  A free slot reads [inactive], which is also
+   the correct state for a joiner between operations — it only posts
+   an epoch at [start_op] — so attach needs no reservation write. *)
+let attach t =
+  match
+    Tracker_common.Census.try_attach t.census ~make:(fun tid ->
+      match t.handoff with
+      | Some h -> Handoff.Queued h
+      | None -> Handoff.Direct (make_reclaimer t ~tid))
+  with
+  | None -> None
+  | Some (tid, path) ->
+    Alloc.set_pressure_hook t.alloc ~tid (fun () ->
+      Handoff.path_pressure path);
+    Some { t; tid; path }
+
+let handle_tid h = h.tid
 
 let alloc h payload =
   let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
@@ -145,3 +165,11 @@ let reclaim_service t = Option.map Handoff.service t.handoff
 (* Neutralize a dead thread: marking it inactive both unpins its
    reservation and lets the all-observed advance proceed again. *)
 let eject t ~tid = Prim.write t.reservations.(tid) inactive
+
+(* Dynamic deregistration: a parked slot reads [inactive], so a free
+   slot never blocks the all-observed epoch advance. *)
+let detach h =
+  force_empty h;
+  eject h.t ~tid:h.tid;
+  Alloc.flush_magazines h.t.alloc ~tid:h.tid;
+  Tracker_common.Census.detach h.t.census ~tid:h.tid

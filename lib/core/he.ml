@@ -29,6 +29,7 @@ type 'a t = {
   eras : int Atomic.t array array;   (* eras.(tid).(slot) *)
   alloc : 'a Alloc.t;
   cfg : Tracker_intf.config;
+  census : 'a Handoff.path Tracker_common.Census.t;
   mutable handoff : 'a Handoff.t option;
 }
 
@@ -95,6 +96,7 @@ let create ~threads (cfg : Tracker_intf.config) =
       Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
         ~threads:(threads + if cfg.background_reclaim then 1 else 0) ();
     cfg;
+    census = Tracker_common.Census.create threads;
     handoff = None;
   } in
   if cfg.background_reclaim then
@@ -110,6 +112,23 @@ let register t ~tid =
   in
   Alloc.set_pressure_hook t.alloc ~tid (fun () -> Handoff.path_pressure path);
   { t; tid; alloc_counter = ref 0; hwm = -1; path }
+
+(* Dynamic registration.  A released era row was cleared to [no_era]
+   by the leaver's detach — a fresh row's state. *)
+let attach t =
+  match
+    Tracker_common.Census.try_attach t.census ~make:(fun tid ->
+      match t.handoff with
+      | Some h -> Handoff.Queued h
+      | None -> Handoff.Direct (make_reclaimer t ~tid))
+  with
+  | None -> None
+  | Some (tid, path) ->
+    Alloc.set_pressure_hook t.alloc ~tid (fun () ->
+      Handoff.path_pressure path);
+    Some { t; tid; alloc_counter = ref 0; hwm = -1; path }
+
+let handle_tid h = h.tid
 
 let alloc h payload =
   Epoch.tick h.t.epoch ~counter:h.alloc_counter ~freq:h.t.cfg.epoch_freq;
@@ -185,3 +204,11 @@ let reclaim_service t = Option.map Handoff.service t.handoff
 (* Neutralize a dead thread: clear every era slot in its row. *)
 let eject t ~tid =
   Array.iter (fun slot -> Prim.write slot no_era) t.eras.(tid)
+
+(* Dynamic deregistration: final sweep, clear the era row, flush the
+   magazines, release the slot. *)
+let detach h =
+  force_empty h;
+  eject h.t ~tid:h.tid;
+  Alloc.flush_magazines h.t.alloc ~tid:h.tid;
+  Tracker_common.Census.detach h.t.census ~tid:h.tid

@@ -29,6 +29,7 @@ type 'a t = {
   alloc : 'a Alloc.t;
   cfg : Tracker_intf.config;
   threads : int;
+  census : 'a Handoff.path Tracker_common.Census.t;
   mutable handoff : 'a Handoff.t option;
 }
 
@@ -85,6 +86,7 @@ let create ~threads (cfg : Tracker_intf.config) =
         ~threads:(threads + if cfg.background_reclaim then 1 else 0) ();
     cfg;
     threads;
+    census = Tracker_common.Census.create threads;
     handoff = None;
   } in
   if cfg.background_reclaim then
@@ -100,6 +102,24 @@ let register t ~tid =
   in
   Alloc.set_pressure_hook t.alloc ~tid (fun () -> Handoff.path_pressure path);
   { t; tid; hwm = -1; path }
+
+(* Dynamic registration.  A released row was cleared by the leaver's
+   detach, which is exactly a fresh row's state: no hazard published
+   until the first protected read. *)
+let attach t =
+  match
+    Tracker_common.Census.try_attach t.census ~make:(fun tid ->
+      match t.handoff with
+      | Some h -> Handoff.Queued h
+      | None -> Handoff.Direct (make_reclaimer t ~tid))
+  with
+  | None -> None
+  | Some (tid, path) ->
+    Alloc.set_pressure_hook t.alloc ~tid (fun () ->
+      Handoff.path_pressure path);
+    Some { t; tid; hwm = -1; path }
+
+let handle_tid h = h.tid
 
 let alloc h payload = Alloc.alloc h.t.alloc ~tid:h.tid payload
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
@@ -169,3 +189,11 @@ let reclaim_service t = Option.map Handoff.service t.handoff
 (* Neutralize a dead thread: clear every hazard slot in its row. *)
 let eject t ~tid =
   Array.iter (fun slot -> Prim.write slot None) t.slots.(tid)
+
+(* Dynamic deregistration: final sweep, clear the hazard row, flush
+   the magazines, release the slot. *)
+let detach h =
+  force_empty h;
+  eject h.t ~tid:h.tid;
+  Alloc.flush_magazines h.t.alloc ~tid:h.tid;
+  Tracker_common.Census.detach h.t.census ~tid:h.tid

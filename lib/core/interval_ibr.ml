@@ -35,6 +35,7 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
     res : Tracker_common.Interval_res.t;
     alloc : 'a Alloc.t;
     cfg : Tracker_intf.config;
+    census : 'a Handoff.path Tracker_common.Census.t;
     mutable handoff : 'a Handoff.t option;
   }
 
@@ -77,6 +78,7 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
         Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
           ~threads:(threads + if cfg.background_reclaim then 1 else 0) ();
       cfg;
+      census = Tracker_common.Census.create threads;
       handoff = None;
     } in
     if cfg.background_reclaim then
@@ -94,6 +96,24 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
     Alloc.set_pressure_hook t.alloc ~tid (fun () ->
       Handoff.path_pressure path);
     { t; tid; alloc_counter = ref 0; path }
+
+  (* Dynamic registration: claim a free census slot ([None] when all
+     are taken); later occupants adopt the slot's reclaimer path and
+     with it any retirements a departing thread could not yet free. *)
+  let attach t =
+    match
+      Tracker_common.Census.try_attach t.census ~make:(fun tid ->
+        match t.handoff with
+        | Some h -> Handoff.Queued h
+        | None -> Handoff.Direct (make_reclaimer t ~tid))
+    with
+    | None -> None
+    | Some (tid, path) ->
+      Alloc.set_pressure_hook t.alloc ~tid (fun () ->
+        Handoff.path_pressure path);
+      Some { t; tid; alloc_counter = ref 0; path }
+
+  let handle_tid h = h.tid
 
   (* Fig. 5 lines 30–36: epoch tick on allocation, tag birth epoch. *)
   let alloc h payload =
@@ -144,4 +164,13 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
   (* Neutralize a dead thread: clearing its [lower, upper] interval
      unpins every block whose lifetime it intersected. *)
   let eject t ~tid = Tracker_common.Interval_res.clear t.res ~tid
+
+  (* Dynamic deregistration: final drain-and-sweep, clear the
+     interval, flush the magazines, then release the slot (see
+     DESIGN.md §10 for why this order is what makes reuse safe). *)
+  let detach h =
+    force_empty h;
+    eject h.t ~tid:h.tid;
+    Alloc.flush_magazines h.t.alloc ~tid:h.tid;
+    Tracker_common.Census.detach h.t.census ~tid:h.tid
 end

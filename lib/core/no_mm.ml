@@ -17,6 +17,7 @@ let props = {
 type 'a t = {
   alloc : 'a Alloc.t;
   cfg : Tracker_intf.config;
+  census : 'a Reclaimer.t Tracker_common.Census.t;
 }
 
 type 'a handle = {
@@ -34,19 +35,30 @@ let create ~threads (cfg : Tracker_intf.config) =
   { alloc =
       Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
         ~threads ();
-    cfg }
+    cfg;
+    census = Tracker_common.Census.create threads }
 
 (* empty_freq:0 — the reclaimer only stores; nothing ever sweeps. *)
-let register t ~tid =
-  let rc =
-    Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
-      ~empty_freq:0
-      ~current_epoch:(fun () -> 0)
-      ~source:(fun () -> Reclaimer.Predicate (fun _ -> true))
-      ~free:(fun b -> Alloc.free t.alloc ~tid b)
-      ()
-  in
-  { t; tid; rc }
+let make_rc t ~tid =
+  Reclaimer.create ~backend:t.cfg.Tracker_intf.retire_backend
+    ~empty_freq:0
+    ~current_epoch:(fun () -> 0)
+    ~source:(fun () -> Reclaimer.Predicate (fun _ -> true))
+    ~free:(fun b -> Alloc.free t.alloc ~tid b)
+    ()
+
+let register t ~tid = { t; tid; rc = make_rc t ~tid }
+
+(* Dynamic registration: only the census slot and the slot's retired
+   store matter — there are no reservations to initialize. *)
+let attach t =
+  match Tracker_common.Census.try_attach t.census ~make:(fun tid ->
+    make_rc t ~tid)
+  with
+  | None -> None
+  | Some (tid, rc) -> Some { t; tid; rc }
+
+let handle_tid h = h.tid
 
 let alloc h payload = Alloc.alloc h.t.alloc ~tid:h.tid payload
 
@@ -75,3 +87,10 @@ let reclaim_service _ = None
 
 (* Holds no reservations: nothing to expire. *)
 let eject _ ~tid:_ = ()
+
+(* Dynamic deregistration: the slot's retired store keeps the leaked
+   blocks (that is the scheme); only the magazines and the slot are
+   released. *)
+let detach h =
+  Alloc.flush_magazines h.t.alloc ~tid:h.tid;
+  Tracker_common.Census.detach h.t.census ~tid:h.tid

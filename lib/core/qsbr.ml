@@ -50,6 +50,7 @@ module Make (A : ADVANCE) = struct
     alloc : 'a Alloc.t;
     cfg : Tracker_intf.config;
     threads : int;
+    census : 'a Handoff.path Tracker_common.Census.t;
     mutable handoff : 'a Handoff.t option;
   }
 
@@ -100,6 +101,7 @@ module Make (A : ADVANCE) = struct
           ~threads:(threads + if cfg.background_reclaim then 1 else 0) ();
       cfg;
       threads;
+      census = Tracker_common.Census.create threads;
       handoff = None;
     } in
     if cfg.background_reclaim then
@@ -117,6 +119,27 @@ module Make (A : ADVANCE) = struct
     Alloc.set_pressure_hook t.alloc ~tid (fun () ->
       Handoff.path_pressure path);
     { t; tid; path }
+
+  (* Dynamic registration.  A detached slot reads [max_int] ("always
+     quiescent"), which must not survive reuse: a joiner is quiescent
+     only *up to the attach instant*, so it publishes the current
+     epoch before it can touch shared memory — otherwise two advances
+     could race past its first operation and free a block it reads. *)
+  let attach t =
+    match
+      Tracker_common.Census.try_attach t.census ~make:(fun tid ->
+        match t.handoff with
+        | Some h -> Handoff.Queued h
+        | None -> Handoff.Direct (make_reclaimer t ~tid))
+    with
+    | None -> None
+    | Some (tid, path) ->
+      Prim.write t.quiescent.(tid) (Epoch.read t.epoch);
+      Alloc.set_pressure_hook t.alloc ~tid (fun () ->
+        Handoff.path_pressure path);
+      Some { t; tid; path }
+
+  let handle_tid h = h.tid
 
   let alloc h payload =
     let b = Alloc.alloc h.t.alloc ~tid:h.tid payload in
@@ -167,6 +190,15 @@ module Make (A : ADVANCE) = struct
      in every future epoch, so the thread never blocks an advance
      again. *)
   let eject t ~tid = Prim.write t.quiescent.(tid) max_int
+
+  (* Dynamic deregistration: [force_empty] already announces the
+     quiescent state and helps the epoch forward, then the slot is
+     parked at [max_int] so it never blocks an advance while free. *)
+  let detach h =
+    force_empty h;
+    eject h.t ~tid:h.tid;
+    Alloc.flush_magazines h.t.alloc ~tid:h.tid;
+    Tracker_common.Census.detach h.t.census ~tid:h.tid
 end
 
 (* The sound scheme: strictly e -> e+1 by CAS, so racing advancers

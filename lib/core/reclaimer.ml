@@ -128,6 +128,31 @@ let iter t f =
   | Bucketed bs ->
     List.iter (fun bk -> List.iter f bk.blocks) bs.newest
 
+(* Unconditional teardown drain: remove every block from the store and
+   hand it to [f] — no conflict test, no gate.  This is exactly the
+   "free your limbo list on exit without looking at anyone's
+   reservations" mistake; it exists so the Ebr_noflush demonstration
+   oracle can model a broken detach precisely (a pure
+   reservation-ignoring free, with the store left consistent).  Sound
+   code paths never call it. *)
+let drain_all t f =
+  match t.store with
+  | Flat r ->
+    let blocks = r.Tracker_common.Retired.blocks in
+    let n = r.Tracker_common.Retired.count in
+    r.Tracker_common.Retired.blocks <- [];
+    r.Tracker_common.Retired.count <- 0;
+    r.Tracker_common.Retired.total_reclaimed <-
+      r.Tracker_common.Retired.total_reclaimed + n;
+    t.total_reclaimed <- t.total_reclaimed + n;
+    List.iter f blocks
+  | Bucketed bs ->
+    let buckets = bs.newest in
+    bs.newest <- [];
+    t.total_reclaimed <- t.total_reclaimed + bs.count;
+    bs.count <- 0;
+    List.iter (fun bk -> List.iter f bk.blocks) buckets
+
 (* Retire epochs are non-decreasing (the global epoch is monotone), so
    a new retirement lands in the head bucket or opens a fresh one in
    O(1); the splice loop only runs for out-of-order epochs, which a

@@ -87,3 +87,11 @@ val bucket_count : 'a t -> int
 
 val iter : 'a t -> ('a Block.t -> unit) -> unit
 (** Observational walk over the still-retired blocks. *)
+
+val drain_all : 'a t -> ('a Block.t -> unit) -> unit
+(** Remove {e every} block from the store and hand it to the callback
+    — no conflict test, no gate.  The
+    "free your limbo list on exit without consulting reservations"
+    mistake, kept only so the [Ebr_noflush] demonstration oracle can
+    model a broken detach precisely; sound code paths never call
+    it. *)

@@ -24,6 +24,12 @@ let fraser_ebr = pack (module Fraser_ebr)
 let unsafe_free = pack (module Unsafe_free)
 let two_ge_unfenced = pack (module Two_ge_unfenced)
 let qsbr_noncas = pack (module Qsbr.Noncas)
+let ebr_noflush = pack (module Ebr_noflush)
+
+(* The census slot manager behind every tracker's attach/detach,
+   re-exported so harness and test code can model it without
+   depending on tracker internals. *)
+module Census = Tracker_common.Census
 
 (* Every correct scheme. *)
 let all = [
@@ -33,7 +39,7 @@ let all = [
 
 (* Demonstration oracles: deliberately broken schemes used to prove
    the fault checker works.  Not in [all]. *)
-let oracles = [ unsafe_free; two_ge_unfenced; qsbr_noncas ]
+let oracles = [ unsafe_free; two_ge_unfenced; qsbr_noncas; ebr_noflush ]
 
 (* The lineup measured in Fig. 8–10 (TagIBR-TPA is described but not
    plotted in the paper; we include it in our extended runs). *)

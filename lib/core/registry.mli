@@ -30,6 +30,16 @@ val qsbr_noncas : entry
 (** QSBR with an unconditional (non-CAS) epoch advance — the
     grace-period-skip bug of DESIGN.md §5a.3; demonstration only. *)
 
+val ebr_noflush : entry
+(** EBR whose [detach] frees its pending retirements without a final
+    guarded sweep — the detach-without-flush lifecycle bug the
+    [thread_churn] scenario catches; demonstration only. *)
+
+(** The census slot manager behind every tracker's attach/detach
+    (see {!Tracker_common.Census}), re-exported for harness and test
+    code. *)
+module Census = Tracker_common.Census
+
 val oracles : entry list
 (** The deliberately broken demonstration schemes. *)
 

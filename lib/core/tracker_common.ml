@@ -383,3 +383,98 @@ module Interval_res = struct
     if !legacy_sweep then conflict_with_snapshot t
     else Conflict.pred (Conflict.Intervals (sweep_snapshot t))
 end
+
+(* Dynamic thread census: the slot manager behind every tracker's
+   [attach]/[detach].  The fixed reservation tables stay fixed-size
+   (capacity = the [threads] the tracker was created with); what
+   becomes dynamic is *occupancy* — which slots currently belong to a
+   live thread.  A joiner claims the lowest free slot with a CAS; a
+   leaver releases its slot only after the tracker has published a
+   quiescent reservation for it, so the release doubles as the
+   happens-before edge that makes slot reuse safe: the next occupant
+   can never alias a reservation the previous one still held.
+
+   Each slot also carries a persistent payload ['p] (the tracker's
+   per-slot reclaimer path), created on first occupancy and *adopted*
+   by later occupants.  Retired blocks a departing thread could not
+   yet free therefore stay owned by the slot — swept by whoever
+   occupies it next — instead of leaking into a structure nobody
+   sweeps.
+
+   The claim CAS and the release write go through [Prim] so they are
+   charged and preemptible: under [Ibr_check], attach/detach races
+   are explored like any other shared access. *)
+module Census = struct
+  type 'p t = {
+    active : bool Atomic.t array;
+    generation : int array;     (* attaches ever seen, per slot *)
+    paths : 'p option array;    (* owner-written after a claim *)
+    attaches : int Atomic.t;
+    detaches : int Atomic.t;
+  }
+
+  let create capacity =
+    if capacity < 1 then invalid_arg "Census.create: capacity must be >= 1";
+    {
+      active = Array.init capacity (fun _ -> Atomic.make false);
+      generation = Array.make capacity 0;
+      paths = Array.make capacity None;
+      attaches = Atomic.make 0;
+      detaches = Atomic.make 0;
+    }
+
+  let capacity t = Array.length t.active
+
+  let check_tid t tid =
+    if tid < 0 || tid >= capacity t then
+      invalid_arg "Census: thread id out of range"
+
+  let is_active t ~tid =
+    check_tid t tid;
+    Atomic.get t.active.(tid)
+
+  let active_count t =
+    Array.fold_left (fun n a -> if Atomic.get a then n + 1 else n) 0 t.active
+
+  let attaches t = Atomic.get t.attaches
+  let detaches t = Atomic.get t.detaches
+
+  let generation t ~tid =
+    check_tid t tid;
+    t.generation.(tid)
+
+  (* Claim the lowest free slot.  The CAS is charged (a preemption
+     point), so two racing joiners resolve like any other contended
+     claim: the loser moves on to the next slot.  [make] runs only on
+     a slot's first-ever occupancy. *)
+  let try_attach t ~make =
+    let n = capacity t in
+    let rec go i =
+      if i >= n then None
+      else if Prim.cas t.active.(i) false true then begin
+        t.generation.(i) <- t.generation.(i) + 1;
+        Atomic.incr t.attaches;
+        let p =
+          match t.paths.(i) with
+          | Some p -> p
+          | None ->
+            let p = make i in
+            t.paths.(i) <- Some p;
+            p
+        in
+        Some (i, p)
+      end
+      else go (i + 1)
+    in
+    go 0
+
+  (* Release a slot.  Only the occupant may call this, and only after
+     publishing a quiescent reservation for [tid] — the write below
+     is what makes that publication visible to the next claimant. *)
+  let detach t ~tid =
+    check_tid t tid;
+    if not (Atomic.get t.active.(tid)) then
+      invalid_arg "Census.detach: slot is not active";
+    Atomic.incr t.detaches;
+    Prim.write t.active.(tid) false
+end

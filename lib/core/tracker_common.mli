@@ -137,3 +137,47 @@ module Interval_res : sig
   val conflict_fast : t -> 'a Block.t -> bool
   (** The production conflict predicate; obeys {!legacy_sweep}. *)
 end
+
+(** Dynamic thread census: slot occupancy manager behind every
+    tracker's [attach]/[detach] (DESIGN.md §10).  Reservation tables
+    stay sized at the tracker's creation [threads]; the census tracks
+    which slots belong to a live thread, hands the lowest free slot
+    to a joiner with a charged CAS, and lets a leaver release its slot
+    after the tracker has published a quiescent reservation for it.
+    The per-slot ['p] payload (the tracker's reclaimer path) is
+    created on first occupancy and adopted by later occupants, so
+    retired blocks a departing thread could not yet free stay owned
+    by the slot. *)
+module Census : sig
+  type 'p t
+
+  val create : int -> 'p t
+  (** [create capacity] — all slots free.
+      @raise Invalid_argument if [capacity < 1]. *)
+
+  val capacity : 'p t -> int
+
+  val is_active : 'p t -> tid:int -> bool
+
+  val active_count : 'p t -> int
+
+  val attaches : 'p t -> int
+  (** Successful attaches ever (monotone). *)
+
+  val detaches : 'p t -> int
+  (** Detaches ever (monotone). *)
+
+  val generation : 'p t -> tid:int -> int
+  (** How many times slot [tid] has been attached; a handle from an
+      earlier generation must never coexist with a later one. *)
+
+  val try_attach : 'p t -> make:(int -> 'p) -> (int * 'p) option
+  (** Claim the lowest free slot, running [make tid] only on a slot's
+      first-ever occupancy (later occupants adopt the stored payload).
+      [None] when every slot is taken. *)
+
+  val detach : 'p t -> tid:int -> unit
+  (** Release slot [tid].  Caller must have published a quiescent
+      reservation for the slot first.
+      @raise Invalid_argument if the slot is not active. *)
+end

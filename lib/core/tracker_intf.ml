@@ -93,6 +93,27 @@ module type TRACKER = sig
 
   val create : threads:int -> config -> 'a t
   val register : 'a t -> tid:int -> 'a handle
+  (* Fixed-census registration: the caller owns slot assignment.
+     Do not mix with [attach]/[detach] on the same instance. *)
+
+  val attach : 'a t -> 'a handle option
+  (* Dynamic registration: claim the lowest free census slot, or
+     [None] when all [threads] slots are occupied.  The slot's
+     reclaimer path is created on first occupancy and adopted by
+     later occupants, so retirements a departing thread could not yet
+     free stay owned by the slot.  See DESIGN.md §10. *)
+
+  val detach : 'a handle -> unit
+  (* Release an [attach]ed handle.  The caller must be between
+     operations (no reservation held).  Order inside: final
+     drain-and-sweep of the handle's retired blocks, publish a
+     quiescent reservation, flush the allocator magazines, then free
+     the census slot — so a joiner that reuses the slot can never
+     alias a reservation the leaver still held.  The handle must not
+     be used afterwards. *)
+
+  val handle_tid : 'a handle -> int
+  (* The census slot this handle occupies (stable for its lifetime). *)
 
   (* Fig. 1 API *)
   val alloc : 'a handle -> 'a -> 'a Block.t

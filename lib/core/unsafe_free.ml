@@ -16,7 +16,10 @@ let props = {
   summary = "INCORRECT test oracle: frees on retire, no reader protection";
 }
 
-type 'a t = { alloc : 'a Alloc.t }
+type 'a t = {
+  alloc : 'a Alloc.t;
+  census : unit Tracker_common.Census.t;
+}
 
 type 'a handle = { t : 'a t; tid : int }
 
@@ -28,9 +31,19 @@ let create ~threads (cfg : Tracker_intf.config) =
      [background_reclaim] is ignored and [reclaim_service] is [None]. *)
   { alloc =
       Alloc.create ~reuse:cfg.reuse ~magazine_size:cfg.magazine_size
-        ~threads () }
+        ~threads ();
+    census = Tracker_common.Census.create threads }
 
 let register t ~tid = { t; tid }
+
+(* Dynamic registration: no reservations, no retired store — only the
+   census slot itself. *)
+let attach t =
+  match Tracker_common.Census.try_attach t.census ~make:(fun _ -> ()) with
+  | None -> None
+  | Some (tid, ()) -> Some { t; tid }
+
+let handle_tid h = h.tid
 
 let alloc h payload = Alloc.alloc h.t.alloc ~tid:h.tid payload
 let dealloc h b = Alloc.free_unpublished h.t.alloc ~tid:h.tid b
@@ -62,3 +75,8 @@ let reclaim_service _ = None
 
 (* Holds no reservations: nothing to expire. *)
 let eject _ ~tid:_ = ()
+
+(* Dynamic deregistration: nothing deferred to flush. *)
+let detach h =
+  Alloc.flush_magazines h.t.alloc ~tid:h.tid;
+  Tracker_common.Census.detach h.t.census ~tid:h.tid

@@ -24,6 +24,14 @@ module type SET = sig
   val create : threads:int -> Tracker_intf.config -> t
   val register : t -> tid:int -> handle
 
+  (* Dynamic thread churn (DESIGN.md §10): claim a free census slot /
+     release it again.  [attach] returns [None] when every slot is
+     taken; [detach]'s caller must be between operations; do not mix
+     with fixed-census [register] on the same instance. *)
+  val attach : t -> handle option
+  val detach : handle -> unit
+  val handle_tid : handle -> int
+
   (* Each call is one application operation: it brackets itself in
      start_op/end_op and restarts with a fresh reservation after
      [max_cas_failures] failed CASes (§4.3.1). *)

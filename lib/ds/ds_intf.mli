@@ -24,6 +24,18 @@ module type SET = sig
   val create : threads:int -> Tracker_intf.config -> t
   val register : t -> tid:int -> handle
 
+  val attach : t -> handle option
+  (** Dynamic thread churn (DESIGN.md §10): claim a free census slot,
+      or [None] when every slot is taken.  Do not mix with the
+      fixed-census [register] on the same instance. *)
+
+  val detach : handle -> unit
+  (** Release an [attach]ed handle; the caller must be between
+      operations.  The handle must not be used afterwards. *)
+
+  val handle_tid : handle -> int
+  (** The census slot this handle occupies. *)
+
   (** Each call is one application operation: it brackets itself in
       start_op/end_op and restarts with a fresh reservation after
       [max_cas_failures] failed CASes (§4.3.1). *)

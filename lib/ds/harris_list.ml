@@ -48,6 +48,14 @@ module Make (T : Tracker_intf.TRACKER) = struct
     { list; th = T.register list.tracker ~tid;
       stats = Ds_common.make_op_stats () }
 
+  let attach list =
+    match T.attach list.tracker with
+    | None -> None
+    | Some th -> Some { list; th; stats = Ds_common.make_op_stats () }
+
+  let detach h = T.detach h.th
+  let handle_tid h = T.handle_tid h.th
+
   (* Hazard-slot roles during traversal. *)
   let slot_prev = 0   (* node containing the [prev] cell *)
   let slot_cur = 1

@@ -50,6 +50,14 @@ module Make (T : Tracker_intf.TRACKER) = struct
     { map; th = T.register map.tracker ~tid;
       stats = Ds_common.make_op_stats () }
 
+  let attach map =
+    match T.attach map.tracker with
+    | None -> None
+    | Some th -> Some { map; th; stats = Ds_common.make_op_stats () }
+
+  let detach h = T.detach h.th
+  let handle_tid h = T.handle_tid h.th
+
   (* Fibonacci hashing: spreads the benchmark's uniform keys and, more
      importantly, adversarially clustered keys across buckets. *)
   let bucket_of t key =

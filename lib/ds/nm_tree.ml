@@ -90,6 +90,14 @@ module Make (T : Tracker_intf.TRACKER) = struct
     { tree; th = T.register tree.tracker ~tid;
       stats = Ds_common.make_op_stats () }
 
+  let attach tree =
+    match T.attach tree.tracker with
+    | None -> None
+    | Some th -> Some { tree; th; stats = Ds_common.make_op_stats () }
+
+  let detach h = T.detach h.th
+  let handle_tid h = T.handle_tid h.th
+
   (* Hazard-slot roles. *)
   let slot_anc = 0
   let slot_parent = 1

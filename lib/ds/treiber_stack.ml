@@ -39,6 +39,14 @@ module Make (T : Tracker_intf.TRACKER) = struct
     { stack; th = T.register stack.tracker ~tid;
       stats = Ds_common.make_op_stats () }
 
+  let attach stack =
+    match T.attach stack.tracker with
+    | None -> None
+    | Some th -> Some { stack; th; stats = Ds_common.make_op_stats () }
+
+  let detach h = T.detach h.th
+  let handle_tid h = T.handle_tid h.th
+
   let wrap h f =
     Ds_common.with_op ~stats:h.stats
       ~start_op:(fun () -> T.start_op h.th)

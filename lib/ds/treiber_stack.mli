@@ -19,6 +19,13 @@ module Make (T : Tracker_intf.TRACKER) : sig
   val create : threads:int -> Tracker_intf.config -> t
   val register : t -> tid:int -> handle
 
+  val attach : t -> handle option
+  (** Dynamic thread churn: claim a free census slot, or [None] when
+      every slot is taken (see {!Ds_intf.SET}). *)
+
+  val detach : handle -> unit
+  val handle_tid : handle -> int
+
   (** Each operation brackets itself in start_op/end_op (see
       {!Ds_common.with_op}); a pop must not free a node another
       thread's pop is still inspecting — that is the whole point. *)

@@ -1,0 +1,134 @@
+(** Open-loop service simulation with dynamic thread churn
+    (DESIGN.md §10).
+
+    Models a long-running service rather than a closed-loop
+    microbenchmark: requests arrive on a precomputed Poisson or bursty
+    schedule (diurnal ramp + load spikes), keys are Zipf-skewed, and a
+    fleet of worker fibers join and leave the tracker census through
+    {!Ibr_ds.Ds_intf.SET.attach}/[detach] while serving.  Per-request
+    latency is measured arrival-to-completion (queueing included) and
+    the run ends with SLO pass/fail verdicts over p50/p99/p999 latency
+    and peak allocator footprint.
+
+    Same seed and profile ⇒ bit-identical {!to_csv_row} and verdicts
+    (certified by [test_service]). *)
+
+type arrival =
+  | Poisson
+  | Bursty of { burst : int; prob : float }
+      (** Poisson base process; each base arrival additionally
+          triggers a train of [burst] same-instant arrivals with
+          probability [prob]. *)
+
+val arrival_name : arrival -> string
+val arrival_of_string : string -> arrival option
+(** ["poisson"] or ["bursty"] (the default burst shape). *)
+
+(** Latency targets in virtual cycles, footprint in blocks; [max_int]
+    disables a check. *)
+type slo = {
+  p50 : int;
+  p99 : int;
+  p999 : int;
+  peak_footprint : int;
+}
+
+val default_slo : slo
+
+type verdict = {
+  metric : string;
+  target : int;
+  actual : int;
+  ok : bool;
+}
+
+type profile = {
+  workers : int;       (** census capacity (tracker slot count) *)
+  fleet : int;         (** worker fibers sharing the slots *)
+  cores : int;
+  horizon : int;
+  seed : int;
+  arrival : arrival;
+  period : int;        (** base mean inter-arrival gap, cycles *)
+  diurnal : bool;      (** ×0.6 rate at the edges, ×1.5 mid-run *)
+  spikes : int;        (** evenly spaced ×3 windows, 2% of horizon *)
+  zipf_theta : float;  (** 0 = uniform *)
+  session_ops : int;   (** requests served per attached session *)
+  away : int;          (** cycles detached between sessions *)
+  watchdog : (int * int) option;  (** [(period, grace)] *)
+  spec : Workload.spec;
+  tracker_cfg : Ibr_core.Tracker_intf.config;
+  slo : slo;
+}
+
+val default_profile :
+  ?workers:int -> ?fleet:int -> ?cores:int -> ?horizon:int -> ?seed:int ->
+  ?arrival:arrival -> ?period:int -> ?diurnal:bool -> ?spikes:int ->
+  ?zipf_theta:float -> ?session_ops:int -> ?away:int ->
+  ?watchdog:int * int -> ?slo:slo -> spec:Workload.spec -> unit -> profile
+
+val rate_permille : profile -> t:int -> int
+(** Arrival-rate modulation at virtual time [t], in permille of the
+    base rate — all-integer (diurnal tent and spike windows), exposed
+    for tests. *)
+
+val gen_arrivals : profile -> int array * bool
+(** The precomputed arrival schedule (non-decreasing timestamps) and
+    whether the safety cap truncated it.  Deterministic in
+    [profile.seed] and the shape parameters. *)
+
+type result = {
+  tracker : string;
+  ds : string;
+  workers : int;
+  fleet : int;
+  arrivals : int;
+  arrivals_capped : bool;
+  completed : int;
+  aborted : int;        (** claimed, then died of allocator exhaustion *)
+  unserved : int;       (** never claimed, or unwound mid-request *)
+  attaches : int;
+  detaches : int;
+  attach_full : int;    (** attach attempts refused (census full) *)
+  ejections : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  p999 : int;
+  max_latency : int;
+  peak_footprint : int;
+  makespan : int;
+  throughput : float;   (** completed requests per Mcycle *)
+  verdicts : verdict list;
+  slo_pass : bool;
+  metrics : Ibr_obs.Metrics.snapshot;
+}
+
+val run :
+  tracker_name:string -> ds_name:string ->
+  (module Ibr_ds.Ds_intf.SET) -> profile -> result
+(** One full service run on a fresh instance.  Prefills through a
+    temporary attach/detach, spawns [fleet] workers plus the
+    background reclaimer (if the tracker has one) and the optional
+    watchdog, runs to [horizon], and digests latencies and verdicts.
+    Service metrics ([svc_*]) are registered in the metric registry on
+    first call — never at module init, so binaries that do not run a
+    service keep their CSV layout.
+    @raise Invalid_argument on non-positive [workers], [fleet],
+    [period], or [session_ops]. *)
+
+val run_named :
+  tracker_name:string -> ds_name:string -> profile -> result option
+(** Resolve by registry names; [None] if the tracker cannot run this
+    rideable (see {!Ibr_ds.Ds_intf.SET.compatible}).
+    @raise Not_found on unknown names. *)
+
+val csv_header : string
+val to_csv_row : result -> string
+(** Fixed-format row (integers plus one fixed-format float):
+    bit-reproducible for a fixed seed. *)
+
+val verdicts_csv : result -> string
+(** Compact [metric:actual<=target:pass/FAIL] list, [;]-separated. *)
+
+val pp : Format.formatter -> result -> unit

@@ -34,7 +34,8 @@ let ejected w tid = w.ejected.(tid)
 let gauge = Ibr_obs.Metrics.register_gauge ~name:"ejections" ~order:510
 let publish w = gauge := w.ejections
 
-let spawn ~sched ~period ~grace ~threads ~progress ~footprint ~eject () =
+let spawn ~sched ~period ~grace ~threads ?(active = fun _ -> true)
+    ~progress ~footprint ~eject () =
   if period < 1 then invalid_arg "Watchdog.spawn: period < 1";
   if grace < 1 then invalid_arg "Watchdog.spawn: grace < 1";
   let w = {
@@ -51,7 +52,18 @@ let spawn ~sched ~period ~grace ~threads ~progress ~footprint ~eject () =
        let rec loop () =
          Hooks.step period;
          for tid = 0 to threads - 1 do
-           if w.ejected.(tid) then begin
+           if not (active tid) then begin
+             (* Detached slot (dynamic census): a free slot has no
+                occupant to monitor.  Forget its history so a future
+                occupant re-arms from scratch — ejecting a joiner
+                against the leaver's counter would neutralize a live
+                thread, which readmits use-after-free. *)
+             last.(tid) <- min_int;
+             stale.(tid) <- 0;
+             w.ejected.(tid) <- false;
+             w.footprint_at_eject.(tid) <- None
+           end
+           else if w.ejected.(tid) then begin
              (* Credit the footprint drop since ejection once, at the
                 next check — by then the workers' sweeps have had a
                 chance to reclaim what the dead reservation pinned. *)

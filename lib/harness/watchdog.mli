@@ -18,6 +18,7 @@ val spawn :
   period:int ->
   grace:int ->
   threads:int ->
+  ?active:(int -> bool) ->
   progress:(int -> int) ->
   footprint:(unit -> int) ->
   eject:(int -> unit) ->
@@ -31,6 +32,12 @@ val spawn :
     consecutive checks is ejected (once).  [footprint] (live+retired
     blocks) is sampled around each ejection to estimate the memory
     recovered.
+
+    [active] (default: always true) reports whether a census slot
+    currently has an occupant (dynamic churn, DESIGN.md §10): an
+    inactive slot is not monitored and its arming/staleness/ejection
+    state is reset, so a joiner that reuses the slot is watched from
+    scratch instead of being ejected against the leaver's counter.
     @raise Invalid_argument if [period < 1] or [grace < 1]. *)
 
 val ejections : t -> int

@@ -61,6 +61,39 @@ let pick_op rng mix =
 
 let pick_key rng spec = Rng.int rng spec.key_range
 
+(* Zipfian key skew for the service simulation: P(k) proportional to
+   1/(k+1)^theta over [0, key_range), hot keys at the low end.  The
+   CDF is precomputed once (outside the simulated run — building it
+   is setup, not workload); sampling is one uniform draw plus a
+   binary search, deterministic for a given seed.  theta = 0
+   degenerates to the uniform microbenchmark distribution. *)
+type zipf = { cdf : float array }
+
+let zipf ~theta ~key_range =
+  if key_range < 1 then invalid_arg "Workload.zipf: key_range must be >= 1";
+  if theta < 0.0 then invalid_arg "Workload.zipf: theta must be >= 0";
+  let cdf = Array.make key_range 0.0 in
+  let total = ref 0.0 in
+  for k = 0 to key_range - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (k + 1)) theta);
+    cdf.(k) <- !total
+  done;
+  let norm = !total in
+  for k = 0 to key_range - 1 do
+    cdf.(k) <- cdf.(k) /. norm
+  done;
+  { cdf }
+
+let zipf_pick z rng =
+  let u = Rng.float rng in
+  (* Smallest k with cdf.(k) > u. *)
+  let lo = ref 0 and hi = ref (Array.length z.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
 (* Deterministic prefill: insert each key independently with
    probability [prefill_fraction], in shuffled order — sorted-order
    insertion would degenerate the unbalanced external BST into a

@@ -35,6 +35,17 @@ val spec_for : ?mix:mix -> string -> spec
 val pick_op : Ibr_runtime.Rng.t -> mix -> op
 val pick_key : Ibr_runtime.Rng.t -> spec -> int
 
+type zipf
+(** Precomputed Zipfian CDF over a key range (hot keys at the low
+    end); build once outside the simulated run. *)
+
+val zipf : theta:float -> key_range:int -> zipf
+(** [theta = 0] degenerates to uniform.
+    @raise Invalid_argument if [key_range < 1] or [theta < 0]. *)
+
+val zipf_pick : zipf -> Ibr_runtime.Rng.t -> int
+(** One uniform draw plus a binary search; deterministic per seed. *)
+
 val prefill :
   rng:Ibr_runtime.Rng.t -> spec:spec ->
   insert:(key:int -> value:int -> bool) -> unit

@@ -84,7 +84,8 @@ let witness_pipeline name ~insufficient_bound ~needed_preemptions () =
 let checked_in_traces =
   [ "reader_writer_UnsafeFree.trace";
     "reader_writer_2GEIBR-unfenced.trace";
-    "advance_race_QSBR-noncas.trace" ]
+    "advance_race_QSBR-noncas.trace";
+    "thread_churn_EBR-noflush.trace" ]
 
 let test_checked_in_traces () =
   List.iter

@@ -23,4 +23,7 @@ let () =
       ("background", Test_background.suite);
       ("robustness", Test_robustness.suite);
       ("obs", Test_obs.suite);
+      (* Last on purpose: a service run lazily registers svc_* metrics,
+         which widens the registry CSV layout test_obs pins. *)
+      ("service", Test_service.suite);
     ]

@@ -217,13 +217,15 @@ let test_run_threads_helper () =
   Alcotest.(check bool) "makespan positive" true (Sched.makespan t > 0)
 
 let test_registry_oracles () =
-  Alcotest.(check int) "three oracles" 3 (List.length Registry.oracles);
+  Alcotest.(check int) "four oracles" 4 (List.length Registry.oracles);
   Alcotest.(check bool) "oracle findable" true
     (Registry.find "unsafefree" <> None);
   Alcotest.(check bool) "unfenced findable" true
     (Registry.find "2geibr-unfenced" <> None);
   Alcotest.(check bool) "noncas qsbr findable" true
     (Registry.find "qsbr-noncas" <> None);
+  Alcotest.(check bool) "noflush ebr findable" true
+    (Registry.find "ebr-noflush" <> None);
   List.iter
     (fun (o : Registry.entry) ->
        Alcotest.(check bool) "oracles not in all" true
