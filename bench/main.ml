@@ -216,8 +216,10 @@ let run_retire_ablation ?(threads_list = [ 16; 32; 48 ]) () =
     Ibr_harness.Experiment.retire_backend_sweep ~threads_list () in
   Fmt.pr "== ablation:retire (backends on hashmap) ==@.%s@."
     (Ibr_harness.Experiment.retire_backend_table rows);
-  Fmt.pr "csv:@.%s@." (Ibr_harness.Stats.csv_header ());
-  List.iter (fun r -> Fmt.pr "%s@." (Ibr_harness.Stats.to_csv_row r)) rows;
+  Fmt.pr "csv:@.%s@." (Ibr_harness.Stats.csv_header_tagged ());
+  List.iter
+    (fun r -> Fmt.pr "%s@." (Ibr_harness.Stats.to_csv_row_tagged r))
+    rows;
   Fmt.pr "@."
 
 (* The robustness campaign (DESIGN.md §7): trackers x fault profiles x
@@ -233,9 +235,51 @@ let run_robustness ?threads ?horizons () =
          (if c.holds then "PASS" else "FAIL")
          c.claim c.detail)
     (Ibr_harness.Experiment.robustness_checks rows);
-  Fmt.pr "@.csv:@.%s@." (Ibr_harness.Stats.csv_header ());
-  List.iter (fun r -> Fmt.pr "%s@." (Ibr_harness.Stats.to_csv_row r)) rows;
+  Fmt.pr "@.csv:@.%s@." (Ibr_harness.Stats.csv_header_tagged ());
+  List.iter
+    (fun r -> Fmt.pr "%s@." (Ibr_harness.Stats.to_csv_row_tagged r))
+    rows;
   Fmt.pr "@."
+
+(* The hardware leg of the robustness campaign: the profile subset the
+   domains backend can honor (no crash injection — a crashed domain
+   cannot be simulated, only a stalled one) on a short wall-clock
+   ladder.  Rows carry backend=domains so archived CSVs never mix
+   machines silently.  Non-deterministic, so no acceptance checks:
+   the gate is that every row completes and the watchdog profile
+   ejects the parked worker. *)
+let run_robustness_domains () =
+  let rows =
+    Ibr_harness.Experiment.robustness_sweep
+      ~backend:Ibr_harness.Experiment.Domains
+      ~trackers:[ "EBR"; "HP"; "2GEIBR" ]
+      ~profiles:Ibr_harness.Experiment.robustness_profiles_hw ~threads:4
+      ~cores:4
+      ~horizons:[ 60_000; 120_000 ] (* wall-clock microseconds *)
+      ()
+  in
+  Fmt.pr "== robustness campaign (domains backend, wall clock) ==@.%s@."
+    (Ibr_harness.Experiment.robustness_table rows);
+  let ejections =
+    List.fold_left
+      (fun acc (r : Ibr_harness.Stats.t) ->
+         acc + Ibr_harness.Stats.metric r "ejections")
+      0
+      (List.filter
+         (fun (r : Ibr_harness.Stats.t) ->
+            let n = String.length r.tracker in
+            n >= 9 && String.sub r.tracker (n - 9) 9 = "+watchdog")
+         rows)
+  in
+  Fmt.pr "%s: wall-clock watchdog ejected the parked worker (%d ejections)@."
+    (if ejections > 0 then "PASS" else "FAIL")
+    ejections;
+  Fmt.pr "@.csv:@.%s@." (Ibr_harness.Stats.csv_header_tagged ());
+  List.iter
+    (fun r -> Fmt.pr "%s@." (Ibr_harness.Stats.to_csv_row_tagged r))
+    rows;
+  Fmt.pr "@.";
+  if ejections = 0 then Stdlib.exit 1
 
 (* Ablation: trace overhead.  The observability tentpole's contract is
    zero-cost-when-disabled; this mode measures both halves of it.
@@ -487,6 +531,7 @@ let () =
   let retire_quick = Cli.has_flag Sys.argv "--retire-quick" in
   let robust_only = Cli.has_flag Sys.argv "--robust-only" in
   let robust_quick = Cli.has_flag Sys.argv "--robust-quick" in
+  let robust_domains = Cli.has_flag Sys.argv "--robust-domains" in
   let service_only = Cli.has_flag Sys.argv "--service-only" in
   let service_quick = Cli.has_flag Sys.argv "--service-quick" in
   let trace_overhead = Cli.has_flag Sys.argv "--trace-overhead" in
@@ -504,6 +549,7 @@ let () =
   else if retire_only then run_retire_ablation ()
   else if service_quick then run_service_campaign ~quick:true ()
   else if service_only then run_service_campaign ()
+  else if robust_domains then run_robustness_domains ()
   else if robust_quick then
     (* Reduced scale, but the tail of the horizon ladder must still be
        past the robust schemes' pinned-set saturation point or the

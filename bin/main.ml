@@ -9,7 +9,8 @@ open Cmdliner
 module Cli = Ibr_harness.Cli
 
 let run_one ~(base : Cli.base) ~cores ~seed ~backend ~empty_freq ~epoch_freq
-    ~key_range ~background_reclaim ~magazine_size ~output ~verbose =
+    ~key_range ~background_reclaim ~magazine_size ~handoff_batch ~output
+    ~verbose =
   let { Cli.rideable; tracker; threads; interval; mix; retire; faults } =
     base in
   let mix = Cli.parse_mix mix in
@@ -35,8 +36,13 @@ let run_one ~(base : Cli.base) ~cores ~seed ~backend ~empty_freq ~epoch_freq
         { cfg with Ibr_core.Tracker_intf.background_reclaim = true }
       else cfg
     in
-    match magazine_size with
-    | Some m -> { cfg with magazine_size = m }
+    let cfg =
+      match magazine_size with
+      | Some m -> { cfg with magazine_size = m }
+      | None -> cfg
+    in
+    match handoff_batch with
+    | Some k -> { cfg with handoff_batch = k }
     | None -> cfg
   in
   let result =
@@ -51,11 +57,13 @@ let run_one ~(base : Cli.base) ~cores ~seed ~backend ~empty_freq ~epoch_freq
       Ibr_harness.Runner_sim.run_named ~tracker_name:tracker
         ~ds_name:rideable cfg
     | "domains" ->
-      if faults <> "none" then
-        failwith "fault injection (--faults) needs the sim backend";
+      (* -i is microseconds here: 1 virtual cycle ~ 1 us, so the same
+         -i reaches a comparable run length on either backend.  Fault
+         profiles the backend cannot honor raise [Unsupported]. *)
       let base =
         Ibr_harness.Runner_domains.default_config ~threads
-          ~duration_s:(float_of_int interval /. 1000.0) ~seed ~spec ()
+          ~duration_s:(float_of_int interval /. 1e6) ~seed
+          ~faults:(Cli.parse_faults faults) ~spec ()
       in
       let cfg =
         { base with tracker_cfg = override_tracker_cfg base.tracker_cfg } in
@@ -89,7 +97,7 @@ let run_one ~(base : Cli.base) ~cores ~seed ~backend ~empty_freq ~epoch_freq
 
 (* ---- open-loop service simulation (--service) ---- *)
 
-let run_service ~rideable ~tracker ~threads ~interval ~cores ~seed
+let run_service ~rideable ~tracker ~threads ~interval ~cores ~seed ~backend
     ~fleet ~period ~arrival ~zipf ~watchdog ~slo_p50 ~slo_p99 ~slo_p999
     ~slo_peak ~key_range ~output ~verbose =
   let module Service = Ibr_harness.Service in
@@ -115,16 +123,29 @@ let run_service ~rideable ~tracker ~threads ~interval ~cores ~seed
       peak_footprint = Option.value slo_peak ~default:d.Service.peak_footprint;
     }
   in
+  let fleet = Option.value fleet ~default:(threads + 2) in
   let profile =
-    Service.default_profile ~workers:threads
-      ~fleet:(Option.value fleet ~default:(threads + 2))
+    Service.default_profile ~workers:threads ~fleet
       ~cores ~horizon:interval ~seed ~arrival ~period ~zipf_theta:zipf
       ?watchdog:(if watchdog then Some (15_000, 3) else None)
       ~slo ~spec ()
   in
-  match
-    Service.run_named ~tracker_name:tracker ~ds_name:rideable profile
-  with
+  let result =
+    match backend with
+    | "sim" -> Service.run_named ~tracker_name:tracker ~ds_name:rideable profile
+    | "domains" ->
+      (* The fleet workers become real domains; -i (the horizon) is a
+         wall-clock duration in microseconds under 1 cycle ~ 1 us. *)
+      let exec =
+        Ibr_harness.Run_engine.domains_exec ~threads:fleet
+          ~duration_s:(float_of_int interval /. 1e6) ~seed
+          ~faults:Ibr_harness.Runner_intf.No_faults ()
+      in
+      Service.run_named_exec ~exec ~tracker_name:tracker ~ds_name:rideable
+        profile
+    | s -> failwith (Printf.sprintf "unknown backend %S (sim|domains)" s)
+  in
+  match result with
   | None ->
     Fmt.epr "error: tracker %s is not compatible with rideable %s@." tracker
       rideable;
@@ -268,7 +289,7 @@ let threads =
 let interval =
   Arg.(value & opt int 200_000
        & info [ "i"; "interval" ] ~docv:"N"
-           ~doc:"Run length: virtual cycles (sim) or milliseconds (domains).")
+           ~doc:"Run length: virtual cycles (sim) or microseconds                  (domains); 1 cycle ~ 1 us, so the same -i is comparable                  on either backend.")
 
 let mix =
   Arg.(value & opt string "write"
@@ -283,7 +304,7 @@ let retire =
 let faults =
   Arg.(value & opt string "none"
        & info [ "f"; "faults" ] ~docv:"PROFILE"
-           ~doc:"Fault profile (sim backend only): none, stall-storm,                  crash, crash+capped, or crash+watchdog.")
+           ~doc:"Fault profile: none, stall-storm, crash, crash+capped,                  crash+watchdog, or stall+watchdog.  The domains backend                  honors none, stall-storm and stall+watchdog; crash                  profiles need the simulator and fail fast otherwise.")
 
 let cores =
   Arg.(value & opt int 72
@@ -301,6 +322,13 @@ let magazine_size =
        & info [ "magazine-size" ] ~docv:"N"
            ~doc:"Blocks per allocator magazine (per-thread free-block \
                  cache; default 64).")
+
+let handoff_batch =
+  Arg.(value & opt (some int) None
+       & info [ "handoff-batch" ] ~docv:"K"
+           ~doc:"Buffer K retirements per thread before publishing them \
+                 to the background reclaimer's handoff queue (default 1 \
+                 = publish immediately).")
 
 let seed =
   Arg.(value & opt int 0xbeef & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
@@ -440,7 +468,7 @@ let cmd =
     Term.(
       const (fun menu_flag rideable tracker threads interval mix retire
               faults cores seed backend empty_freq epoch_freq key_range
-              background_reclaim magazine_size
+              background_reclaim magazine_size handoff_batch
               output verbose metas trace hist check check_bound check_budget
               check_out check_replay service service_fleet service_period
               service_arrival service_zipf service_watchdog slo_p50 slo_p99
@@ -455,7 +483,7 @@ let cmd =
               | None, Some path -> run_replay ~path
               | None, None when service ->
                 run_service ~rideable ~tracker ~threads ~interval ~cores
-                  ~seed ~fleet:service_fleet ~period:service_period
+                  ~seed ~backend ~fleet:service_fleet ~period:service_period
                   ~arrival:service_arrival ~zipf:service_zipf
                   ~watchdog:service_watchdog ~slo_p50 ~slo_p99 ~slo_p999
                   ~slo_peak ~key_range ~output ~verbose
@@ -469,7 +497,7 @@ let cmd =
                   (fun (base : Cli.base) ->
                      run_one ~base ~cores ~seed ~backend ~empty_freq
                        ~epoch_freq ~key_range ~background_reclaim
-                       ~magazine_size ~output ~verbose)
+                       ~magazine_size ~handoff_batch ~output ~verbose)
                   (Cli.expand_metas metas
                      { Cli.rideable; tracker; threads; interval; mix;
                        retire; faults });
@@ -486,10 +514,13 @@ let cmd =
             with
             | Failure msg | Invalid_argument msg ->
               Fmt.epr "error: %s@." msg;
+              Stdlib.exit 1
+            | Ibr_harness.Runner_intf.Unsupported _ as e ->
+              Fmt.epr "error: %s@." (Printexc.to_string e);
               Stdlib.exit 1)
       $ menu $ rideable $ tracker $ threads $ interval $ mix $ retire
       $ faults $ cores $ seed $ backend $ empty_freq $ epoch_freq $ key_range
-      $ background_reclaim $ magazine_size
+      $ background_reclaim $ magazine_size $ handoff_batch
       $ output $ verbose $ metas $ trace $ hist $ check $ check_bound
       $ check_budget $ check_out $ check_replay $ service $ service_fleet
       $ service_period $ service_arrival $ service_zipf $ service_watchdog

@@ -68,7 +68,9 @@ let create ~threads (cfg : Tracker_intf.config) =
   } in
   if cfg.background_reclaim then
     t.handoff <-
-      Some (Handoff.create ~producers:threads (make_reclaimer t ~tid:threads));
+      Some
+        (Handoff.create ~producers:threads ~batch:cfg.handoff_batch
+           (make_reclaimer t ~tid:threads));
   t
 
 let register t ~tid =
@@ -128,7 +130,7 @@ let reassign _ ~src:_ ~dst:_ = ()
 let retired_count h = Handoff.path_count h.path
 
 let force_empty h =
-  Handoff.path_drain h.path;
+  Handoff.path_drain h.path ~tid:h.tid;
   Reclaimer.force (Handoff.path_reclaimer h.path)
 
 let allocator t = t.alloc
@@ -143,7 +145,7 @@ let eject t ~tid = Prim.write t.reservations.(tid) max_int
    block another thread still guards is freed under that reader's
    feet. *)
 let detach h =
-  Handoff.path_drain h.path;
+  Handoff.path_drain h.path ~tid:h.tid;
   let rc = Handoff.path_reclaimer h.path in
   Reclaimer.drain_all rc (fun b -> Alloc.free h.t.alloc ~tid:h.tid b);
   eject h.t ~tid:h.tid;

@@ -89,7 +89,9 @@ let create ~threads (cfg : Tracker_intf.config) =
   } in
   if cfg.background_reclaim then
     t.handoff <-
-      Some (Handoff.create ~producers:threads (make_reclaimer t ~tid:threads));
+      Some
+        (Handoff.create ~producers:threads ~batch:cfg.handoff_batch
+           (make_reclaimer t ~tid:threads));
   t
 
 let register t ~tid =
@@ -153,7 +155,7 @@ let retired_count h = Handoff.path_count h.path
 (* Caller is between operations: help the epoch forward two steps so
    blocks retired before its last operation become reclaimable. *)
 let force_empty h =
-  Handoff.path_drain h.path;
+  Handoff.path_drain h.path ~tid:h.tid;
   try_advance h.t;
   try_advance h.t;
   Reclaimer.force (Handoff.path_reclaimer h.path)

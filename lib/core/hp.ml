@@ -91,7 +91,9 @@ let create ~threads (cfg : Tracker_intf.config) =
   } in
   if cfg.background_reclaim then
     t.handoff <-
-      Some (Handoff.create ~producers:threads (make_reclaimer t ~tid:threads));
+      Some
+        (Handoff.create ~producers:threads ~batch:cfg.handoff_batch
+           (make_reclaimer t ~tid:threads));
   t
 
 let register t ~tid =
@@ -179,7 +181,7 @@ let reassign h ~src ~dst =
 let retired_count h = Handoff.path_count h.path
 
 let force_empty h =
-  Handoff.path_drain h.path;
+  Handoff.path_drain h.path ~tid:h.tid;
   Reclaimer.force (Handoff.path_reclaimer h.path)
 
 let allocator t = t.alloc

@@ -84,7 +84,8 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
     if cfg.background_reclaim then
       t.handoff <-
         Some
-          (Handoff.create ~producers:threads (make_reclaimer t ~tid:threads));
+          (Handoff.create ~producers:threads ~batch:cfg.handoff_batch
+             (make_reclaimer t ~tid:threads));
     t
 
   let register t ~tid =
@@ -154,7 +155,7 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
   let retired_count h = Handoff.path_count h.path
 
   let force_empty h =
-    Handoff.path_drain h.path;
+    Handoff.path_drain h.path ~tid:h.tid;
     Reclaimer.force (Handoff.path_reclaimer h.path)
 
   let allocator t = t.alloc

@@ -107,7 +107,8 @@ module Make (A : ADVANCE) = struct
     if cfg.background_reclaim then
       t.handoff <-
         Some
-          (Handoff.create ~producers:threads (make_reclaimer t ~tid:threads));
+          (Handoff.create ~producers:threads ~batch:cfg.handoff_batch
+             (make_reclaimer t ~tid:threads));
     t
 
   let register t ~tid =
@@ -175,7 +176,7 @@ module Make (A : ADVANCE) = struct
      announce that, then drive up to two grace periods so that blocks
      whose other readers have all quiesced become reclaimable. *)
   let force_empty h =
-    Handoff.path_drain h.path;
+    Handoff.path_drain h.path ~tid:h.tid;
     end_op h;
     try_advance h.t;
     end_op h;

@@ -41,6 +41,11 @@ type config = {
   magazine_size : int;
   (* Capacity of each per-thread allocator magazine (jemalloc
      tcache-style free-block caching; see [Alloc]). *)
+  handoff_batch : int;
+  (* Background reclamation only: retire into a thread-local buffer
+     flushed as one handoff-queue append every [handoff_batch]
+     retirements, amortizing the queue CAS.  1 (the default) takes the
+     original one-CAS-per-retire path bit-for-bit; see [Handoff]. *)
 }
 
 let default_config ?(threads = 1) () = {
@@ -52,6 +57,7 @@ let default_config ?(threads = 1) () = {
   retire_backend = Reclaimer.List;
   background_reclaim = false;
   magazine_size = 64;
+  handoff_batch = 1;
 }
 
 (* Reject configurations that would silently disable a scheme's
@@ -65,7 +71,9 @@ let validate ~threads cfg =
   if cfg.epoch_freq <= 0 then
     invalid_arg "Tracker config: epoch_freq must be positive";
   if cfg.magazine_size < 1 then
-    invalid_arg "Tracker config: magazine_size must be >= 1"
+    invalid_arg "Tracker config: magazine_size must be >= 1";
+  if cfg.handoff_batch < 1 then
+    invalid_arg "Tracker config: handoff_batch must be >= 1"
 
 (* Fig. 7 row: qualitative properties of a scheme. *)
 type properties = {

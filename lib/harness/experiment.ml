@@ -263,15 +263,15 @@ let retire_backend_sweep
 let retire_backend_table (rows : Stats.t list) =
   let b = Buffer.create 1024 in
   Buffer.add_string b
-    (Printf.sprintf "%-16s %-4s %10s %8s %10s %8s %8s %8s\n"
-       "tracker/backend" "thr" "ops/Mcyc" "sweeps" "examined" "freed"
-       "skipped" "buckets");
+    (Printf.sprintf "%-16s %-7s %-4s %10s %8s %10s %8s %8s %8s\n"
+       "tracker/backend" "machine" "thr" "ops/Mcyc" "sweeps" "examined"
+       "freed" "skipped" "buckets");
   List.iter
     (fun (r : Stats.t) ->
        let m = Stats.metric r in
        Buffer.add_string b
-         (Printf.sprintf "%-16s %-4d %10.2f %8d %10d %8d %8d %8d\n"
-            r.tracker r.threads r.throughput (m "sweeps")
+         (Printf.sprintf "%-16s %-7s %-4d %10.2f %8d %10d %8d %8d %8d\n"
+            r.tracker r.backend r.threads r.throughput (m "sweeps")
             (m "sweep_examined") (m "sweep_freed") (m "sweeps_skipped")
             (m "sweep_buckets")))
     rows;
@@ -286,9 +286,40 @@ let retire_backend_table (rows : Stats.t list) =
    is wrapped in [Fault.with_counting] so an exhausted allocator is a
    counted event, not a campaign abort. *)
 let robustness_profiles =
-  [ "none"; "stall-storm"; "crash"; "crash+capped"; "crash+watchdog" ]
+  [ "none"; "stall-storm"; "crash"; "crash+capped"; "crash+watchdog";
+    "stall+watchdog" ]
+
+(* The subset the domains backend can honor: wall-clock stalls and the
+   parked-victim watchdog profile.  Crash injection needs the
+   simulator — asking for it on hardware raises
+   [Runner_intf.Unsupported] rather than measuring nothing. *)
+let robustness_profiles_hw = [ "none"; "stall-storm"; "stall+watchdog" ]
+
+type backend = Sim | Domains
+
+let backend_name = function Sim -> "sim" | Domains -> "domains"
+
+(* One campaign run on either backend.  The 1 cycle ~ 1 us convention
+   maps a virtual horizon to a wall-clock duration, so the same ladder
+   drives both columns. *)
+let run_profile ~backend ~tracker_name ~ds_name ~threads ~cores ~horizon
+    ~seed ~faults ~spec =
+  match backend with
+  | Sim ->
+    let cfg =
+      Runner_sim.default_config ~threads ~cores ~horizon ~seed ~faults
+        ~spec ()
+    in
+    Runner_sim.run_named ~tracker_name ~ds_name cfg
+  | Domains ->
+    let cfg =
+      Runner_domains.default_config ~threads
+        ~duration_s:(float_of_int horizon /. 1e6) ~seed ~faults ~spec ()
+    in
+    Runner_domains.run_named ~tracker_name ~ds_name cfg
 
 let robustness_sweep
+    ?(backend = Sim)
     ?(trackers = [ "EBR"; "QSBR"; "HP"; "HE"; "2GEIBR" ])
     ?(profiles = robustness_profiles) ?(threads = 12) ?(cores = 8)
     ?(horizons = [ 60_000; 120_000; 240_000 ]) ?(ds_name = "hashmap")
@@ -310,13 +341,10 @@ let robustness_sweep
             in
             List.iter
               (fun horizon ->
-                 let cfg =
-                   Runner_sim.default_config ~threads ~cores ~horizon ~seed
-                     ~faults ~spec ()
-                 in
                  let result, _ =
                    Fault.with_counting (fun () ->
-                     Runner_sim.run_named ~tracker_name ~ds_name cfg)
+                     run_profile ~backend ~tracker_name ~ds_name ~threads
+                       ~cores ~horizon ~seed ~faults ~spec)
                  in
                  match result with
                  | None -> ()
@@ -334,17 +362,17 @@ let robustness_sweep
 let robustness_table (rows : Stats.t list) =
   let b = Buffer.create 1024 in
   Buffer.add_string b
-    (Printf.sprintf "%-20s %8s %8s %9s %9s %7s %7s %4s %4s\n"
-       "tracker/profile" "horizon" "ops" "peak-unr" "peak-fp" "oom"
-       "retries" "crsh" "ejct");
+    (Printf.sprintf "%-20s %-7s %8s %8s %9s %9s %7s %7s %4s %4s\n"
+       "tracker/profile" "backend" "horizon" "ops" "peak-unr" "peak-fp"
+       "oom" "retries" "crsh" "ejct");
   List.iter
     (fun (r : Stats.t) ->
        let m = Stats.metric r in
        Buffer.add_string b
-         (Printf.sprintf "%-20s %8d %8d %9d %9d %7d %7d %4d %4d\n" r.tracker
-            r.makespan r.ops r.peak_unreclaimed (m "peak_footprint")
-            (m "oom_events") (m "pressure_retries") (m "crashes")
-            (m "ejections")))
+         (Printf.sprintf "%-20s %-7s %8d %8d %9d %9d %7d %7d %4d %4d\n"
+            r.tracker r.backend r.makespan r.ops r.peak_unreclaimed
+            (m "peak_footprint") (m "oom_events") (m "pressure_retries")
+            (m "crashes") (m "ejections")))
     rows;
   Buffer.contents b
 

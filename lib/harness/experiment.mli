@@ -74,7 +74,26 @@ val retire_backend_table : Stats.t list -> string
 val robustness_profiles : string list
 (** Default fault-profile ladder of the robustness campaign. *)
 
+val robustness_profiles_hw : string list
+(** The subset the domains backend can honor (no crash injection). *)
+
+type backend = Sim | Domains
+(** Which machine a campaign runs on: the deterministic simulator or
+    real OCaml domains (wall-clock, 1 cycle ~ 1 us). *)
+
+val backend_name : backend -> string
+
+val run_profile :
+  backend:backend -> tracker_name:string -> ds_name:string ->
+  threads:int -> cores:int -> horizon:int -> seed:int ->
+  faults:Runner_intf.faults -> spec:Workload.spec -> Stats.t option
+(** One campaign run on either backend; on [Domains] the virtual
+    horizon becomes a wall-clock duration in microseconds.
+    @raise Runner_intf.Unsupported if the profile needs a capability
+    the backend lacks. *)
+
 val robustness_sweep :
+  ?backend:backend ->
   ?trackers:string list -> ?profiles:string list -> ?threads:int ->
   ?cores:int -> ?horizons:int list -> ?ds_name:string -> ?seed:int ->
   unit -> Stats.t list
@@ -82,7 +101,9 @@ val robustness_sweep :
     workload under each named fault profile across a ladder of run
     lengths; rows are labelled "TRACKER/profile".  Runs are wrapped in
     {!Ibr_core.Fault.with_counting} so allocator exhaustion is counted
-    rather than fatal. *)
+    rather than fatal.  With [~backend:Domains] pass a profile list
+    from {!robustness_profiles_hw}: unsupported profiles raise
+    {!Runner_intf.Unsupported}. *)
 
 val robustness_table : Stats.t list -> string
 (** Aligned text table of campaign rows (peak unreclaimed, peak

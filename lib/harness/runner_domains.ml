@@ -1,12 +1,20 @@
 (* The real-parallelism backend: the same tracker / data-structure
-   code on OCaml 5 domains with wall-clock timing and no cost
+   code on OCaml 5 domains with monotonic wall-clock timing
+   (microsecond units, the 1 cycle ~ 1 us convention) and no cost
    accounting (the [Hooks] handler stays a no-op).
 
    On the evaluation container (1 hardware core) this measures the
    schemes' native instruction overhead under preemptive interleaving
    rather than parallel speedup; its role in the reproduction is race
-   stress (tests run it with 2–4 domains) and a sanity check that the
-   library is not simulator-bound. *)
+   stress (tests run it with 2–4 domains) and a hardware column for
+   the robustness and service campaigns.
+
+   The run loop is the backend-shared [Run_engine]; this module only
+   carries the wall-clock configuration.  Fault profiles the backend
+   can honor (stall storms, the parked-victim watchdog profile) run
+   for real; profiles needing scheduler-injected crashes or virtual
+   time raise [Runner_intf.Unsupported] instead of the old silent
+   zeroed-gauge behavior. *)
 
 open Ibr_ds
 
@@ -16,100 +24,31 @@ type config = {
   seed : int;
   tracker_cfg : Ibr_core.Tracker_intf.config;
   spec : Workload.spec;
+  faults : Runner_intf.faults;
 }
 
-let default_config ?(threads = 4) ?(duration_s = 0.2) ?(seed = 0xd0e5) ~spec
-    () =
+let default_config ?(threads = 4) ?(duration_s = 0.2) ?(seed = 0xd0e5)
+    ?(faults = Runner_intf.No_faults) ~spec () =
   { threads; duration_s; seed;
     tracker_cfg = Ibr_core.Tracker_intf.default_config ~threads ();
-    spec }
+    spec; faults }
 
-let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+let exec_of_config (cfg : config) =
+  Run_engine.domains_exec ~threads:cfg.threads ~duration_s:cfg.duration_s
+    ~seed:cfg.seed ~faults:cfg.faults ()
+
+let engine_config (cfg : config) = {
+  Run_engine.threads = cfg.threads;
+  seed = cfg.seed;
+  tracker_cfg = cfg.tracker_cfg;
+  spec = cfg.spec;
+  faults = cfg.faults;
+}
 
 let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
-  let t = S.create ~threads:cfg.threads cfg.tracker_cfg in
-  let h0 = S.register t ~tid:0 in
-  let prefill_rng = Ibr_runtime.Rng.create (cfg.seed lxor 0x5eed) in
-  Workload.prefill ~rng:prefill_rng ~spec:cfg.spec
-    ~insert:(fun ~key ~value -> S.insert h0 ~key ~value);
-  (* Prefill replacements may have queued retirements; drain them now
-     so the run's shutdown invariant (drained = pushed) is exact. *)
-  (match S.reclaim_service t with
-   | Some svc -> ignore (svc.Ibr_core.Handoff.drain ())
-   | None -> ());
-  let baseline = Ibr_obs.Metrics.begin_run () in
-  let start = now_ns () in
-  let deadline = Unix.gettimeofday () +. cfg.duration_s in
-  let worker tid () =
-    let h = S.register t ~tid in
-    let rng = Ibr_runtime.Rng.stream ~seed:cfg.seed ~index:tid in
-    let sampler = Stats.make_sampler () in
-    let ops = ref 0 in
-    (* Check the clock every [batch] ops to keep Unix.gettimeofday off
-       the hot path. *)
-    let batch = 64 in
-    let continue_ = ref true in
-    while !continue_ do
-      for _ = 1 to batch do
-        Stats.sample sampler (S.retired_count h);
-        let key = Workload.pick_key rng cfg.spec in
-        (match Workload.pick_op rng cfg.spec.mix with
-         | Workload.Insert -> ignore (S.insert h ~key ~value:key)
-         | Workload.Remove -> ignore (S.remove h ~key)
-         | Workload.Get -> ignore (S.get h ~key));
-        incr ops
-      done;
-      if Unix.gettimeofday () >= deadline then continue_ := false
-    done;
-    (!ops, sampler)
-  in
-  (* The background reclaimer is a real domain here: it drains the
-     handoff queues and runs the sweep cadence in parallel with the
-     mutators until every worker has joined, then flushes.  The final
-     flush runs on this domain while the main domain waits in join —
-     still exclusive, so the plain [flush] (not [shutdown_flush])
-     suffices: nothing can abandon the lock on this backend. *)
-  let stop = Atomic.make false in
-  let reclaimer =
-    Option.map
-      (fun (svc : Ibr_core.Handoff.service) ->
-         Domain.spawn (fun () ->
-           while not (Atomic.get stop) do
-             if svc.drain () = 0 then Domain.cpu_relax ()
-           done;
-           svc.flush ()))
-      (S.reclaim_service t)
-  in
-  let domains =
-    List.init cfg.threads (fun tid -> Domain.spawn (worker tid)) in
-  let results = List.map Domain.join domains in
-  Atomic.set stop true;
-  Option.iter Domain.join reclaimer;
-  let makespan = now_ns () - start in
-  let total_ops = List.fold_left (fun n (o, _) -> n + o) 0 results in
-  let merged = Stats.merge_samplers (List.map snd results) in
-  (* Crash/ejection gauges stay at the zero [begin_run] left them:
-     fault injection is a simulator capability. *)
-  Ibr_core.Alloc.publish_stats (S.allocator_stats t);
-  Ibr_core.Epoch.publish (S.epoch_value t);
-  {
-    Stats.tracker = tracker_name;
-    ds = ds_name;
-    threads = cfg.threads;
-    mix = Workload.mix_name cfg.spec.mix;
-    ops = total_ops;
-    makespan;
-    throughput = Stats.throughput ~ops:total_ops ~makespan;
-    avg_unreclaimed = Stats.mean merged;
-    peak_unreclaimed = merged.peak;
-    samples = merged.n;
-    metrics = Ibr_obs.Metrics.collect baseline;
-  }
+  Run_engine.run ~exec:(exec_of_config cfg) ~tracker_name ~ds_name
+    (module S) (engine_config cfg)
 
 let run_named ~tracker_name ~ds_name cfg =
-  let tracker = (Ibr_core.Registry.find_exn tracker_name).tracker in
-  let maker = Ds_registry.find_exn ds_name in
-  let (module S : Ds_intf.SET) = maker.instantiate tracker in
-  let (module T : Ibr_core.Tracker_intf.TRACKER) = tracker in
-  if not (S.compatible T.props) then None
-  else Some (run ~tracker_name:T.name ~ds_name (module S) cfg)
+  Run_engine.run_named ~exec:(exec_of_config cfg) ~tracker_name ~ds_name
+    (engine_config cfg)

@@ -1,7 +1,14 @@
 (** The real-parallelism backend: the same tracker / data-structure
-    code on OCaml 5 domains, wall-clock timed, with the cost hooks
-    inactive.  Used for race stress tests and as a sanity check that
-    the library is not simulator-bound. *)
+    code on OCaml 5 domains, timed with the monotonic wall clock in
+    microsecond units, with the cost hooks inactive.  Used for race
+    stress tests and as the hardware column of the robustness and
+    service campaigns.
+
+    Runs through the backend-shared {!Run_engine}.  Fault profiles
+    this backend supports (["stall-storm"], ["stall+watchdog"]) are
+    injected for real — sleeps and a wall-clock watchdog; profiles
+    needing scheduler-injected crashes raise
+    {!Runner_intf.Unsupported}. *)
 
 type config = {
   threads : int;            (** domains *)
@@ -9,11 +16,12 @@ type config = {
   seed : int;
   tracker_cfg : Ibr_core.Tracker_intf.config;
   spec : Workload.spec;
+  faults : Runner_intf.faults;
 }
 
 val default_config :
-  ?threads:int -> ?duration_s:float -> ?seed:int -> spec:Workload.spec ->
-  unit -> config
+  ?threads:int -> ?duration_s:float -> ?seed:int ->
+  ?faults:Runner_intf.faults -> spec:Workload.spec -> unit -> config
 
 val run :
   tracker_name:string -> ds_name:string -> (module Ibr_ds.Ds_intf.SET) ->

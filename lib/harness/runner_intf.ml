@@ -1,0 +1,188 @@
+(* The capability surface shared by both execution backends.
+
+   [Run_engine] owns the scaffolding every runner used to duplicate —
+   create/prefill, capacity sizing, handoff pre-drain, metrics
+   baseline, the background-reclaimer service, watchdog spawn,
+   shutdown quiescence, stats assembly — parameterized over an [exec]:
+   a first-class record of what a backend can do (spawn workers and
+   service threads, launch, tell time, wait, report makespan) plus a
+   [capabilities] declaration of what it supports.
+
+   A fault profile or harness feature that needs a capability the
+   backend does not declare fails fast with {!Unsupported} — never a
+   silent no-op that measures nothing (the old domains runner kept
+   crash gauges at zero and dropped every profile on the floor).
+
+   Time units: one virtual cycle on the simulator, one microsecond of
+   monotonic wall clock on domains.  The 1 cycle ~ 1 us convention
+   makes every period-like knob (watchdog period/grace, stall length,
+   service horizon and inter-arrival gap, SLO targets) meaningful on
+   both backends without rescaling: the sim's crash+watchdog period of
+   15_000 cycles is a 15 ms wall period on domains. *)
+
+type capabilities = {
+  deterministic : bool;   (* same seed => bit-identical run *)
+  crash_faults : bool;    (* scheduler-injected thread death *)
+  stall_faults : bool;    (* injected long stalls *)
+  virtual_time : bool;    (* discrete-event clock (replay, traces) *)
+  watchdog : bool;        (* ejection watchdog can ride along *)
+  alloc_capacity : bool;  (* capped-allocator backpressure *)
+  service : bool;         (* open-loop service runs with churn *)
+}
+
+let capability_names =
+  [ "deterministic"; "crash_faults"; "stall_faults"; "virtual_time";
+    "watchdog"; "alloc_capacity"; "service" ]
+
+let has caps = function
+  | "deterministic" -> caps.deterministic
+  | "crash_faults" -> caps.crash_faults
+  | "stall_faults" -> caps.stall_faults
+  | "virtual_time" -> caps.virtual_time
+  | "watchdog" -> caps.watchdog
+  | "alloc_capacity" -> caps.alloc_capacity
+  | "service" -> caps.service
+  | c -> invalid_arg ("Runner_intf.has: unknown capability " ^ c)
+
+exception Unsupported of { backend : string; capability : string }
+
+let () =
+  Printexc.register_printer (function
+    | Unsupported { backend; capability } ->
+      Some
+        (Printf.sprintf
+           "Unsupported: the %s backend does not provide %S" backend
+           capability)
+    | _ -> None)
+
+let unsupported ~backend ~capability =
+  raise (Unsupported { backend; capability })
+
+(* -- fault profiles (moved here from Runner_sim: both backends can
+   now run the subset their capabilities cover) -- *)
+
+type faults =
+  | No_faults
+  | Stall_storm of { stall_prob : float; stall_len : int }
+  | Crash of { crash_prob : float; max_crashes : int }
+  | Crash_capped of {
+      crash_prob : float;
+      max_crashes : int;
+      slack_per_thread : int;
+    }
+  | Crash_watchdog of {
+      crash_prob : float;
+      max_crashes : int;
+      period : int;
+      grace : int;
+    }
+  | Stall_watchdog of { period : int; grace : int }
+
+(* Named presets for the CLI / campaign.  Crash profiles zero
+   [stall_prob]: a crash is the fault under study, and (for the
+   watchdog) a long stall is indistinguishable from death, so mixing
+   the two would eject live threads (see [Watchdog]). *)
+let fault_profiles = [
+  ("none", No_faults);
+  ("stall-storm", Stall_storm { stall_prob = 0.05; stall_len = 480_000 });
+  (* crash_prob is per dispatched quantum: 0.25 lands the (single)
+     crash within the first couple of scheduling rounds, so the
+     pre-crash block population — the robust schemes' pinned-set bound
+     — stays close to the prefill working set. *)
+  ("crash", Crash { crash_prob = 0.25; max_crashes = 1 });
+  ("crash+capped",
+   (* Slack budget: per-thread limbo lists (a few empty_freq each) plus
+      the set a robust scheme's crashed interval legitimately pins —
+      up to the pre-crash block population (campaigns keep the
+      structure small so this saturates early). *)
+   Crash_capped { crash_prob = 0.25; max_crashes = 1; slack_per_thread = 320 });
+  ("crash+watchdog",
+   (* One check per watchdog quantum: a shorter period would fire
+      several checks inside one quantum, during which no other fiber
+      advances — every live thread would look stale.  grace = 3 then
+      needs three full scheduling rounds of silence, which only a dead
+      thread produces (profiles with the watchdog keep stalls off). *)
+   Crash_watchdog
+     { crash_prob = 0.25; max_crashes = 1; period = 15_000; grace = 3 });
+  ("stall+watchdog",
+   (* The crash+watchdog-equivalent both backends support: the engine
+      parks worker 0 between operations (holding no reservation, so
+      ejecting it is sound by construction) and the watchdog must
+      notice the frozen progress counter and eject within
+      period * grace — 45 ms of wall clock on domains, 45k cycles on
+      the sim. *)
+   Stall_watchdog { period = 15_000; grace = 3 });
+]
+
+let faults_of_string s = List.assoc_opt s fault_profiles
+
+let faults_name f =
+  match List.find_opt (fun (_, v) -> v = f) fault_profiles with
+  | Some (n, _) -> n
+  | None -> "custom"
+
+(* Capabilities a fault profile draws on.  [Crash_capped] also sizes
+   the allocator; the watchdog profiles spawn the monitor thread. *)
+let required_caps = function
+  | No_faults -> []
+  | Stall_storm _ -> [ "stall_faults" ]
+  | Crash _ -> [ "crash_faults" ]
+  | Crash_capped _ -> [ "crash_faults"; "alloc_capacity" ]
+  | Crash_watchdog _ -> [ "crash_faults"; "watchdog" ]
+  | Stall_watchdog _ -> [ "stall_faults"; "watchdog" ]
+
+(* Capabilities [caps] is missing for [faults] (empty = runnable). *)
+let missing caps faults =
+  List.filter (fun c -> not (has caps c)) (required_caps faults)
+
+(* -- the backend surface the engine runs against -- *)
+
+type exec = {
+  backend : string;            (* "sim" | "domains" (provenance tag) *)
+  caps : capabilities;
+  spawn : (tid:int -> unit) -> unit;
+  (* Register a worker; tids are assigned in spawn order from 0.
+     Bodies run at [launch]. *)
+  spawn_aux : (unit -> unit) -> unit;
+  (* Register a service thread (reclaimer, watchdog): a fiber on the
+     sim, a domain joined after the workers on domains. *)
+  launch : unit -> unit;
+  (* Run everything registered to completion/horizon and join. *)
+  now : unit -> int;
+  (* Caller time: the fiber's virtual clock on the sim, microseconds
+     of monotonic wall clock since launch on domains. *)
+  wait : int -> unit;
+  (* Idle for n units ([Hooks.step] / sleep). *)
+  worker_running : unit -> bool;
+  (* Workers poll this in open-ended loops (park/backoff): true until
+     the wall deadline on domains, always true on the sim (fibers are
+     unwound at the horizon instead). *)
+  aux_running : unit -> bool;
+  (* Same, for service threads: false once every worker has joined on
+     domains. *)
+  worker_tick : tid:int -> bool;
+  (* Per-operation backend hook for closed-loop workers: injects
+     wall-clock stall faults and answers "keep going?".  Always true
+     on the sim. *)
+  makespan : unit -> int;
+  (* After [launch]: run length in backend time units. *)
+  publish_crashes : unit -> unit;
+  (* Publish the crash-fault gauge (no-op where crashes cannot be
+     injected — honest, because crash profiles raise Unsupported
+     there). *)
+}
+
+let require exec faults =
+  match missing exec.caps faults with
+  | [] -> ()
+  | capability :: _ -> unsupported ~backend:exec.backend ~capability
+
+let require_capability exec capability =
+  if not (has exec.caps capability) then
+    unsupported ~backend:exec.backend ~capability
+
+(* Markdown-ish capability table for docs and --menu output. *)
+let caps_row caps =
+  String.concat " "
+    (List.map (fun c -> if has caps c then "+" ^ c else "-" ^ c)
+       capability_names)

@@ -10,18 +10,18 @@
    for cores, reproducing the oversubscription (stall) regime to the
    right of the 72-thread mark in the paper's plots.
 
-   A fault profile layers crash faults, allocator capacity, and the
-   ejection watchdog on top (DESIGN.md §7): crashes come from the
-   scheduler's probabilistic injector, the capacity is sized from the
-   post-prefill working set (the only time it is known), and an
-   operation that dies of [Alloc.Exhausted] aborts gracefully —
-   [Ds_common.with_op] releases its reservations on the way out — and
-   is counted rather than completed. *)
+   Since the engine extraction, this module only owns what is
+   genuinely simulator-specific: the scheduler knobs a fault profile
+   implies, and building the machine.  The run loop itself — prefill,
+   capacity sizing, worker fleet, reclaimer, watchdog, shutdown,
+   stats — lives in [Run_engine] and is shared with the domains
+   backend; [Run_engine.sim_exec] is constructed so the engine replays
+   the pre-extraction runner bit for bit. *)
 
 open Ibr_runtime
 open Ibr_ds
 
-type faults =
+type faults = Runner_intf.faults =
   | No_faults
   | Stall_storm of { stall_prob : float; stall_len : int }
   | Crash of { crash_prob : float; max_crashes : int }
@@ -36,36 +36,10 @@ type faults =
       period : int;
       grace : int;
     }
+  | Stall_watchdog of { period : int; grace : int }
 
-(* Named presets for the CLI / campaign.  Crash profiles zero
-   [stall_prob]: a crash is the fault under study, and (for the
-   watchdog) a long stall is indistinguishable from death, so mixing
-   the two would eject live threads (see [Watchdog]). *)
-let fault_profiles = [
-  ("none", No_faults);
-  ("stall-storm", Stall_storm { stall_prob = 0.05; stall_len = 480_000 });
-  (* crash_prob is per dispatched quantum: 0.25 lands the (single)
-     crash within the first couple of scheduling rounds, so the
-     pre-crash block population — the robust schemes' pinned-set bound
-     — stays close to the prefill working set. *)
-  ("crash", Crash { crash_prob = 0.25; max_crashes = 1 });
-  ("crash+capped",
-   (* Slack budget: per-thread limbo lists (a few empty_freq each) plus
-      the set a robust scheme's crashed interval legitimately pins —
-      up to the pre-crash block population (campaigns keep the
-      structure small so this saturates early). *)
-   Crash_capped { crash_prob = 0.25; max_crashes = 1; slack_per_thread = 320 });
-  ("crash+watchdog",
-   (* One check per watchdog quantum: a shorter period would fire
-      several checks inside one quantum, during which no other fiber
-      advances — every live thread would look stale.  grace = 3 then
-      needs three full scheduling rounds of silence, which only a dead
-      thread produces (profiles with the watchdog keep stalls off). *)
-   Crash_watchdog
-     { crash_prob = 0.25; max_crashes = 1; period = 15_000; grace = 3 });
-]
-
-let faults_of_string s = List.assoc_opt s fault_profiles
+let fault_profiles = Runner_intf.fault_profiles
+let faults_of_string = Runner_intf.faults_of_string
 
 type config = {
   threads : int;
@@ -99,131 +73,26 @@ let sched_config cfg =
   | Crash_capped { crash_prob; max_crashes; _ }
   | Crash_watchdog { crash_prob; max_crashes; _ } ->
     { cfg.sched with crash_prob; max_crashes; stall_prob = 0.0 }
+  | Stall_watchdog _ ->
+    (* The parked victim is the stall under study; injected stalls on
+       the survivors would let the watchdog eject a live thread. *)
+    { cfg.sched with stall_prob = 0.0 }
+
+let engine_config cfg = {
+  Run_engine.threads = cfg.threads;
+  seed = cfg.seed;
+  tracker_cfg = cfg.tracker_cfg;
+  spec = cfg.spec;
+  faults = cfg.faults;
+}
 
 let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
-  let t = S.create ~threads:cfg.threads cfg.tracker_cfg in
-  (* Prefill from a registration outside the measured run. *)
-  let h0 = S.register t ~tid:0 in
-  let prefill_rng = Rng.create (cfg.seed lxor 0x5eed) in
-  Workload.prefill ~rng:prefill_rng ~spec:cfg.spec
-    ~insert:(fun ~key ~value -> S.insert h0 ~key ~value);
-  (* The capacity can only be sized now: the working set exists. *)
-  (match cfg.faults with
-   | Crash_capped { slack_per_thread; _ } ->
-     let st = S.allocator_stats t in
-     S.set_capacity t (Some (st.live + (cfg.threads * slack_per_thread)))
-   | _ -> ());
-  (* Measured phase. *)
   let sched = Sched.create (sched_config cfg) in
-  let ops = Array.make cfg.threads 0 in
-  let aborted = Array.make cfg.threads 0 in
-  let samplers = Array.init cfg.threads (fun _ -> Stats.make_sampler ()) in
-  for i = 0 to cfg.threads - 1 do
-    ignore
-      (Sched.spawn sched (fun tid ->
-         let h = S.register t ~tid in
-         let rng = Rng.stream ~seed:cfg.seed ~index:tid in
-         (* Runs until the scheduler unwinds it at the horizon. *)
-         let rec loop () =
-           Stats.sample samplers.(tid) (S.retired_count h);
-           let key = Workload.pick_key rng cfg.spec in
-           (try
-              (match Workload.pick_op rng cfg.spec.mix with
-               | Workload.Insert -> ignore (S.insert h ~key ~value:key)
-               | Workload.Remove -> ignore (S.remove h ~key)
-               | Workload.Get -> ignore (S.get h ~key));
-              ops.(tid) <- ops.(tid) + 1
-            with
-            | Ibr_core.Alloc.Exhausted
-            | Ibr_core.Fault.Memory_fault (Ibr_core.Fault.Alloc_exhausted, _)
-              ->
-              (* Heap full after the backpressure ladder: the op
-                 aborted (its reservations were released on unwind);
-                 keep going — later sweeps may free room. *)
-              aborted.(tid) <- aborted.(tid) + 1);
-           loop ()
-         in
-         ignore i;
-         loop ()))
-  done;
-  (* The background reclaimer (tracker cfg [background_reclaim]) rides
-     on the machine as one more fiber: it drains the handoff queues
-     and runs the sweep cadence on its own time budget, off the
-     mutators' critical path.  An idle poll still steps — the step is
-     both the livelock guard (a fiber that never steps can neither be
-     preempted nor unwound at the horizon) and the polling period. *)
-  let service = S.reclaim_service t in
-  (match service with
-   | Some svc ->
-     ignore
-       (Sched.spawn sched (fun _rtid ->
-          let idle_poll = 128 in
-          let rec loop () =
-            if svc.Ibr_core.Handoff.drain () = 0 then Hooks.step idle_poll;
-            loop ()
-          in
-          loop ()))
-   | None -> ());
-  (* The watchdog rides on the machine as one more thread.  Progress =
-     attempts, not completions, so a live thread stuck aborting
-     against a full heap is not mistaken for a dead one. *)
-  let watchdog =
-    match cfg.faults with
-    | Crash_watchdog { period; grace; _ } ->
-      Some
-        (Watchdog.spawn ~sched ~period ~grace ~threads:cfg.threads
-           ~progress:(fun tid -> ops.(tid) + aborted.(tid))
-           ~footprint:(fun () -> (S.allocator_stats t).live)
-           ~eject:(fun tid -> S.eject t ~tid)
-           ())
-    | _ -> None
-  in
-  (* Prefill replacements may have queued retirements; drain them now
-     so the measured phase starts with empty queues and the shutdown
-     invariant (drained = pushed within the run) is exact. *)
-  (match service with
-   | Some svc -> ignore (svc.Ibr_core.Handoff.drain ())
-   | None -> ());
-  (* Baseline the registry counters at the edge of the measured phase
-     (gauges and histograms are zeroed here too). *)
-  let baseline = Ibr_obs.Metrics.begin_run () in
-  Sched.run ~horizon:cfg.horizon sched;
-  (* Shutdown quiescence: every fiber is unwound (or crashed), so one
-     final flush moves still-queued blocks into the reclaimer and
-     sweeps.  The [Hooks] handler is back to the no-op default here —
-     the flush costs no virtual time and cannot be unwound.  A crash
-     that abandoned a fiber mid-drain leaves the handoff lock held;
-     the run is single-threaded now, so seizing it is sound. *)
-  (match service with
-   | Some svc -> svc.Ibr_core.Handoff.shutdown_flush ()
-   | None -> ());
-  let total_ops = Array.fold_left ( + ) 0 ops in
-  let merged = Stats.merge_samplers (Array.to_list samplers) in
-  let makespan = min (Sched.makespan sched) cfg.horizon in
-  (* Publish the instance-scoped gauges, then snapshot. *)
-  Ibr_core.Alloc.publish_stats (S.allocator_stats t);
-  Ibr_core.Epoch.publish (S.epoch_value t);
-  Sched.publish_crashes sched;
-  (match watchdog with Some w -> Watchdog.publish w | None -> ());
-  {
-    Stats.tracker = tracker_name;
-    ds = ds_name;
-    threads = cfg.threads;
-    mix = Workload.mix_name cfg.spec.mix;
-    ops = total_ops;
-    makespan;
-    throughput = Stats.throughput ~ops:total_ops ~makespan;
-    avg_unreclaimed = Stats.mean merged;
-    peak_unreclaimed = merged.peak;
-    samples = merged.n;
-    metrics = Ibr_obs.Metrics.collect baseline;
-  }
+  let exec = Run_engine.sim_exec ~sched ~horizon:cfg.horizon in
+  Run_engine.run ~exec ~tracker_name ~ds_name (module S) (engine_config cfg)
 
 (* Convenience: resolve names through the registries and run. *)
 let run_named ~tracker_name ~ds_name cfg =
-  let tracker = (Ibr_core.Registry.find_exn tracker_name).tracker in
-  let maker = Ds_registry.find_exn ds_name in
-  let (module S : Ds_intf.SET) = maker.instantiate tracker in
-  let (module T : Ibr_core.Tracker_intf.TRACKER) = tracker in
-  if not (S.compatible T.props) then None
-  else Some (run ~tracker_name:T.name ~ds_name (module S) cfg)
+  let sched = Sched.create (sched_config cfg) in
+  let exec = Run_engine.sim_exec ~sched ~horizon:cfg.horizon in
+  Run_engine.run_named ~exec ~tracker_name ~ds_name (engine_config cfg)

@@ -10,9 +10,11 @@
 
     A {!faults} profile layers crash faults, an allocator capacity
     sized from the post-prefill working set, and the ejection
-    {!Watchdog} on top (DESIGN.md §7). *)
+    {!Watchdog} on top (DESIGN.md §7).  The run loop itself is the
+    backend-shared {!Run_engine}; this module owns the scheduler knobs
+    each profile implies and the machine construction. *)
 
-type faults =
+type faults = Runner_intf.faults =
   | No_faults
   | Stall_storm of { stall_prob : float; stall_len : int }
       (** Amplified involuntary stalls (oversubscription regime). *)
@@ -36,10 +38,16 @@ type faults =
       (** Crash faults plus the ejection watchdog with the given check
           period (virtual cycles) and grace (checks with no progress
           before ejection). *)
+  | Stall_watchdog of { period : int; grace : int }
+      (** Watchdog detection without crash injection: the engine parks
+          worker 0 between operations (holding no reservation, so its
+          ejection is sound by construction) and the watchdog must
+          notice and eject it.  Runs on both backends. *)
 
 val fault_profiles : (string * faults) list
 (** Named presets: ["none"], ["stall-storm"], ["crash"],
-    ["crash+capped"], ["crash+watchdog"]. *)
+    ["crash+capped"], ["crash+watchdog"], ["stall+watchdog"]
+    (= {!Runner_intf.fault_profiles}). *)
 
 val faults_of_string : string -> faults option
 
@@ -56,6 +64,10 @@ type config = {
 val default_config :
   ?threads:int -> ?horizon:int -> ?seed:int -> ?cores:int ->
   ?faults:faults -> spec:Workload.spec -> unit -> config
+
+val sched_config : config -> Ibr_runtime.Sched.config
+(** The scheduler knobs the fault profile implies (crash profiles zero
+    [stall_prob], etc.). *)
 
 val run :
   tracker_name:string -> ds_name:string -> (module Ibr_ds.Ds_intf.SET) ->

@@ -179,6 +179,7 @@ let gen_arrivals p =
 type result = {
   tracker : string;
   ds : string;
+  backend : string;
   workers : int;
   fleet : int;
   arrivals : int;
@@ -229,7 +230,18 @@ let percentile sorted p =
 let check ~metric ~target ~actual =
   { metric; target; actual; ok = target = max_int || actual <= target }
 
-let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (p : profile) =
+(* The run loop over a backend [exec] (same discipline as
+   [Run_engine]): on the simulator — the [run] entry point below —
+   [exec]'s closures make this identical, step for step and PRNG draw
+   for PRNG draw, to the pre-extraction fiber runner, keeping service
+   rows byte-reproducible.  On domains the arrival schedule is the
+   same precomputed array, timestamps are microseconds of monotonic
+   wall clock, and the deadline is observed through
+   [exec.worker_running] (always true on the sim, where the horizon
+   unwinds fibers instead). *)
+let run_exec ~(exec : Runner_intf.exec) ~tracker_name ~ds_name
+    (module S : Ds_intf.SET) (p : profile) =
+  Runner_intf.require_capability exec "service";
   if p.workers < 1 then invalid_arg "Service.run: workers must be >= 1";
   if p.fleet < 1 then invalid_arg "Service.run: fleet must be >= 1";
   if p.period < 1 then invalid_arg "Service.run: period must be >= 1";
@@ -254,98 +266,107 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (p : profile) =
   let lat = Array.make (max 1 n_arr) (-1) in
   let next = Atomic.make 0 in
   let zipf = Workload.zipf ~theta:p.zipf_theta ~key_range:p.spec.key_range in
-  let attaches = ref 0 and detaches = ref 0 and attach_full = ref 0 in
+  (* Atomics: on domains several workers race these counters; on the
+     sim the plain increments they replace cost nothing either way
+     (neither path goes through the cost hooks). *)
+  let attaches = Atomic.make 0
+  and detaches = Atomic.make 0
+  and attach_full = Atomic.make 0 in
   (* Census mirror for the watchdog: which slots the service believes
      are occupied, and per-slot attempt counters (cumulative across
-     occupants; the watchdog re-arms on each occupancy change). *)
+     occupants; the watchdog re-arms on each occupancy change).
+     Distinct-index writes by the slot's occupant; the watchdog's
+     cross-thread reads are racy by design (a stale read delays one
+     check, inside the grace budget). *)
   let slot_active = Array.make p.workers false in
   let slot_attempts = Array.make p.workers 0 in
-  let sched =
-    Sched.create { Sched.default_config with cores = p.cores; seed = p.seed }
-  in
   let serve h slot i rng =
     slot_attempts.(slot) <- slot_attempts.(slot) + 1;
     let ta = arrivals.(i) in
-    let now = Hooks.now () in
-    if ta > now then Hooks.step (ta - now);
+    let now = exec.now () in
+    if ta > now then exec.wait (ta - now);
     let key = Workload.zipf_pick zipf rng in
     try
       (match Workload.pick_op rng p.spec.mix with
        | Workload.Insert -> ignore (S.insert h ~key ~value:key)
        | Workload.Remove -> ignore (S.remove h ~key)
        | Workload.Get -> ignore (S.get h ~key));
-      lat.(i) <- Hooks.now () - ta
+      lat.(i) <- exec.now () - ta
     with
     | Ibr_core.Alloc.Exhausted
     | Ibr_core.Fault.Memory_fault (Ibr_core.Fault.Alloc_exhausted, _) ->
       lat.(i) <- -2
   in
   for w = 0 to p.fleet - 1 do
-    ignore
-      (Sched.spawn sched (fun _tid ->
-         let rng = Rng.stream ~seed:p.seed ~index:(0x1000 + w) in
-         (* Stagger the fleet so sessions do not churn in lockstep. *)
-         Hooks.step (1 + (w * 131));
-         let rec park () =
-           Hooks.step 4096;
-           park ()
-         and join () =
-           match S.attach t with
-           | None ->
-             (* Census full: another worker holds every slot.  Back
-                off and retry — this is the expected steady state
-                when fleet > workers. *)
-             incr attach_full;
-             Hooks.step 512;
-             join ()
-           | Some h ->
-             incr attaches;
-             let slot = S.handle_tid h in
-             slot_active.(slot) <- true;
-             session h slot p.session_ops
-         and leave h slot =
-           slot_active.(slot) <- false;
-           S.detach h;
-           incr detaches
-         and session h slot budget =
-           if budget = 0 then begin
-             leave h slot;
-             Hooks.step p.away;
-             join ()
-           end
-           else begin
-             let i = Ibr_core.Prim.faa next 1 in
-             if i >= n_arr then begin
-               (* Demand exhausted: leave properly and idle out the
-                  rest of the horizon. *)
-               leave h slot;
-               park ()
-             end
-             else begin
-               serve h slot i rng;
-               session h slot (budget - 1)
-             end
-           end
-         in
-         join ()))
+    exec.spawn (fun ~tid:_ ->
+      let rng = Rng.stream ~seed:p.seed ~index:(0x1000 + w) in
+      (* Stagger the fleet so sessions do not churn in lockstep. *)
+      exec.wait (1 + (w * 131));
+      let rec park () =
+        exec.wait 4096;
+        if exec.worker_running () then park ()
+      and join () =
+        match S.attach t with
+        | None ->
+          (* Census full: another worker holds every slot.  Back
+             off and retry — this is the expected steady state
+             when fleet > workers. *)
+          Atomic.incr attach_full;
+          exec.wait 512;
+          if exec.worker_running () then join ()
+        | Some h ->
+          Atomic.incr attaches;
+          let slot = S.handle_tid h in
+          slot_active.(slot) <- true;
+          session h slot p.session_ops
+      and leave h slot =
+        slot_active.(slot) <- false;
+        S.detach h;
+        Atomic.incr detaches
+      and session h slot budget =
+        if budget = 0 then begin
+          leave h slot;
+          exec.wait p.away;
+          if exec.worker_running () then join ()
+        end
+        else begin
+          let i = Ibr_core.Prim.faa next 1 in
+          if i >= n_arr then begin
+            (* Demand exhausted: leave properly and idle out the
+               rest of the horizon. *)
+            leave h slot;
+            park ()
+          end
+          else begin
+            serve h slot i rng;
+            (* Wall deadline (domains only; always running on the
+               sim): finish the request, then leave cleanly so the
+               detach protocol runs even on a timed exit. *)
+            if exec.worker_running () then session h slot (budget - 1)
+            else leave h slot
+          end
+        end
+      in
+      join ())
   done;
-  (* Background reclaimer fiber, as in [Runner_sim]. *)
+  (* Background reclaimer service thread, as in [Run_engine]. *)
   let reclaim = S.reclaim_service t in
   (match reclaim with
    | Some svc ->
-     ignore
-       (Sched.spawn sched (fun _rtid ->
-          let rec loop () =
-            if svc.Ibr_core.Handoff.drain () = 0 then Hooks.step 128;
-            loop ()
-          in
-          loop ()))
+     exec.spawn_aux (fun () ->
+       let rec loop () =
+         if exec.aux_running () then begin
+           if svc.Ibr_core.Handoff.drain () = 0 then exec.wait 128;
+           loop ()
+         end
+       in
+       loop ())
    | None -> ());
   let watchdog =
     match p.watchdog with
     | Some (period, grace) ->
       Some
-        (Watchdog.spawn ~sched ~period ~grace ~threads:p.workers
+        (Watchdog.spawn_exec ~exec ~period ~grace ~threads:p.workers
            ~active:(fun slot -> slot_active.(slot))
            ~progress:(fun slot -> slot_attempts.(slot))
            ~footprint:(fun () -> (S.allocator_stats t).live)
@@ -357,7 +378,7 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (p : profile) =
     Lazy.force service_metrics
   in
   let baseline = Ibr_obs.Metrics.begin_run () in
-  Sched.run ~horizon:p.horizon sched;
+  exec.launch ();
   (match reclaim with
    | Some svc -> svc.Ibr_core.Handoff.shutdown_flush ()
    | None -> ());
@@ -385,16 +406,16 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (p : profile) =
   let max_latency =
     if !completed = 0 then 0 else sorted.(!completed - 1) in
   let st = S.allocator_stats t in
-  let makespan = min (Sched.makespan sched) p.horizon in
+  let makespan = exec.makespan () in
   m_arr := n_arr;
   m_comp := !completed;
   m_ab := !aborted;
-  m_att := !attaches;
-  m_det := !detaches;
+  m_att := Atomic.get attaches;
+  m_det := Atomic.get detaches;
   m_p999 := p999;
   Ibr_core.Alloc.publish_stats st;
   Ibr_core.Epoch.publish (S.epoch_value t);
-  Sched.publish_crashes sched;
+  exec.publish_crashes ();
   (match watchdog with Some w -> Watchdog.publish w | None -> ());
   let verdicts =
     [
@@ -408,6 +429,7 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (p : profile) =
   {
     tracker = tracker_name;
     ds = ds_name;
+    backend = exec.backend;
     workers = p.workers;
     fleet = p.fleet;
     arrivals = n_arr;
@@ -415,9 +437,9 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (p : profile) =
     completed = !completed;
     aborted = !aborted;
     unserved = n_arr - !completed - !aborted;
-    attaches = !attaches;
-    detaches = !detaches;
-    attach_full = !attach_full;
+    attaches = Atomic.get attaches;
+    detaches = Atomic.get detaches;
+    attach_full = Atomic.get attach_full;
     ejections =
       (match watchdog with Some w -> Watchdog.ejections w | None -> 0);
     p50;
@@ -433,13 +455,29 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (p : profile) =
     metrics = Ibr_obs.Metrics.collect baseline;
   }
 
-let run_named ~tracker_name ~ds_name p =
+(* Simulator entry point (the historical API): build the machine from
+   the profile and run through its exec. *)
+let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (p : profile) =
+  let sched =
+    Sched.create { Sched.default_config with cores = p.cores; seed = p.seed }
+  in
+  let exec = Run_engine.sim_exec ~sched ~horizon:p.horizon in
+  run_exec ~exec ~tracker_name ~ds_name (module S) p
+
+let run_named_exec ~exec ~tracker_name ~ds_name p =
   let tracker = (Ibr_core.Registry.find_exn tracker_name).tracker in
   let maker = Ds_registry.find_exn ds_name in
   let (module S : Ds_intf.SET) = maker.instantiate tracker in
   let (module T : Ibr_core.Tracker_intf.TRACKER) = tracker in
   if not (S.compatible T.props) then None
-  else Some (run ~tracker_name:T.name ~ds_name (module S) p)
+  else Some (run_exec ~exec ~tracker_name:T.name ~ds_name (module S) p)
+
+let run_named ~tracker_name ~ds_name p =
+  let sched =
+    Sched.create { Sched.default_config with cores = p.cores; seed = p.seed }
+  in
+  let exec = Run_engine.sim_exec ~sched ~horizon:p.horizon in
+  run_named_exec ~exec ~tracker_name ~ds_name p
 
 (* CSV: identity + counts + tails + verdict, every field an integer
    except throughput (printed with a fixed format), so a fixed seed
@@ -447,14 +485,16 @@ let run_named ~tracker_name ~ds_name p =
 let csv_header =
   "tracker,ds,workers,fleet,arrivals,completed,aborted,unserved,\
    attaches,detaches,attach_full,ejections,p50,p90,p99,p999,\
-   max_latency,peak_footprint,makespan,throughput,slo_pass"
+   max_latency,peak_footprint,makespan,throughput,slo_pass,backend"
 
 let to_csv_row r =
-  Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d"
+  Printf.sprintf
+    "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%s"
     r.tracker r.ds r.workers r.fleet r.arrivals r.completed r.aborted
     r.unserved r.attaches r.detaches r.attach_full r.ejections r.p50 r.p90
     r.p99 r.p999 r.max_latency r.peak_footprint r.makespan r.throughput
     (if r.slo_pass then 1 else 0)
+    r.backend
 
 let verdicts_csv r =
   String.concat ";"
@@ -466,12 +506,14 @@ let verdicts_csv r =
 
 let pp ppf r =
   Fmt.pf ppf
-    "@[<v>%s on %s: %d arrivals, %d completed, %d aborted, %d unserved@,\
+    "@[<v>%s on %s%s: %d arrivals, %d completed, %d aborted, %d unserved@,\
      churn: %d attaches / %d detaches (%d refused full, %d ejections)@,\
      latency p50=%d p90=%d p99=%d p999=%d max=%d cycles@,\
      peak footprint %d blocks, makespan %d, %.2f req/Mcycle@,\
      SLO: %s%s@]"
-    r.tracker r.ds r.arrivals r.completed r.aborted r.unserved r.attaches
+    r.tracker r.ds
+    (if r.backend = "sim" then "" else Printf.sprintf " [%s]" r.backend)
+    r.arrivals r.completed r.aborted r.unserved r.attaches
     r.detaches r.attach_full r.ejections r.p50 r.p90 r.p99 r.p999
     r.max_latency r.peak_footprint r.makespan r.throughput
     (if r.slo_pass then "PASS" else "FAIL")

@@ -80,6 +80,7 @@ val gen_arrivals : profile -> int array * bool
 type result = {
   tracker : string;
   ds : string;
+  backend : string;     (** provenance: ["sim"] or ["domains"] *)
   workers : int;
   fleet : int;
   arrivals : int;
@@ -117,11 +118,28 @@ val run :
     @raise Invalid_argument on non-positive [workers], [fleet],
     [period], or [session_ops]. *)
 
+val run_exec :
+  exec:Runner_intf.exec -> tracker_name:string -> ds_name:string ->
+  (module Ibr_ds.Ds_intf.SET) -> profile -> result
+(** {!run} over an explicit backend.  On a {!Run_engine.sim_exec} this
+    is exactly {!run}; on a {!Run_engine.domains_exec} the same
+    precomputed arrival schedule plays out against the monotonic wall
+    clock (microsecond units — [horizon], [period], [away] and the SLO
+    targets carry over under the 1 cycle ~ 1 us convention) with real
+    attach/detach churn across domains.
+    @raise Runner_intf.Unsupported if the backend lacks the
+    ["service"] capability. *)
+
 val run_named :
   tracker_name:string -> ds_name:string -> profile -> result option
 (** Resolve by registry names; [None] if the tracker cannot run this
     rideable (see {!Ibr_ds.Ds_intf.SET.compatible}).
     @raise Not_found on unknown names. *)
+
+val run_named_exec :
+  exec:Runner_intf.exec -> tracker_name:string -> ds_name:string ->
+  profile -> result option
+(** {!run_named} over an explicit backend. *)
 
 val csv_header : string
 val to_csv_row : result -> string

@@ -13,6 +13,7 @@ type t = {
   ds : string;
   threads : int;
   mix : string;
+  backend : string;            (* provenance: "sim" | "domains" *)
   ops : int;
   makespan : int;              (* virtual ns (sim) or wall ns (domains) *)
   throughput : float;          (* ops per million time units *)
@@ -36,10 +37,11 @@ let pp ppf r =
     r.tracker r.ds r.threads r.mix r.ops r.throughput r.avg_unreclaimed
     r.peak_unreclaimed (m "live") (m "epoch") (m "faults") (m "sweeps")
     (m "sweep_examined")
-    (if m "crashes" = 0 && m "ejections" = 0 && m "oom_events" = 0 then ""
-     else
-       Printf.sprintf " crashes=%d ejections=%d oom=%d" (m "crashes")
-         (m "ejections") (m "oom_events"))
+    ((if m "crashes" = 0 && m "ejections" = 0 && m "oom_events" = 0 then ""
+      else
+        Printf.sprintf " crashes=%d ejections=%d oom=%d" (m "crashes")
+          (m "ejections") (m "oom_events"))
+     ^ if r.backend = "sim" then "" else Printf.sprintf " [%s]" r.backend)
 
 (* The run-identity and figure columns; the rest of the header is the
    registry's column list, in registration-order-key order. *)
@@ -58,6 +60,13 @@ let to_csv_row r =
   in
   String.concat ","
     (prefix :: List.map (fun (_, v) -> string_of_int v) r.metrics)
+
+(* Backend-tagged variants for campaigns that mix sim and hardware
+   rows in one table.  The untagged layout above is pinned by the
+   golden CSV, so provenance rides as a leading column in a distinct
+   schema instead of mutating the shared one. *)
+let csv_header_tagged () = "backend," ^ csv_header ()
+let to_csv_row_tagged r = r.backend ^ "," ^ to_csv_row r
 
 (* Incremental mean/peak accumulator for the unreclaimed metric. *)
 type sampler = {

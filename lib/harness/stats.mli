@@ -12,8 +12,10 @@ type t = {
   ds : string;
   threads : int;
   mix : string;
+  backend : string;         (** provenance: ["sim"] or ["domains"] *)
   ops : int;
-  makespan : int;           (** virtual (sim) or wall (domains) time *)
+  makespan : int;           (** virtual cycles (sim) or wall-clock
+                                microseconds (domains) *)
   throughput : float;       (** ops per million time units *)
   avg_unreclaimed : float;  (** the Fig. 9 metric *)
   peak_unreclaimed : int;
@@ -36,6 +38,13 @@ val csv_header : unit -> string
     histogram metrics are enabled. *)
 
 val to_csv_row : t -> string
+
+val csv_header_tagged : unit -> string
+val to_csv_row_tagged : t -> string
+(** {!csv_header}/{!to_csv_row} with a leading [backend] provenance
+    column, for campaigns that mix simulator and hardware rows in one
+    table.  The untagged layout is pinned by the golden CSV and stays
+    unchanged. *)
 
 (** Incremental mean/peak accumulator. *)
 type sampler = {

@@ -1,25 +1,43 @@
 (* Ejection watchdog (DEBRA+/NBR-style neutralization; DESIGN.md §7).
 
-   A monitor thread on the simulated machine wakes every [period]
-   virtual cycles and compares each worker's operation counter against
-   its last observation.  A worker that has completed at least one
-   operation (so startup latency cannot be mistaken for death) and
-   then shows no progress for [grace] consecutive checks is presumed
-   crashed: its reservations are expired through the tracker's [eject]
-   hook, unpinning every retired block it held.
+   A monitor thread wakes every [period] time units and compares each
+   worker's operation counter against its last observation.  A worker
+   that has completed at least one operation (so startup latency
+   cannot be mistaken for death) and then shows no progress for
+   [grace] consecutive checks is presumed crashed: its reservations
+   are expired through the tracker's [eject] hook, unpinning every
+   retired block it held.
+
+   The monitoring state and per-check scan ([check_round]) are backend
+   independent; two drivers exist.  [spawn] rides the simulated
+   machine as one more fiber ([Hooks.step period] per round).
+   [spawn_exec] runs the same scan on any {!Runner_intf.exec} — on
+   domains that is a real monitor domain sleeping [period]
+   microseconds of monotonic wall clock per round, reading the
+   workers' progress counters racily (stale reads only delay an
+   ejection by a round, which the grace budget absorbs).
 
    The progress heuristic is exactly that — a heuristic.  Ejecting a
    thread that is merely slow (deep oversubscription, a long injected
-   stall) readmits use-after-free, because the thread may still
-   dereference blocks its reservation was protecting.  [grace * period]
-   must therefore exceed the longest legitimate dispatch gap; fault
-   profiles that arm the watchdog disable stall injection for the same
-   reason.  See the soundness caveat on {!Ibr_core.Tracker_intf}. *)
+   stall, an OS-descheduled domain) readmits use-after-free, because
+   the thread may still dereference blocks its reservation was
+   protecting.  [grace * period] must therefore exceed the longest
+   legitimate dispatch gap; fault profiles that arm the watchdog
+   disable stall injection for the same reason, and the wall-clock
+   default (15 ms x 3) dwarfs an OS scheduling quantum.  See the
+   soundness caveat on {!Ibr_core.Tracker_intf}. *)
 
 open Ibr_runtime
 
 type t = {
   threads : int;
+  grace : int;
+  active : int -> bool;
+  progress : int -> int;
+  footprint : unit -> int;
+  eject : int -> unit;
+  last : int array;            (* min_int = not yet armed *)
+  stale : int array;
   mutable ejections : int;
   mutable recovered : int;
   ejected : bool array;
@@ -34,69 +52,96 @@ let ejected w tid = w.ejected.(tid)
 let gauge = Ibr_obs.Metrics.register_gauge ~name:"ejections" ~order:510
 let publish w = gauge := w.ejections
 
-let spawn ~sched ~period ~grace ~threads ?(active = fun _ -> true)
-    ~progress ~footprint ~eject () =
-  if period < 1 then invalid_arg "Watchdog.spawn: period < 1";
-  if grace < 1 then invalid_arg "Watchdog.spawn: grace < 1";
-  let w = {
+let make ~period ~grace ~threads ~active ~progress ~footprint ~eject =
+  if period < 1 then invalid_arg "Watchdog: period < 1";
+  if grace < 1 then invalid_arg "Watchdog: grace < 1";
+  {
     threads;
+    grace;
+    active;
+    progress;
+    footprint;
+    eject;
+    last = Array.make threads min_int;
+    stale = Array.make threads 0;
     ejections = 0;
     recovered = 0;
     ejected = Array.make threads false;
     footprint_at_eject = Array.make threads None;
-  } in
-  let last = Array.make threads min_int in   (* min_int = not yet armed *)
-  let stale = Array.make threads 0 in
+  }
+
+(* One monitoring scan over every census slot. *)
+let check_round w =
+  for tid = 0 to w.threads - 1 do
+    if not (w.active tid) then begin
+      (* Detached slot (dynamic census): a free slot has no
+         occupant to monitor.  Forget its history so a future
+         occupant re-arms from scratch — ejecting a joiner
+         against the leaver's counter would neutralize a live
+         thread, which readmits use-after-free. *)
+      w.last.(tid) <- min_int;
+      w.stale.(tid) <- 0;
+      w.ejected.(tid) <- false;
+      w.footprint_at_eject.(tid) <- None
+    end
+    else if w.ejected.(tid) then begin
+      (* Credit the footprint drop since ejection once, at the
+         next check — by then the workers' sweeps have had a
+         chance to reclaim what the dead reservation pinned. *)
+      match w.footprint_at_eject.(tid) with
+      | Some before ->
+        let fp = w.footprint () in
+        if fp < before then w.recovered <- w.recovered + (before - fp);
+        w.footprint_at_eject.(tid) <- None
+      | None -> ()
+    end
+    else begin
+      let p = w.progress tid in
+      if w.last.(tid) = min_int then begin
+        (* Arm only after the first completed operation. *)
+        if p > 0 then w.last.(tid) <- p
+      end
+      else if p = w.last.(tid) then begin
+        w.stale.(tid) <- w.stale.(tid) + 1;
+        if w.stale.(tid) >= w.grace then begin
+          w.footprint_at_eject.(tid) <- Some (w.footprint ());
+          w.eject tid;
+          Ibr_obs.Probe.ejection ~victim:tid;
+          w.ejected.(tid) <- true;
+          w.ejections <- w.ejections + 1
+        end
+      end
+      else begin
+        w.stale.(tid) <- 0;
+        w.last.(tid) <- p
+      end
+    end
+  done
+
+let spawn ~sched ~period ~grace ~threads ?(active = fun _ -> true)
+    ~progress ~footprint ~eject () =
+  let w = make ~period ~grace ~threads ~active ~progress ~footprint ~eject in
   ignore
     (Sched.spawn sched (fun _wtid ->
        let rec loop () =
          Hooks.step period;
-         for tid = 0 to threads - 1 do
-           if not (active tid) then begin
-             (* Detached slot (dynamic census): a free slot has no
-                occupant to monitor.  Forget its history so a future
-                occupant re-arms from scratch — ejecting a joiner
-                against the leaver's counter would neutralize a live
-                thread, which readmits use-after-free. *)
-             last.(tid) <- min_int;
-             stale.(tid) <- 0;
-             w.ejected.(tid) <- false;
-             w.footprint_at_eject.(tid) <- None
-           end
-           else if w.ejected.(tid) then begin
-             (* Credit the footprint drop since ejection once, at the
-                next check — by then the workers' sweeps have had a
-                chance to reclaim what the dead reservation pinned. *)
-             match w.footprint_at_eject.(tid) with
-             | Some before ->
-               let fp = footprint () in
-               if fp < before then w.recovered <- w.recovered + (before - fp);
-               w.footprint_at_eject.(tid) <- None
-             | None -> ()
-           end
-           else begin
-             let p = progress tid in
-             if last.(tid) = min_int then begin
-               (* Arm only after the first completed operation. *)
-               if p > 0 then last.(tid) <- p
-             end
-             else if p = last.(tid) then begin
-               stale.(tid) <- stale.(tid) + 1;
-               if stale.(tid) >= grace then begin
-                 w.footprint_at_eject.(tid) <- Some (footprint ());
-                 eject tid;
-                 Ibr_obs.Probe.ejection ~victim:tid;
-                 w.ejected.(tid) <- true;
-                 w.ejections <- w.ejections + 1
-               end
-             end
-             else begin
-               stale.(tid) <- 0;
-               last.(tid) <- p
-             end
-           end
-         done;
+         check_round w;
          loop ()
        in
        loop ()));
+  w
+
+let spawn_exec ~(exec : Runner_intf.exec) ~period ~grace ~threads
+    ?(active = fun _ -> true) ~progress ~footprint ~eject () =
+  Runner_intf.require_capability exec "watchdog";
+  let w = make ~period ~grace ~threads ~active ~progress ~footprint ~eject in
+  exec.spawn_aux (fun () ->
+    let rec loop () =
+      if exec.aux_running () then begin
+        exec.wait period;
+        check_round w;
+        loop ()
+      end
+    in
+    loop ());
   w

@@ -1,9 +1,11 @@
 (** Ejection watchdog (DEBRA+/NBR-style neutralization; DESIGN.md §7).
 
-    A monitor thread on the simulated machine that detects workers
-    making no progress and expires their reservations through the
-    tracker's [eject] hook, so a crash-faulted thread stops pinning
-    retired memory forever.
+    A monitor thread that detects workers making no progress and
+    expires their reservations through the tracker's [eject] hook, so
+    a crash-faulted thread stops pinning retired memory forever.  Two
+    drivers share the scan: {!spawn} rides the simulated machine as a
+    fiber; {!spawn_exec} runs on any {!Runner_intf.exec} — a real
+    monitor domain with wall-clock periods on the domains backend.
 
     {b Soundness caveat:} no-progress is a heuristic for death.
     Ejecting a live thread readmits use-after-free; [grace * period]
@@ -39,6 +41,24 @@ val spawn :
     state is reset, so a joiner that reuses the slot is watched from
     scratch instead of being ejected against the leaver's counter.
     @raise Invalid_argument if [period < 1] or [grace < 1]. *)
+
+val spawn_exec :
+  exec:Runner_intf.exec ->
+  period:int ->
+  grace:int ->
+  threads:int ->
+  ?active:(int -> bool) ->
+  progress:(int -> int) ->
+  footprint:(unit -> int) ->
+  eject:(int -> unit) ->
+  unit -> t
+(** {!spawn} over a backend {!Runner_intf.exec} (must precede its
+    [launch]): the same scan every [period] backend time units —
+    virtual cycles on the sim, microseconds of monotonic wall clock on
+    domains, where progress counters are read racily (a stale read
+    delays an ejection by one round, absorbed by the grace budget).
+    @raise Runner_intf.Unsupported if the backend lacks the
+    ["watchdog"] capability. *)
 
 val ejections : t -> int
 (** Workers ejected so far. *)

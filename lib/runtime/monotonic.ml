@@ -1,0 +1,11 @@
+(* Monotonic wall clock (see monotonic_stubs.c).  The int64 external
+   is unboxed and noalloc, so a read is one C call with no GC
+   interaction — safe on any domain, cheap enough for per-batch
+   deadline checks on the real-parallelism backend. *)
+
+external now_ns_int64 : unit -> (int64[@unboxed])
+  = "ibr_monotonic_ns_bytecode" "ibr_monotonic_ns_native"
+[@@noalloc]
+
+let now_ns () = Int64.to_int (now_ns_int64 ())
+let now_us () = Int64.to_int (now_ns_int64 ()) / 1000

@@ -1,0 +1,14 @@
+(** Monotonic wall clock ([clock_gettime(CLOCK_MONOTONIC)]).
+
+    The domains backend times runs and request latencies against this
+    clock instead of [Unix.gettimeofday]: it never jumps under NTP or
+    manual clock adjustment, and the native call is unboxed/noalloc
+    (no float round-trip), so reading it on the hot path is cheap. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary fixed origin (boot, typically).
+    Only differences are meaningful.  Fits an OCaml [int] for ~292
+    years of uptime. *)
+
+val now_us : unit -> int
+(** [now_ns () / 1000]. *)

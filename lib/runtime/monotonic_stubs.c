@@ -1,0 +1,25 @@
+/* Monotonic clock for the domains backend.
+ *
+ * CLOCK_MONOTONIC through clock_gettime: unlike gettimeofday, the
+ * value never jumps under NTP slew or manual clock adjustment, so
+ * durations and latencies measured across it are trustworthy.  The
+ * native entry point is unboxed (no allocation, no float round-trip);
+ * the bytecode shim boxes the int64 as the FFI requires. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t ibr_monotonic_ns_native(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+value ibr_monotonic_ns_bytecode(value unit)
+{
+  return caml_copy_int64(ibr_monotonic_ns_native(unit));
+}

@@ -62,6 +62,7 @@ let test_sampler () =
 let test_csv_row_shape () =
   let row = {
     Stats.tracker = "EBR"; ds = "list"; threads = 4; mix = "write-dominated";
+    backend = "sim";
     ops = 100; makespan = 1000; throughput = 1.5; avg_unreclaimed = 2.25;
     peak_unreclaimed = 7; samples = 100;
     metrics = Ibr_obs.Metrics.zero ();

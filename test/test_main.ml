@@ -22,6 +22,7 @@ let () =
       ("retire-backends", Test_retire_backends.suite);
       ("background", Test_background.suite);
       ("robustness", Test_robustness.suite);
+      ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
       (* Last on purpose: a service run lazily registers svc_* metrics,
          which widens the registry CSV layout test_obs pins. *)
