@@ -481,6 +481,80 @@ let run_service_campaign ?(quick = false) () =
     Stdlib.exit 1
   end
 
+(* Remedy comparison under *live* stalls (DESIGN.md §12): the same
+   open-loop service on DEBRA+, the same injected stall regime, once
+   per watchdog remedy.  Ejection treats a stalled worker as dead,
+   but every victim here is alive and resumes — expiring the
+   reservations of one caught mid-traversal readmits use-after-free
+   (unsound in general: the model checker certifies a minimal UAF
+   interleaving in the neutralize_mid_op scenario, replayed in CI).
+   Both runs execute in [Fault.Count] mode and print the fault tally;
+   whether a fault lands in this one finite window depends on sweep
+   timing, so the tally is reported, not gated.  Neutralization
+   delivers a restart signal instead: the victim unwinds through
+   [Ds_common.with_op], re-protects, and keeps serving — the gate
+   demands zero faults, zero ejections, and at least one counted
+   recovery.  Virtual time makes both rows deterministic. *)
+let run_service_heal () =
+  let module Service = Ibr_harness.Service in
+  let seed = 0x43a1 and horizon = 150_000 and cores = 4 in
+  let run ~neutralize =
+    let profile =
+      Service.default_profile ~workers:4 ~fleet:6 ~cores ~horizon ~seed
+        ~watchdog:(5_000, 2) ~neutralize
+        ~spec:(Ibr_harness.Workload.spec_for "list") ()
+    in
+    (* Stalls fire only when fibers outnumber cores; fleet=6 on 4
+       cores keeps the run in the oversubscribed (live-stall)
+       regime. *)
+    let sched =
+      Ibr_runtime.Sched.create
+        { Ibr_runtime.Sched.default_config with
+          cores; seed; stall_prob = 0.3; stall_len = 30_000 }
+    in
+    let exec = Ibr_harness.Run_engine.sim_exec ~sched ~horizon in
+    Ibr_core.Fault.with_counting (fun () ->
+      match
+        Service.run_named_exec ~exec ~tracker_name:"DEBRA+"
+          ~ds_name:"list" profile
+      with
+      | Some r -> r
+      | None -> assert false (* DEBRA+ runs every rideable *))
+  in
+  Fmt.pr "== service: watchdog remedy under live stalls (DEBRA+) ==@.";
+  Fmt.pr "%-12s %9s %7s %7s %5s %5s %5s %7s@." "remedy" "completed" "p99"
+    "p999" "ejct" "ntrl" "rcvr" "faults";
+  let row name (r, faults) =
+    Fmt.pr "%-12s %9d %7d %7d %5d %5d %5d %7d@." name r.Service.completed
+      r.Service.p99 r.Service.p999 r.Service.ejections
+      r.Service.neutralizations r.Service.recovered faults
+  in
+  let ((ej, ej_faults) as eject) = run ~neutralize:false in
+  let ((nt, nt_faults) as neut) = run ~neutralize:true in
+  row "eject" eject;
+  row "neutralize" neut;
+  Fmt.pr "@.csv:@.%s@." Service.csv_header;
+  Fmt.pr "%s@.%s@.@." (Service.to_csv_row ej) (Service.to_csv_row nt);
+  let gate name ok =
+    Fmt.pr "%s: %s@." (if ok then "PASS" else "FAIL") name;
+    ok
+  in
+  let ok =
+    [
+      gate "eject remedy wrote off live workers (ejections > 0)"
+        (ej.Service.ejections > 0);
+      gate "neutralize remedy never ejected" (nt.Service.ejections = 0);
+      gate "neutralize remedy signalled and healed (ntrl > 0, rcvr > 0)"
+        (nt.Service.neutralizations > 0 && nt.Service.recovered > 0);
+      gate "neutralized run is fault-free" (nt_faults = 0);
+    ]
+  in
+  if ej_faults > 0 then
+    Fmt.pr "note: ejecting live workers readmitted %d memory fault(s)@."
+      ej_faults;
+  Fmt.pr "@.";
+  if List.exists not ok then Stdlib.exit 1
+
 let run_figures () =
   let threads_list = Ibr_harness.Experiment.quick_threads in
   Fmt.pr "== Fig. 7: scheme tradeoffs ==@.%s@."
@@ -534,6 +608,7 @@ let () =
   let robust_domains = Cli.has_flag Sys.argv "--robust-domains" in
   let service_only = Cli.has_flag Sys.argv "--service-only" in
   let service_quick = Cli.has_flag Sys.argv "--service-quick" in
+  let service_heal = Cli.has_flag Sys.argv "--service-heal" in
   let trace_overhead = Cli.has_flag Sys.argv "--trace-overhead" in
   let bench_json = Cli.find_value Sys.argv "--bench-json" in
   let bench_quick = Cli.has_flag Sys.argv "--bench-quick" in
@@ -547,6 +622,7 @@ let () =
     run_bench_json ~quick:bench_quick (Option.get bench_json)
   else if retire_quick then run_retire_ablation ~threads_list:[ 8; 16 ] ()
   else if retire_only then run_retire_ablation ()
+  else if service_heal then run_service_heal ()
   else if service_quick then run_service_campaign ~quick:true ()
   else if service_only then run_service_campaign ()
   else if robust_domains then run_robustness_domains ()

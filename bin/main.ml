@@ -304,7 +304,7 @@ let retire =
 let faults =
   Arg.(value & opt string "none"
        & info [ "f"; "faults" ] ~docv:"PROFILE"
-           ~doc:"Fault profile: none, stall-storm, crash, crash+capped,                  crash+watchdog, or stall+watchdog.  The domains backend                  honors none, stall-storm and stall+watchdog; crash                  profiles need the simulator and fail fast otherwise.")
+           ~doc:"Fault profile: none, stall-storm, crash, crash+capped,                  crash+watchdog, stall+watchdog, or stall+neutralize                  (stall storm plus a neutralizing watchdog: stalled                  workers get a restart signal and recover instead of                  being ejected).  The domains backend honors none,                  stall-storm, stall+watchdog and stall+neutralize; crash                  profiles need the simulator and fail fast otherwise.")
 
 let cores =
   Arg.(value & opt int 72

@@ -249,6 +249,65 @@ let thread_churn (entry : Registry.entry) =
     { Scenario.bodies = [| reader; churner; joiner |];
       finish = (fun () -> None) })
 
+(* Neutralization mid-operation (DEBRA+, DESIGN.md §12): a victim runs
+   a guarded read under the [Ds_common.with_op] restart protocol
+   (emulated inline — this library sits below [ibr_ds]): window open
+   around each attempt, [Fault.Neutralized] caught, [T.recover], retry.
+   A peer delivers the restart signal through the scheduler
+   ([Sched.neutralize_peer]) at whatever point the explored schedule
+   admits; a writer concurrently unlinks, retires and force-frees the
+   block.
+
+   A sound tracker keeps every interleaving fault-free: [recover]
+   drops the interrupted attempt's reservation {e and re-establishes}
+   protection before the retry reads, so whatever the retry
+   dereferences is covered.  [Debra_plus.Norestart] — recover drops
+   but does not re-protect — has its use-after-free here: the signal
+   lands after the victim's first read, the retry re-reads the block
+   with no reservation up, and the writer frees it under the
+   retry's dereference (2 preemptions). *)
+let neutralize_mid_op (entry : Registry.entry) =
+  let module T = (val entry.tracker : Tracker_intf.TRACKER) in
+  Scenario.v ~name:("neutralize_mid_op/" ^ entry.name) ~threads:3
+    (fun () ->
+      let t = T.create ~threads:2 (cfg 2) in
+      let h0 = T.register t ~tid:0 and h1 = T.register t ~tid:1 in
+      (* Allocated during setup: published before any thread runs. *)
+      let x = T.alloc h1 42 in
+      let ptr = T.make_ptr t (Some x) in
+      let victim _ =
+        T.start_op h0;
+        (* Bounded retries keep the explored state space finite; the
+           single signal is delivered at most once, so one retry
+           always suffices to finish. *)
+        let rec attempt n =
+          if n <= 2 then begin
+            let prev = Ibr_runtime.Hooks.restart_window true in
+            match
+              let v = T.read_root h0 ptr in
+              deref v
+            with
+            | () -> ignore (Ibr_runtime.Hooks.restart_window prev)
+            | exception Fault.Neutralized ->
+              ignore (Ibr_runtime.Hooks.restart_window prev);
+              T.recover h0;
+              attempt (n + 1)
+          end
+        in
+        attempt 0;
+        T.end_op h0
+      in
+      let neutralizer _ = Ibr_runtime.Sched.neutralize_peer 0 in
+      let writer _ =
+        T.start_op h1;
+        T.write h1 ptr None;
+        T.retire h1 x;
+        T.end_op h1;
+        T.force_empty h1
+      in
+      { Scenario.bodies = [| victim; neutralizer; writer |];
+        finish = (fun () -> None) })
+
 type expectation = Safe | Faulty
 
 type case = {
@@ -287,9 +346,13 @@ let cases () =
   let cm e expect bound = { scenario = crash_mid_op e; expect; bound } in
   let hd e expect bound = { scenario = handoff_drain e; expect; bound } in
   let tc e expect bound = { scenario = thread_churn e; expect; bound } in
+  let nm e expect bound =
+    { scenario = neutralize_mid_op e; expect; bound } in
   List.map (fun e -> rw e Safe 3) Registry.all
   @ List.map (fun e -> cm e Safe 3) Registry.all
   @ [ cm Registry.unsafe_free Faulty 3 ]
+  @ List.map (fun e -> nm e Safe 2) Registry.all
+  @ [ nm Registry.debra_norestart Faulty 2 ]
   @ List.map (fun e -> hd e Safe 2) Registry.all
   @ [ hd Registry.unsafe_free Faulty 2 ]
   @ List.map (fun e -> tc e Safe 2) Registry.all

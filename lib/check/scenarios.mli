@@ -47,6 +47,17 @@ val thread_churn : Ibr_core.Registry.entry -> Scenario.t
     [Ebr_noflush] (detach frees pending retirements without that
     sweep) has its use-after-free here (2 preemptions). *)
 
+val neutralize_mid_op : Ibr_core.Registry.entry -> Scenario.t
+(** Three threads (DESIGN.md §12): a victim running a guarded read
+    under the [with_op] restart protocol (window open per attempt,
+    {!Ibr_core.Fault.Neutralized} caught, [recover], retry), a peer
+    that delivers the restart signal through the scheduler
+    ({!Ibr_runtime.Sched.neutralize_peer}), and a writer that unlinks,
+    retires and force-frees the block.  A sound [recover]
+    re-establishes protection before the retry reads;
+    [Debra_plus.Norestart] (drops without re-protecting) has its
+    use-after-free here (2 preemptions). *)
+
 type expectation = Safe | Faulty
 
 type case = {

@@ -1,0 +1,38 @@
+(* DEBRA+ (Brown, PODC 2015): DEBRA plus neutralization.  The scheme
+   itself is byte-identical to DEBRA — same amortized announcements,
+   same limbo bags; what changes is the failure remedy.  Where the
+   plain watchdog's only cure for a stalled thread is permanent
+   ejection, DEBRA+ sends the victim a restart signal
+   ([Fault.Neutralized]): the thread's reservations are dropped, its
+   in-flight operation unwinds to the [Ds_common.with_op] checkpoint,
+   [recover] re-protects, and the operation retries — the thread
+   keeps serving.  Here [recover] additionally forgets the cached
+   announcement so the retry posts a *fresh* epoch: the stale one is
+   exactly what the stall made dangerous to keep pinning.
+
+   [Norestart] is the deliberately unsound oracle for the protocol:
+   recovery drops the reservations but resumes without re-protecting,
+   so the retried operation runs quiescent ([max_int] announcement)
+   while dereferencing shared blocks — the bounded model checker
+   exhibits its use-after-free as a minimal schedule witness
+   (test/traces). *)
+
+include Debra.Make (struct
+    let name = "DEBRA+"
+    let summary =
+      "DEBRA plus neutralization: a signalled thread drops its \
+       reservations, restarts from the op checkpoint with a fresh \
+       announcement, and keeps serving; robust under the neutralizing \
+       watchdog"
+    let invalidate_cache_on_recover = true
+    let reprotect_on_recover = true
+  end)
+
+module Norestart = Debra.Make (struct
+    let name = "DEBRA-norestart"
+    let summary =
+      "INCORRECT neutralization oracle: recovery drops reservations \
+       but resumes without re-protecting, so the retry runs quiescent"
+    let invalidate_cache_on_recover = true
+    let reprotect_on_recover = false
+  end)

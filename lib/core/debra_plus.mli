@@ -1,0 +1,17 @@
+(** DEBRA+ (Brown, PODC 2015): {!Debra} whose recovery posts a fresh
+    epoch announcement after a neutralization signal — the healing
+    counterpart of the watchdog's permanent ejection.  See
+    [Ds_common.with_op] for the restart checkpoint and
+    [Watchdog] for the signal source.
+
+    Sealed to the common memory-manager signature of Fig. 1. *)
+
+include Tracker_intf.TRACKER
+
+module Norestart : Tracker_intf.TRACKER
+(** The unsound neutralization oracle (DESIGN.md §12): recovery drops
+    the victim's reservations but resumes {e without} re-protecting,
+    so the retried operation dereferences shared blocks while its
+    announcement reads quiescent.  Demonstration only — the bounded
+    model checker pins its use-after-free as a replayable minimal
+    witness. *)

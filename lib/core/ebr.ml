@@ -147,9 +147,20 @@ let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch
 let reclaim_service t = Option.map Handoff.service t.handoff
 
-(* Neutralize a dead thread: clearing its epoch reservation unpins
-   everything it held. *)
-let eject t ~tid = Prim.write t.reservations.(tid) max_int
+(* Neutralize a dead (or suspended) thread: clearing its epoch
+   reservation unpins everything it held.  Flush its producer-private
+   handoff scratch first — batched retires still buffered there are
+   invisible to the drainer and would otherwise stay stranded until
+   detach. *)
+let eject t ~tid =
+  (match t.handoff with Some h -> Handoff.flush_own h ~tid | None -> ());
+  Prim.write t.reservations.(tid) max_int
+
+(* Neutralization recovery: self-expire (drop + scratch flush), then
+   re-protect exactly as a fresh [start_op] would. *)
+let recover h =
+  eject h.t ~tid:h.tid;
+  start_op h
 
 (* Dynamic deregistration (caller between operations): a last
    drain-and-sweep while still registered, publish the quiescent

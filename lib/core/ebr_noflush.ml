@@ -137,7 +137,15 @@ let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch
 let reclaim_service t = Option.map Handoff.service t.handoff
 
-let eject t ~tid = Prim.write t.reservations.(tid) max_int
+let eject t ~tid =
+  (match t.handoff with Some h -> Handoff.flush_own h ~tid | None -> ());
+  Prim.write t.reservations.(tid) max_int
+
+(* Recovery itself is the sound EBR one — this oracle's bug is in
+   [detach], not the restart path. *)
+let recover h =
+  eject h.t ~tid:h.tid;
+  start_op h
 
 (* THE BUG: the leaver frees its pending retirements unconditionally
    ([Reclaimer.drain_all]), skipping the conflict test a sound

@@ -16,6 +16,12 @@ type kind =
 
 exception Memory_fault of kind * string
 
+exception Neutralized = Ibr_runtime.Hooks.Neutralized
+(* Re-export of the runtime's restart signal under the fault
+   namespace, so tracker / DS code can catch or raise it without
+   naming the runtime layer.  Not a memory fault: delivery is part of
+   normal (healed) operation under the DEBRA+ protocol. *)
+
 type mode = Raise | Count
 
 let mode : mode Atomic.t = Atomic.make Raise

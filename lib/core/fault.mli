@@ -15,6 +15,14 @@ type kind =
 
 exception Memory_fault of kind * string
 
+exception Neutralized
+(** The DEBRA+ restart signal — the {e same} exception as
+    {!Ibr_runtime.Hooks.Neutralized} (rebound, so either name catches
+    it), re-exported so reclamation code need not name the runtime
+    layer.  Not a memory fault: a neutralized thread drops its
+    reservations, re-protects, and retries — see
+    [Ds_common.with_op]. *)
+
 type mode = Raise | Count
 
 val set_mode : mode -> unit

@@ -165,8 +165,17 @@ let epoch_value t = Epoch.peek t.epoch
 let reclaim_service t = Option.map Handoff.service t.handoff
 
 (* Neutralize a dead thread: marking it inactive both unpins its
-   reservation and lets the all-observed advance proceed again. *)
-let eject t ~tid = Prim.write t.reservations.(tid) inactive
+   reservation and lets the all-observed advance proceed again.  The
+   scratch flush unstrands batched handoff retires. *)
+let eject t ~tid =
+  (match t.handoff with Some h -> Handoff.flush_own h ~tid | None -> ());
+  Prim.write t.reservations.(tid) inactive
+
+(* Neutralization recovery: self-expire, then re-announce as a fresh
+   [start_op]. *)
+let recover h =
+  eject h.t ~tid:h.tid;
+  start_op h
 
 (* Dynamic deregistration: a parked slot reads [inactive], so a free
    slot never blocks the all-observed epoch advance. *)

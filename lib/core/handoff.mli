@@ -25,6 +25,15 @@ val push : 'a t -> tid:int -> 'a Block.t -> unit
     [tid] may push to its own segment.  With [batch > 1] the block may
     sit in the producer's local buffer until the batch fills. *)
 
+val flush_own : 'a t -> tid:int -> unit
+(** Append producer [tid]'s private batch buffer to its queue (one
+    CAS); no-op when the buffer is empty.  Normally called by the
+    producer itself; a tracker's [eject] may call it for a {e dead,
+    parked, or suspended} victim — the same single-writer condition
+    under which ejection is sound at all — so a neutralized or
+    crashed thread's buffered retires reach the drainer instead of
+    stranding until detach. *)
+
 val drain : 'a t -> int
 (** Take-all exchange of every segment into the reclaimer; returns
     the number of blocks moved.  Serialised against {!pressure} and

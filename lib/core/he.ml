@@ -203,9 +203,17 @@ let allocator t = t.alloc
 let epoch_value t = Epoch.peek t.epoch
 let reclaim_service t = Option.map Handoff.service t.handoff
 
-(* Neutralize a dead thread: clear every era slot in its row. *)
+(* Neutralize a dead thread: clear every era slot in its row.  The
+   scratch flush unstrands batched handoff retires. *)
 let eject t ~tid =
+  (match t.handoff with Some h -> Handoff.flush_own h ~tid | None -> ());
   Array.iter (fun slot -> Prim.write slot no_era) t.eras.(tid)
+
+(* Neutralization recovery: era slots are per-read; drop the row and
+   re-protect as a fresh [start_op]. *)
+let recover h =
+  eject h.t ~tid:h.tid;
+  start_op h
 
 (* Dynamic deregistration: final sweep, clear the era row, flush the
    magazines, release the slot. *)

@@ -188,9 +188,18 @@ let allocator t = t.alloc
 let epoch_value _ = 0
 let reclaim_service t = Option.map Handoff.service t.handoff
 
-(* Neutralize a dead thread: clear every hazard slot in its row. *)
+(* Neutralize a dead thread: clear every hazard slot in its row.  The
+   scratch flush unstrands batched handoff retires. *)
 let eject t ~tid =
+  (match t.handoff with Some h -> Handoff.flush_own h ~tid | None -> ());
   Array.iter (fun slot -> Prim.write slot None) t.slots.(tid)
+
+(* Neutralization recovery: hazard pointers are per-read, so dropping
+   the row plus a fresh [start_op] suffices — the retried traversal
+   re-publishes each hazard as it reads. *)
+let recover h =
+  eject h.t ~tid:h.tid;
+  start_op h
 
 (* Dynamic deregistration: final sweep, clear the hazard row, flush
    the magazines, release the slot. *)

@@ -163,8 +163,18 @@ module Make (P : POINTER_OPS) : Tracker_intf.TRACKER = struct
   let reclaim_service t = Option.map Handoff.service t.handoff
 
   (* Neutralize a dead thread: clearing its [lower, upper] interval
-     unpins every block whose lifetime it intersected. *)
-  let eject t ~tid = Tracker_common.Interval_res.clear t.res ~tid
+     unpins every block whose lifetime it intersected.  The scratch
+     flush unstrands batched handoff retires. *)
+  let eject t ~tid =
+    (match t.handoff with Some h -> Handoff.flush_own h ~tid | None -> ());
+    Tracker_common.Interval_res.clear t.res ~tid
+
+  (* Neutralization recovery: drop the interval, then open a fresh one
+     at the current epoch as [start_op] does; the retried traversal
+     re-extends the upper endpoint read by read. *)
+  let recover h =
+    eject h.t ~tid:h.tid;
+    start_op h
 
   (* Dynamic deregistration: final drain-and-sweep, clear the
      interval, flush the magazines, then release the slot (see

@@ -88,6 +88,9 @@ let reclaim_service _ = None
 (* Holds no reservations: nothing to expire. *)
 let eject _ ~tid:_ = ()
 
+(* Nothing to drop, nothing to re-protect. *)
+let recover _ = ()
+
 (* Dynamic deregistration: the slot's retired store keeps the leaked
    blocks (that is the scheme); only the magazines and the slot are
    released. *)

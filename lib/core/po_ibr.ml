@@ -170,8 +170,17 @@ let epoch_value t = Epoch.peek t.epoch
 let reclaim_service t = Option.map Handoff.service t.handoff
 
 (* Neutralize a dead thread: clearing its epoch reservation unpins
-   everything reachable from the root it had snapshotted. *)
-let eject t ~tid = Prim.write t.reservations.(tid) max_int
+   everything reachable from the root it had snapshotted.  The scratch
+   flush unstrands batched handoff retires (see [Tracker_intf]). *)
+let eject t ~tid =
+  (match t.handoff with Some h -> Handoff.flush_own h ~tid | None -> ());
+  Prim.write t.reservations.(tid) max_int
+
+(* Neutralization recovery: self-expire, then re-protect as a fresh
+   [start_op]; the retried traversal re-guards from the root. *)
+let recover h =
+  eject h.t ~tid:h.tid;
+  start_op h
 
 (* Dynamic deregistration: final sweep, clear the reservation, flush
    the magazines, release the slot. *)

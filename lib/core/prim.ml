@@ -23,6 +23,11 @@ let costs = ref Cost.default
 let set_costs c = costs := c
 
 let read a =
+  (* Guard-path neutralization poll (domains backend; no-op on the
+     sim, which delivers at scheduling points): a pending restart
+     signal must land before the value read here can be trusted for a
+     dereference. *)
+  Hooks.poll_neutralize ();
   let c = !costs.Cost.read in
   Ibr_obs.Probe.charge Ibr_obs.Probe.K_read c;
   Hooks.step c;
@@ -81,6 +86,7 @@ let local n =
    for fault detection — a preemption point between reading a pointer
    and touching what it points to. *)
 let charge_deref () =
+  Hooks.poll_neutralize ();
   let c = !costs.Cost.read in
   Ibr_obs.Probe.charge Ibr_obs.Probe.K_read c;
   Hooks.step c

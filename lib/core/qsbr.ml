@@ -189,8 +189,19 @@ module Make (A : ADVANCE) = struct
 
   (* Neutralize a dead thread: a slot of [max_int] reads as quiescent
      in every future epoch, so the thread never blocks an advance
-     again. *)
-  let eject t ~tid = Prim.write t.quiescent.(tid) max_int
+     again.  The scratch flush unstrands batched handoff retires. *)
+  let eject t ~tid =
+    (match t.handoff with Some h -> Handoff.flush_own h ~tid | None -> ());
+    Prim.write t.quiescent.(tid) max_int
+
+  (* Neutralization recovery.  QSBR protection lives in the
+     quiescence announcement, not [start_op] (a no-op here): like
+     [attach], re-publish the current epoch so the retried operation
+     does not read as "always quiescent" while it holds references. *)
+  let recover h =
+    eject h.t ~tid:h.tid;
+    Prim.write h.t.quiescent.(h.tid) (Epoch.read h.t.epoch);
+    start_op h
 
   (* Dynamic deregistration: [force_empty] already announces the
      quiescent state and helps the epoch forward, then the slot is

@@ -21,10 +21,13 @@ let tag_ibr_tpa = pack (module Tag_ibr_tpa)
 let two_ge_ibr = pack (module Two_ge_ibr)
 let qsbr = pack (module Qsbr)
 let fraser_ebr = pack (module Fraser_ebr)
+let debra = pack (module Debra)
+let debra_plus = pack (module Debra_plus)
 let unsafe_free = pack (module Unsafe_free)
 let two_ge_unfenced = pack (module Two_ge_unfenced)
 let qsbr_noncas = pack (module Qsbr.Noncas)
 let ebr_noflush = pack (module Ebr_noflush)
+let debra_norestart = pack (module Debra_plus.Norestart)
 
 (* The census slot manager behind every tracker's attach/detach,
    re-exported so harness and test code can model it without
@@ -33,13 +36,15 @@ module Census = Tracker_common.Census
 
 (* Every correct scheme. *)
 let all = [
-  no_mm; ebr; fraser_ebr; qsbr; hp; he; po_ibr;
+  no_mm; ebr; fraser_ebr; qsbr; debra; debra_plus; hp; he; po_ibr;
   tag_ibr; tag_ibr_faa; tag_ibr_wcas; tag_ibr_tpa; two_ge_ibr;
 ]
 
 (* Demonstration oracles: deliberately broken schemes used to prove
    the fault checker works.  Not in [all]. *)
-let oracles = [ unsafe_free; two_ge_unfenced; qsbr_noncas; ebr_noflush ]
+let oracles =
+  [ unsafe_free; two_ge_unfenced; qsbr_noncas; ebr_noflush;
+    debra_norestart ]
 
 (* The lineup measured in Fig. 8–10 (TagIBR-TPA is described but not
    plotted in the paper; we include it in our extended runs). *)

@@ -19,6 +19,8 @@ val tag_ibr_tpa : entry
 val two_ge_ibr : entry
 val qsbr : entry
 val fraser_ebr : entry
+val debra : entry
+val debra_plus : entry
 
 val unsafe_free : entry
 (** The deliberately broken oracle (free on retire); not in {!all}. *)
@@ -34,6 +36,11 @@ val ebr_noflush : entry
 (** EBR whose [detach] frees its pending retirements without a final
     guarded sweep — the detach-without-flush lifecycle bug the
     [thread_churn] scenario catches; demonstration only. *)
+
+val debra_norestart : entry
+(** DEBRA+ whose neutralization recovery resumes without
+    re-protecting — the restart-protocol bug the [neutralize_mid_op]
+    scenario catches; demonstration only. *)
 
 (** The census slot manager behind every tracker's attach/detach
     (see {!Tracker_common.Census}), re-exported for harness and test

@@ -46,6 +46,14 @@ type config = {
      flushed as one handoff-queue append every [handoff_batch]
      retirements, amortizing the queue CAS.  1 (the default) takes the
      original one-CAS-per-retire path bit-for-bit; see [Handoff]. *)
+  announce_freq : int;
+  (* DEBRA-family amortization: re-read the global epoch only every
+     [announce_freq] operations, re-publishing a cached (possibly
+     stale, hence conservative) announcement in between.  Brown's
+     "check the epoch every ~100 operations"; scaled down like
+     [epoch_freq] so several announcement periods fit one simulated
+     run.  1 = announce-per-op (classic EBR behaviour).  Ignored by
+     non-DEBRA schemes. *)
 }
 
 let default_config ?(threads = 1) () = {
@@ -58,6 +66,7 @@ let default_config ?(threads = 1) () = {
   background_reclaim = false;
   magazine_size = 64;
   handoff_batch = 1;
+  announce_freq = 8;
 }
 
 (* Reject configurations that would silently disable a scheme's
@@ -73,7 +82,9 @@ let validate ~threads cfg =
   if cfg.magazine_size < 1 then
     invalid_arg "Tracker config: magazine_size must be >= 1";
   if cfg.handoff_batch < 1 then
-    invalid_arg "Tracker config: handoff_batch must be >= 1"
+    invalid_arg "Tracker config: handoff_batch must be >= 1";
+  if cfg.announce_freq < 1 then
+    invalid_arg "Tracker config: announce_freq must be >= 1"
 
 (* Fig. 7 row: qualitative properties of a scheme. *)
 type properties = {
@@ -168,11 +179,29 @@ module type TRACKER = sig
   val eject : 'a t -> tid:int -> unit
   (* DEBRA+/NBR-style neutralization: expire thread [tid]'s
      reservations so they no longer pin retired blocks, restoring
-     reclamation after the thread crash-faulted.  SOUND ONLY for a
-     dead thread — ejecting a live thread that still dereferences its
-     protected blocks readmits use-after-free (the watchdog's progress
-     heuristic is the caller's responsibility; see DESIGN.md §7).
-     No-op for schemes that hold nothing between operations. *)
+     reclamation after the thread crash-faulted, and flush any
+     producer-private handoff scratch the victim still buffered
+     (batched handoff would otherwise strand those retires until
+     detach).  SOUND ONLY for a dead, parked, or suspended thread —
+     ejecting a running thread that still dereferences its protected
+     blocks readmits use-after-free (the watchdog's progress heuristic
+     is the caller's responsibility; see DESIGN.md §7).  A victim that
+     is *neutralized* rather than crashed may run again afterwards,
+     but only through [recover], which re-establishes protection
+     before the operation retries.  No-op for schemes that hold
+     nothing between operations. *)
+
+  val recover : 'a handle -> unit
+  (* Neutralization recovery (DEBRA+, DESIGN.md §12): called by
+     [Ds_common.with_op] after [Fault.Neutralized] unwound the
+     current attempt.  Contract: drop every reservation the handle
+     holds (an [eject]-style self-expiry, including the handoff
+     scratch flush) and then re-establish protection exactly as if
+     [start_op] had just run, so the retried attempt starts from a
+     clean, protected state.  The deliberately unsound
+     [debra-norestart] variant omits the re-protect step — that is
+     the bug class this API exists to make impossible to write by
+     accident elsewhere. *)
 end
 
 type packed = (module TRACKER)

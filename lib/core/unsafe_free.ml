@@ -76,6 +76,10 @@ let reclaim_service _ = None
 (* Holds no reservations: nothing to expire. *)
 let eject _ ~tid:_ = ()
 
+(* Nothing to drop, nothing to re-protect (nothing was protected to
+   begin with — that is this oracle's bug). *)
+let recover _ = ()
+
 (* Dynamic deregistration: nothing deferred to flush. *)
 let detach h =
   Alloc.flush_magazines h.t.alloc ~tid:h.tid;

@@ -204,6 +204,7 @@ module Make (T : Tracker_intf.TRACKER) = struct
     Ds_common.with_op ~stats:h.stats
       ~start_op:(fun () -> T.start_op h.th)
       ~end_op:(fun () -> T.end_op h.th)
+      ~on_neutralize:(fun () -> T.recover h.th)
       ~max_cas_failures:h.tree.cfg.max_cas_failures
       f
 
@@ -213,16 +214,29 @@ module Make (T : Tracker_intf.TRACKER) = struct
     let rootv = T.read_root h.th h.tree.root in
     match rewrite ctx (View.target rootv) with
     | exception Unchanged -> false
+    | exception Fault.Neutralized ->
+      (* The rewrite traverses the shared version, so it cannot be
+         masked; instead free the speculative (still-private) nodes
+         before the attempt unwinds.  Masked, so a second signal
+         cannot land mid-cleanup; touches only blocks we own. *)
+      Ds_common.committed (fun () ->
+        List.iter (fun b -> T.dealloc h.th b) ctx.created);
+      raise Fault.Neutralized
     | new_root ->
-      if T.cas h.th h.tree.root ~expected:rootv new_root then begin
-        List.iter (fun b -> T.retire h.th b) ctx.replaced;
-        List.iter (fun b -> T.dealloc h.th b) ctx.discarded;
-        true
-      end
-      else begin
-        List.iter (fun b -> T.dealloc h.th b) ctx.created;
-        raise Ds_common.Restart
-      end
+      (* Mask the linearizing root swing together with its tail: a
+         restart after the CAS would re-apply the update, and a signal
+         between the CAS and the retires would leak the superseded
+         version.  No dereference happens inside. *)
+      Ds_common.committed (fun () ->
+        if T.cas h.th h.tree.root ~expected:rootv new_root then begin
+          List.iter (fun b -> T.retire h.th b) ctx.replaced;
+          List.iter (fun b -> T.dealloc h.th b) ctx.discarded;
+          true
+        end
+        else begin
+          List.iter (fun b -> T.dealloc h.th b) ctx.created;
+          raise Ds_common.Restart
+        end)
 
   let insert h ~key ~value =
     wrap h (fun () ->

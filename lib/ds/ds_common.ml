@@ -6,7 +6,22 @@
    operation at the tracker level — refreshing the reservation's
    lower endpoint.  This is the paper's §4.3.1 fix: without it a
    *starving* (not stalled) thread could reserve an unbounded number
-   of blocks. *)
+   of blocks.
+
+   The wrapper is also the neutralization checkpoint (DEBRA+,
+   DESIGN.md §12).  A watchdog may deliver [Fault.Neutralized] into a
+   thread mid-operation; the attempt unwinds to here, [on_neutralize]
+   re-establishes protection (the tracker's [recover]: drop
+   reservations, flush handoff scratch, re-protect), and the attempt
+   retries from scratch — the thread keeps working.
+
+   Delivery is gated on a per-thread *restart window*
+   ([Hooks.restart_window]), open exactly while an attempt body runs.
+   The window is what makes restart-from-scratch sound: an operation
+   that has passed its linearization point but still has charged
+   steps left (e.g. Harris remove's unlink-and-retire tail) masks the
+   window with [committed], so the signal stays pending and lands at
+   the next attempt boundary instead of double-applying the op. *)
 
 exception Restart
 
@@ -14,14 +29,35 @@ type op_stats = {
   mutable ops : int;
   mutable restarts : int;
   mutable reservation_refreshes : int;
+  mutable neutralizations : int;
 }
 
-let make_op_stats () = { ops = 0; restarts = 0; reservation_refreshes = 0 }
+let make_op_stats () =
+  { ops = 0; restarts = 0; reservation_refreshes = 0; neutralizations = 0 }
 
-let with_op ~stats ~start_op ~end_op ~max_cas_failures f =
+(* Mask the caller's restart window across [f]: any neutralization
+   signal stays pending rather than unwinding [f].  Data structures
+   wrap every linearizing CAS *and the rest of the operation after
+   it* in this bracket — once the op has logically happened, a
+   restart would apply it twice.  Masked sections must not perform
+   guarded dereferences ([Block.get]): a pending signal means the
+   thread's reservations may already be expired. *)
+let committed f =
+  let open Ibr_runtime in
+  let prev = Hooks.restart_window false in
+  Fun.protect ~finally:(fun () -> ignore (Hooks.restart_window prev)) f
+
+let with_op ~stats ~start_op ~end_op ~on_neutralize ~max_cas_failures f =
+  let open Ibr_runtime in
   Ibr_obs.Probe.op_begin ();
+  (* Open the restart window for exactly the attempt body; [end_op] /
+     [start_op] bookkeeping between attempts runs masked. *)
+  let guarded_f () =
+    let prev = Hooks.restart_window true in
+    Fun.protect ~finally:(fun () -> ignore (Hooks.restart_window prev)) f
+  in
   let rec attempt fails =
-    match f () with
+    match guarded_f () with
     | result -> result
     | exception Restart ->
       stats.restarts <- stats.restarts + 1;
@@ -34,6 +70,15 @@ let with_op ~stats ~start_op ~end_op ~max_cas_failures f =
         attempt 0
       end
       else attempt fails
+    | exception Hooks.Neutralized ->
+      (* The restart signal: recovery re-protects (tracker [recover]
+         — NOT a plain [start_op], which would leak the dropped
+         state), then the attempt re-runs from scratch.  The fail
+         budget resets: a neutralization already refreshed the
+         reservation. *)
+      stats.neutralizations <- stats.neutralizations + 1;
+      on_neutralize ();
+      attempt 0
   in
   (* [op_end] fires before [end_op] on both arms: [end_op] charges
      virtual time, i.e. a preemption point where the horizon can

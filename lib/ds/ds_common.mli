@@ -10,17 +10,36 @@ type op_stats = {
   mutable ops : int;
   mutable restarts : int;
   mutable reservation_refreshes : int;
+  mutable neutralizations : int;
 }
 
 val make_op_stats : unit -> op_stats
 
+val committed : (unit -> 'a) -> 'a
+(** Mask the caller's restart window across [f] (DESIGN.md §12): a
+    neutralization signal delivered meanwhile stays pending instead
+    of unwinding [f].  Data structures wrap every linearizing CAS and
+    the remainder of the operation after it in this bracket — once
+    the operation has logically happened, restarting would apply it
+    twice.  Masked code must not perform guarded dereferences
+    ([Block.get]). *)
+
 val with_op :
   stats:op_stats -> start_op:(unit -> unit) -> end_op:(unit -> unit) ->
+  on_neutralize:(unit -> unit) ->
   max_cas_failures:int -> (unit -> 'a) -> 'a
 (** Run one application operation, re-entering [f] on {!Restart} and
     dropping/re-acquiring the reservation after [max_cas_failures]
     consecutive restarts (0 disables the bound).  [end_op] runs on
-    both normal and exceptional exit. *)
+    both normal and exceptional exit.
+
+    [f] runs with the restart window open: {!Fault.Neutralized}
+    delivered inside it unwinds the attempt, [on_neutralize] runs
+    (pass the tracker's [recover] for the operating handle — it must
+    drop {e and re-establish} protection), and the attempt retries
+    from scratch.  Restartability up to the first linearization point
+    is [f]'s obligation; from there on it must mask with
+    {!committed}. *)
 
 val retire_trace : (string -> int -> int -> unit) ref
 (** Debug hook invoked before every retire a data structure performs,

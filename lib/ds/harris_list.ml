@@ -79,15 +79,23 @@ module Make (T : Tracker_intf.TRACKER) = struct
         let n = Block.get bcur in
         let nextv = T.read th ~slot:slot_next n.next in
         if View.tag nextv = marked then begin
-          (* cur is logically deleted: unlink it before moving on. *)
-          if T.cas th prev ~expected:curv (View.target nextv) then begin
-            !Ds_common.unlink_trace "helper" (Obj.repr prev) (Obj.repr curv)
-              (Block.id bcur) (Block.incarnation bcur);
-            !Ds_common.retire_trace "find-helper" (Block.id bcur)
-              (Block.incarnation bcur);
-            T.retire th bcur;
-            walk prev (T.read th ~slot:slot_cur prev)
-          end
+          (* cur is logically deleted: unlink it before moving on.
+             The helping CAS is idempotent, but the unlink-winner owes
+             the retire — mask the pair so a neutralization cannot
+             separate them (an unlinked-never-retired node would leak;
+             no dereference happens inside). *)
+          if
+            Ds_common.committed (fun () ->
+              if T.cas th prev ~expected:curv (View.target nextv) then begin
+                !Ds_common.unlink_trace "helper" (Obj.repr prev)
+                  (Obj.repr curv) (Block.id bcur) (Block.incarnation bcur);
+                !Ds_common.retire_trace "find-helper" (Block.id bcur)
+                  (Block.incarnation bcur);
+                T.retire th bcur;
+                true
+              end
+              else false)
+          then walk prev (T.read th ~slot:slot_cur prev)
           else raise Ds_common.Restart
         end
         else if n.key >= key then (prev, curv, Some (bcur, n, nextv))
@@ -107,32 +115,46 @@ module Make (T : Tracker_intf.TRACKER) = struct
       match found with
       | Some (_, n, _) when n.key = key -> false
       | Some _ | None ->
-        let b =
-          T.alloc th
-            { key; value; next = T.make_ptr tracker (View.target curv) }
-        in
-        if T.cas th prev ~expected:curv (Some b) then true
-        else begin
-          T.dealloc th b;
-          raise Ds_common.Restart
-        end
+        (* Mask from the allocation through the linearizing install
+           CAS (and the loser's dealloc): a restart signal landing
+           inside would either leak the fresh block or re-apply a
+           successful insert.  No dereference happens inside. *)
+        Ds_common.committed (fun () ->
+          let b =
+            T.alloc th
+              { key; value; next = T.make_ptr tracker (View.target curv) }
+          in
+          if T.cas th prev ~expected:curv (Some b) then true
+          else begin
+            T.dealloc th b;
+            raise Ds_common.Restart
+          end)
 
     let remove _tracker th head ~key =
       let prev, curv, found = find th head key in
       match found with
       | Some (bcur, n, nextv) when n.key = key ->
-        (* Logical deletion: set the mark on cur's next pointer. *)
-        if not (T.cas th n.next ~expected:nextv ~tag:marked (View.target nextv))
-        then raise Ds_common.Restart
-        else begin
-          (* Physical unlink; if it fails a later traversal helps. *)
-          (if T.cas th prev ~expected:curv (View.target nextv) then begin
-             !Ds_common.retire_trace "list-unlink" (Block.id bcur)
-               (Block.incarnation bcur);
-             T.retire th bcur
-           end);
-          true
-        end
+        (* Mask from the linearizing mark CAS through the unlink and
+           retire tail: once the mark lands the remove has happened,
+           and a restart would remove a second key.  No dereference
+           happens inside (the tail touches only pointer cells and
+           blocks this thread owns-to-retire). *)
+        Ds_common.committed (fun () ->
+          (* Logical deletion: set the mark on cur's next pointer. *)
+          if
+            not
+              (T.cas th n.next ~expected:nextv ~tag:marked
+                 (View.target nextv))
+          then raise Ds_common.Restart
+          else begin
+            (* Physical unlink; if it fails a later traversal helps. *)
+            (if T.cas th prev ~expected:curv (View.target nextv) then begin
+               !Ds_common.retire_trace "list-unlink" (Block.id bcur)
+                 (Block.incarnation bcur);
+               T.retire th bcur
+             end);
+            true
+          end)
       | Some _ | None -> false
 
     let get _tracker th head ~key =
@@ -146,6 +168,7 @@ module Make (T : Tracker_intf.TRACKER) = struct
     Ds_common.with_op ~stats:h.stats
       ~start_op:(fun () -> T.start_op h.th)
       ~end_op:(fun () -> T.end_op h.th)
+      ~on_neutralize:(fun () -> T.recover h.th)
       ~max_cas_failures:h.list.cfg.max_cas_failures
       f
 

@@ -64,10 +64,13 @@ module Make (T : Tracker_intf.TRACKER) = struct
     let h = key * 0x2545F4914F6CDD1D in
     (h lsr 11) land t.mask
 
+  (* The linearization-point masking lives in the bucket operations
+     ([Harris_list.Raw]); this wrapper only owes the recovery hook. *)
   let wrap h f =
     Ds_common.with_op ~stats:h.stats
       ~start_op:(fun () -> T.start_op h.th)
       ~end_op:(fun () -> T.end_op h.th)
+      ~on_neutralize:(fun () -> T.recover h.th)
       ~max_cas_failures:h.map.cfg.max_cas_failures
       f
 

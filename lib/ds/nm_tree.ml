@@ -210,43 +210,49 @@ module Make (T : Tracker_intf.TRACKER) = struct
     (* Splice: ancestor's edge moves from the successor to the sibling
        subtree; a pending FLAG on the sibling edge survives the move. *)
     let promoted_tag = View.tag sv land flag_bit in
-    if
-      T.cas th sr.sr_anc_edge ~expected:sr.sr_succ_view ~tag:promoted_tag
-        (View.target sv)
-    then begin
-      (* Physically removed.  Simple (and overwhelmingly common) case:
-         the successor *is* the parent — retire parent and leaf, after
-         overwriting the dead parent's edge to the leaf (proviso). *)
-      (if
-         match View.target sr.sr_succ_view with
-         | Some b -> b == sr.sr_parent
-         | None -> false
-       then begin
-         (* Overwrite *both* outgoing edges of the dead parent before
-            retiring anything.  The child edge must go so the removed
-            leaf has no incoming pointers; the sibling edge must go
-            because it otherwise remains a frozen stale path into the
-            live tree — a reader parked inside the dead parent could
-            follow it much later to a node that has since been retired
-            (the transitive violation of §4.1's proviso that interval
-            reservations, unlike EBR's one-sided ones, do not
-            forgive).  Readers treat a null edge as "node is dead" and
-            restart. *)
-         T.write th child_edge ~tag:(flag_bit lor tag_bit) None;
-         T.write th sibling_edge ~tag:(flag_bit lor tag_bit) None;
-         (match View.target cv with
-          | Some leaf_b -> T.retire th leaf_b
-          | None -> ());
-         T.retire th sr.sr_parent
-       end);
-      true
-    end
-    else false
+    (* Mask the splice CAS together with its edge-overwrite and retire
+       tail: a restart signal between them would leave the dead parent
+       with live frozen edges and nothing retired.  No dereference
+       happens inside (only pointer cells and physical compares). *)
+    Ds_common.committed (fun () ->
+      if
+        T.cas th sr.sr_anc_edge ~expected:sr.sr_succ_view ~tag:promoted_tag
+          (View.target sv)
+      then begin
+        (* Physically removed.  Simple (and overwhelmingly common) case:
+           the successor *is* the parent — retire parent and leaf, after
+           overwriting the dead parent's edge to the leaf (proviso). *)
+        (if
+           match View.target sr.sr_succ_view with
+           | Some b -> b == sr.sr_parent
+           | None -> false
+         then begin
+           (* Overwrite *both* outgoing edges of the dead parent before
+              retiring anything.  The child edge must go so the removed
+              leaf has no incoming pointers; the sibling edge must go
+              because it otherwise remains a frozen stale path into the
+              live tree — a reader parked inside the dead parent could
+              follow it much later to a node that has since been retired
+              (the transitive violation of §4.1's proviso that interval
+              reservations, unlike EBR's one-sided ones, do not
+              forgive).  Readers treat a null edge as "node is dead" and
+              restart. *)
+           T.write th child_edge ~tag:(flag_bit lor tag_bit) None;
+           T.write th sibling_edge ~tag:(flag_bit lor tag_bit) None;
+           (match View.target cv with
+            | Some leaf_b -> T.retire th leaf_b
+            | None -> ());
+           T.retire th sr.sr_parent
+         end);
+        true
+      end
+      else false)
 
   let wrap h f =
     Ds_common.with_op ~stats:h.stats
       ~start_op:(fun () -> T.start_op h.th)
       ~end_op:(fun () -> T.end_op h.th)
+      ~on_neutralize:(fun () -> T.recover h.th)
       ~max_cas_failures:h.tree.cfg.max_cas_failures
       f
 
@@ -266,28 +272,33 @@ module Make (T : Tracker_intf.TRACKER) = struct
         ignore (cleanup h key sr);
         raise Ds_common.Restart
       end
-      else begin
-        let new_leaf = T.alloc h.th (Leaf { key; value }) in
-        let left, right =
-          if key < lk then (new_leaf, sr.sr_leaf) else (sr.sr_leaf, new_leaf)
-        in
-        let new_internal =
-          T.alloc h.th
-            (Internal {
-               ikey = max key lk;
-               left = T.make_ptr h.tree.tracker (Some left);
-               right = T.make_ptr h.tree.tracker (Some right);
-             })
-        in
-        if T.cas h.th sr.sr_leaf_edge ~expected:sr.sr_leaf_view
-            (Some new_internal)
-        then true
-        else begin
-          T.dealloc h.th new_internal;
-          T.dealloc h.th new_leaf;
-          raise Ds_common.Restart
-        end
-      end)
+      else
+        (* Mask allocation through the linearizing install CAS (and
+           the loser's deallocs): a restart signal inside would leak
+           the fresh blocks or re-apply a landed insert.  No
+           dereference happens inside ([lk] was read above). *)
+        Ds_common.committed (fun () ->
+          let new_leaf = T.alloc h.th (Leaf { key; value }) in
+          let left, right =
+            if key < lk then (new_leaf, sr.sr_leaf)
+            else (sr.sr_leaf, new_leaf)
+          in
+          let new_internal =
+            T.alloc h.th
+              (Internal {
+                 ikey = max key lk;
+                 left = T.make_ptr h.tree.tracker (Some left);
+                 right = T.make_ptr h.tree.tracker (Some right);
+               })
+          in
+          if T.cas h.th sr.sr_leaf_edge ~expected:sr.sr_leaf_view
+              (Some new_internal)
+          then true
+          else begin
+            T.dealloc h.th new_internal;
+            T.dealloc h.th new_leaf;
+            raise Ds_common.Restart
+          end))
 
   let remove h ~key =
     if key >= inf1 then invalid_arg "Nm_tree.remove: key too large";
@@ -306,10 +317,21 @@ module Make (T : Tracker_intf.TRACKER) = struct
           raise Ds_common.Restart
         end
         else if
-          T.cas h.th sr.sr_leaf_edge ~expected:sr.sr_leaf_view ~tag:flag_bit
-            (Some sr.sr_leaf)
+          (* Injection is the delete's linearization point: mask it
+             together with recording ownership, else a restart signal
+             between the CAS and the assignment would make the retry
+             treat our own flag as a foreign delete and answer
+             [false] for a removal that happened. *)
+          Ds_common.committed (fun () ->
+            if
+              T.cas h.th sr.sr_leaf_edge ~expected:sr.sr_leaf_view
+                ~tag:flag_bit (Some sr.sr_leaf)
+            then begin
+              injected := Some sr.sr_leaf;
+              true
+            end
+            else false)
         then begin
-          injected := Some sr.sr_leaf;
           if cleanup h key sr then true else raise Ds_common.Restart
         end
         else raise Ds_common.Restart

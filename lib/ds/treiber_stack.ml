@@ -51,6 +51,7 @@ module Make (T : Tracker_intf.TRACKER) = struct
     Ds_common.with_op ~stats:h.stats
       ~start_op:(fun () -> T.start_op h.th)
       ~end_op:(fun () -> T.end_op h.th)
+      ~on_neutralize:(fun () -> T.recover h.th)
       ~max_cas_failures:h.stack.cfg.max_cas_failures
       f
 
@@ -58,15 +59,24 @@ module Make (T : Tracker_intf.TRACKER) = struct
     wrap h (fun () ->
       let rec attempt () =
         let topv = T.read_root h.th h.stack.top in
-        let b =
-          T.alloc h.th
-            { value; next = T.make_ptr h.stack.tracker (View.target topv) }
+        (* Mask allocation through the linearizing CAS (and the
+           loser's dealloc): a restart signal inside would leak the
+           fresh node or re-push a landed one.  The top re-read on
+           failure stays outside, restartable. *)
+        let ok =
+          Ds_common.committed (fun () ->
+            let b =
+              T.alloc h.th
+                { value;
+                  next = T.make_ptr h.stack.tracker (View.target topv) }
+            in
+            if T.cas h.th h.stack.top ~expected:topv (Some b) then true
+            else begin
+              T.dealloc h.th b;
+              false
+            end)
         in
-        if T.cas h.th h.stack.top ~expected:topv (Some b) then ()
-        else begin
-          T.dealloc h.th b;
-          attempt ()
-        end
+        if not ok then attempt ()
       in
       attempt ())
 
@@ -81,11 +91,19 @@ module Make (T : Tracker_intf.TRACKER) = struct
           (* Slot 1: slot 0 still protects [b] (its cell is read during
              validation of this next-read). *)
           let nextv = T.read h.th ~slot:1 n.next in
-          if T.cas h.th h.stack.top ~expected:topv (View.target nextv)
-          then begin
-            T.retire h.th b;
-            Some n.value
-          end
+          (* Mask the linearizing swing and the winner's retire as one
+             unit: a restarted successful pop would pop twice, and a
+             neutralization between CAS and retire would leak the
+             node.  No dereference inside ([n] is already loaded). *)
+          if
+            Ds_common.committed (fun () ->
+              if T.cas h.th h.stack.top ~expected:topv (View.target nextv)
+              then begin
+                T.retire h.th b;
+                true
+              end
+              else false)
+          then Some n.value
           else attempt ()
       in
       attempt ())

@@ -287,13 +287,15 @@ let retire_backend_table (rows : Stats.t list) =
    counted event, not a campaign abort. *)
 let robustness_profiles =
   [ "none"; "stall-storm"; "crash"; "crash+capped"; "crash+watchdog";
-    "stall+watchdog" ]
+    "stall+watchdog"; "stall+neutralize" ]
 
-(* The subset the domains backend can honor: wall-clock stalls and the
-   parked-victim watchdog profile.  Crash injection needs the
-   simulator — asking for it on hardware raises
+(* The subset the domains backend can honor: wall-clock stalls, the
+   parked-victim watchdog profile, and the neutralizing watchdog
+   (restart signals ride the per-worker rail flags).  Crash injection
+   needs the simulator — asking for it on hardware raises
    [Runner_intf.Unsupported] rather than measuring nothing. *)
-let robustness_profiles_hw = [ "none"; "stall-storm"; "stall+watchdog" ]
+let robustness_profiles_hw =
+  [ "none"; "stall-storm"; "stall+watchdog"; "stall+neutralize" ]
 
 type backend = Sim | Domains
 
@@ -320,7 +322,7 @@ let run_profile ~backend ~tracker_name ~ds_name ~threads ~cores ~horizon
 
 let robustness_sweep
     ?(backend = Sim)
-    ?(trackers = [ "EBR"; "QSBR"; "HP"; "HE"; "2GEIBR" ])
+    ?(trackers = [ "EBR"; "QSBR"; "HP"; "HE"; "2GEIBR"; "DEBRA"; "DEBRA+" ])
     ?(profiles = robustness_profiles) ?(threads = 12) ?(cores = 8)
     ?(horizons = [ 60_000; 120_000; 240_000 ]) ?(ds_name = "hashmap")
     ?(seed = 0xfa17) () =
@@ -362,17 +364,19 @@ let robustness_sweep
 let robustness_table (rows : Stats.t list) =
   let b = Buffer.create 1024 in
   Buffer.add_string b
-    (Printf.sprintf "%-20s %-7s %8s %8s %9s %9s %7s %7s %4s %4s\n"
+    (Printf.sprintf "%-20s %-7s %8s %8s %9s %9s %7s %7s %4s %4s %4s %4s\n"
        "tracker/profile" "backend" "horizon" "ops" "peak-unr" "peak-fp"
-       "oom" "retries" "crsh" "ejct");
+       "oom" "retries" "crsh" "ejct" "ntrl" "rcvr");
   List.iter
     (fun (r : Stats.t) ->
        let m = Stats.metric r in
        Buffer.add_string b
-         (Printf.sprintf "%-20s %-7s %8d %8d %9d %9d %7d %7d %4d %4d\n"
+         (Printf.sprintf
+            "%-20s %-7s %8d %8d %9d %9d %7d %7d %4d %4d %4d %4d\n"
             r.tracker r.backend r.makespan r.ops r.peak_unreclaimed
             (m "peak_footprint") (m "oom_events") (m "pressure_retries")
-            (m "crashes") (m "ejections")))
+            (m "crashes") (m "ejections") (m "neutralizations")
+            (m "recovered")))
     rows;
   Buffer.contents b
 
@@ -559,4 +563,39 @@ let robustness_checks (rows : Stats.t list) =
              (Stats.metric w "ejections") w.Stats.peak_unreclaimed
              c.Stats.peak_unreclaimed }
    | _ -> ());
+  (* (d) the neutralizing watchdog (DESIGN.md §12): same stall regime
+     as stall-storm, but a stalled worker's reservation is expired at
+     signal-delivery time and the worker restarts its attempt when it
+     resumes — footprint stays bounded and nobody is written off. *)
+  List.iter
+    (fun tracker ->
+       (match
+          longest tracker "stall+neutralize", longest tracker "stall-storm"
+        with
+        | Some n, Some s ->
+          add
+            { claim =
+                Printf.sprintf
+                  "stall+neutralize: %s peak stays below the storm's" tracker;
+              holds = 2 * n.Stats.peak_unreclaimed < s.Stats.peak_unreclaimed;
+              detail =
+                Printf.sprintf "peak %d (vs %d unwatched)"
+                  n.Stats.peak_unreclaimed s.Stats.peak_unreclaimed }
+        | _ -> ());
+       (match longest tracker "stall+neutralize" with
+        | Some n ->
+          add
+            { claim =
+                Printf.sprintf
+                  "stall+neutralize: %s healed, never ejected" tracker;
+              holds =
+                Stats.metric n "ejections" = 0
+                && Stats.metric n "neutralizations" >= 1;
+              detail =
+                Printf.sprintf "neutralizations=%d recovered=%d ejections=%d"
+                  (Stats.metric n "neutralizations")
+                  (Stats.metric n "recovered")
+                  (Stats.metric n "ejections") }
+        | None -> ()))
+    [ "EBR"; "DEBRA" ];
   List.rev !checks

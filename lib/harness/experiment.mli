@@ -119,4 +119,8 @@ val robustness_checks : Stats.t list -> check list
     peak unreclaimed grows with run length while HP/HE/2GEIBR stay
     bounded; (b) under crash+capped the robust schemes never exhaust
     the allocator while EBR does; (c) the watchdog ejects the crashed
-    thread and restores EBR's bound. *)
+    thread and restores EBR's bound; (d) under stall+neutralize —
+    the same stall regime as stall-storm plus a neutralizing
+    watchdog — EBR's and DEBRA's peaks stay bounded with zero
+    ejections: stalled workers are healed, not written off
+    (DESIGN.md §12). *)

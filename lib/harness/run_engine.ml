@@ -46,6 +46,7 @@ let sim_caps : Runner_intf.capabilities = {
   stall_faults = true;
   virtual_time = true;
   watchdog = true;
+  neutralize = true;
   alloc_capacity = true;
   service = true;
 }
@@ -62,6 +63,13 @@ let sim_exec ~sched ~horizon : Runner_intf.exec =
     worker_running = (fun () -> true);
     aux_running = (fun () -> true);
     worker_tick = (fun ~tid:_ -> true);
+    (* Eject first, then signal: the fiber cannot dereference before
+       its next resumption, where the scheduler delivers [Neutralized]
+       ahead of any further step (see the soundness note in Sched). *)
+    neutralize =
+      (fun ~eject ~tid ->
+        eject ();
+        Sched.neutralize sched tid);
     makespan = (fun () -> min (Sched.makespan sched) horizon);
     publish_crashes = (fun () -> Sched.publish_crashes sched);
   }
@@ -72,6 +80,7 @@ let domains_caps : Runner_intf.capabilities = {
   stall_faults = true;
   virtual_time = false;
   watchdog = true;
+  neutralize = true;
   alloc_capacity = true;
   service = true;
 }
@@ -114,12 +123,21 @@ let domains_exec ~threads ~duration_s ~seed ~faults () : Runner_intf.exec =
          syscall off the per-operation hot path (the old runner's
          batch=64 deadline check). *)
       (match (faults : Runner_intf.faults) with
-       | Stall_storm { stall_prob; stall_len } ->
+       | Stall_storm { stall_prob; stall_len }
+       | Stall_neutralize { stall_prob; stall_len; _ } ->
          if Rng.chance fault_rngs.(tid) stall_prob then wait_us stall_len
        | _ -> ());
       worker_running ()
     end
   in
+  (* Neutralization rails: one flag per worker slot, raised by the
+     watchdog and drained by the victim itself at its next guard-path
+     poll ([Hooks.poll_neutralize] inside [Prim.read]) while its
+     restart window is open.  Delivery is signal-only on this backend:
+     an external eject could race a dereference the victim is already
+     committed to, so the victim expires its own reservations inside
+     [recover] after the raise. *)
+  let rails = Array.init (max threads 1) (fun _ -> Atomic.make false) in
   {
     backend = "domains";
     caps = domains_caps;
@@ -127,7 +145,26 @@ let domains_exec ~threads ~duration_s ~seed ~faults () : Runner_intf.exec =
       (fun body ->
         let tid = !next_tid in
         incr next_tid;
-        workers := (fun () -> body ~tid) :: !workers);
+        workers :=
+          (fun () ->
+            (* Per-domain handler: track the restart window locally
+               (DLS — no other thread reads it) and poll the rail. *)
+            let win = ref false in
+            Hooks.set
+              { Hooks.default with
+                restart_window =
+                  (fun open_ ->
+                    let prev = !win in
+                    win := open_;
+                    prev);
+                poll_neutralize =
+                  (fun () ->
+                    if !win && Atomic.get rails.(tid) then begin
+                      Atomic.set rails.(tid) false;
+                      raise Hooks.Neutralized
+                    end) };
+            body ~tid)
+          :: !workers);
     spawn_aux = (fun body -> auxes := body :: !auxes);
     launch =
       (fun () ->
@@ -143,6 +180,7 @@ let domains_exec ~threads ~duration_s ~seed ~faults () : Runner_intf.exec =
     worker_running;
     aux_running = (fun () -> not (Atomic.get aux_stop));
     worker_tick;
+    neutralize = (fun ~eject:_ ~tid -> Atomic.set rails.(tid) true);
     makespan = (fun () -> (!end_ns - !start_ns) / 1000);
     (* Honest no-op: crash profiles raise [Unsupported] on this
        backend, so the gauge's absence cannot be mistaken for a
@@ -229,15 +267,25 @@ let run ~(exec : Runner_intf.exec) ~tracker_name ~ds_name
      attempts, not completions, so a live thread stuck aborting
      against a full heap is not mistaken for a dead one. *)
   let watchdog =
+    let spawn_dog ~period ~grace ~remedy =
+      Watchdog.spawn_exec ~exec ~period ~grace ~threads:cfg.threads
+        ~remedy
+        ~progress:(fun tid -> ops.(tid) + aborted.(tid))
+        ~footprint:(fun () -> (S.allocator_stats t).live)
+        ~eject:(fun tid -> S.eject t ~tid)
+        ()
+    in
     match cfg.faults with
     | Crash_watchdog { period; grace; _ } | Stall_watchdog { period; grace }
       ->
+      Some (spawn_dog ~period ~grace ~remedy:Watchdog.Eject)
+    | Stall_neutralize { period; grace; _ } ->
       Some
-        (Watchdog.spawn_exec ~exec ~period ~grace ~threads:cfg.threads
-           ~progress:(fun tid -> ops.(tid) + aborted.(tid))
-           ~footprint:(fun () -> (S.allocator_stats t).live)
-           ~eject:(fun tid -> S.eject t ~tid)
-           ())
+        (spawn_dog ~period ~grace
+           ~remedy:
+             (Watchdog.Neutralize
+                (fun tid ->
+                  exec.neutralize ~eject:(fun () -> S.eject t ~tid) ~tid)))
     | _ -> None
   in
   (* Prefill replacements may have queued retirements; drain them now

@@ -26,13 +26,14 @@ type capabilities = {
   stall_faults : bool;    (* injected long stalls *)
   virtual_time : bool;    (* discrete-event clock (replay, traces) *)
   watchdog : bool;        (* ejection watchdog can ride along *)
+  neutralize : bool;      (* restart signals deliverable to workers *)
   alloc_capacity : bool;  (* capped-allocator backpressure *)
   service : bool;         (* open-loop service runs with churn *)
 }
 
 let capability_names =
   [ "deterministic"; "crash_faults"; "stall_faults"; "virtual_time";
-    "watchdog"; "alloc_capacity"; "service" ]
+    "watchdog"; "neutralize"; "alloc_capacity"; "service" ]
 
 let has caps = function
   | "deterministic" -> caps.deterministic
@@ -40,6 +41,7 @@ let has caps = function
   | "stall_faults" -> caps.stall_faults
   | "virtual_time" -> caps.virtual_time
   | "watchdog" -> caps.watchdog
+  | "neutralize" -> caps.neutralize
   | "alloc_capacity" -> caps.alloc_capacity
   | "service" -> caps.service
   | c -> invalid_arg ("Runner_intf.has: unknown capability " ^ c)
@@ -77,6 +79,12 @@ type faults =
       grace : int;
     }
   | Stall_watchdog of { period : int; grace : int }
+  | Stall_neutralize of {
+      stall_prob : float;
+      stall_len : int;
+      period : int;
+      grace : int;
+    }
 
 (* Named presets for the CLI / campaign.  Crash profiles zero
    [stall_prob]: a crash is the fault under study, and (for the
@@ -112,6 +120,18 @@ let fault_profiles = [
       period * grace — 45 ms of wall clock on domains, 45k cycles on
       the sim. *)
    Stall_watchdog { period = 15_000; grace = 3 });
+  ("stall+neutralize",
+   (* The recovery counterpart of stall-storm: the same stall
+      injection stays ON (unlike the ejecting watchdog profiles,
+      which must disable it — neutralizing a live thread is sound,
+      ejecting one is not).  A stalled worker that outlasts
+      period * grace receives a restart signal instead of being
+      written off: it drops and re-establishes protection, so the
+      non-robust schemes' footprint stays flat without losing a
+      single worker permanently. *)
+   Stall_neutralize
+     { stall_prob = 0.05; stall_len = 480_000;
+       period = 15_000; grace = 3 });
 ]
 
 let faults_of_string s = List.assoc_opt s fault_profiles
@@ -130,6 +150,7 @@ let required_caps = function
   | Crash_capped _ -> [ "crash_faults"; "alloc_capacity" ]
   | Crash_watchdog _ -> [ "crash_faults"; "watchdog" ]
   | Stall_watchdog _ -> [ "stall_faults"; "watchdog" ]
+  | Stall_neutralize _ -> [ "stall_faults"; "watchdog"; "neutralize" ]
 
 (* Capabilities [caps] is missing for [faults] (empty = runnable). *)
 let missing caps faults =
@@ -164,6 +185,16 @@ type exec = {
   (* Per-operation backend hook for closed-loop workers: injects
      wall-clock stall faults and answers "keep going?".  Always true
      on the sim. *)
+  neutralize : eject:(unit -> unit) -> tid:int -> unit;
+  (* Deliver a restart signal to worker [tid] (watchdog Neutralize
+     remedy).  [eject] expires the victim's reservations at the
+     tracker; the backend decides when it is sound to call it: the
+     sim calls it immediately (delivery-at-resumption guarantees the
+     victim cannot dereference before it sees the signal), domains
+     only raise a per-slot flag and let the victim expire itself
+     inside [recover] (an external eject could race a dereference the
+     victim is already committed to).  Backends without the
+     "neutralize" capability raise [Unsupported]. *)
   makespan : unit -> int;
   (* After [launch]: run length in backend time units. *)
   publish_crashes : unit -> unit;

@@ -37,6 +37,12 @@ type faults = Runner_intf.faults =
       grace : int;
     }
   | Stall_watchdog of { period : int; grace : int }
+  | Stall_neutralize of {
+      stall_prob : float;
+      stall_len : int;
+      period : int;
+      grace : int;
+    }
 
 let fault_profiles = Runner_intf.fault_profiles
 let faults_of_string = Runner_intf.faults_of_string
@@ -77,6 +83,12 @@ let sched_config cfg =
     (* The parked victim is the stall under study; injected stalls on
        the survivors would let the watchdog eject a live thread. *)
     { cfg.sched with stall_prob = 0.0 }
+  | Stall_neutralize { stall_prob; stall_len; _ } ->
+    (* Unlike the ejecting profiles, stall injection stays ON:
+       neutralizing a live (merely stalled) thread is sound — it
+       restarts its attempt and recovers — so the watchdog may fire
+       into the storm. *)
+    { cfg.sched with stall_prob; stall_len }
 
 let engine_config cfg = {
   Run_engine.threads = cfg.threads;

@@ -43,11 +43,24 @@ type faults = Runner_intf.faults =
           worker 0 between operations (holding no reservation, so its
           ejection is sound by construction) and the watchdog must
           notice and eject it.  Runs on both backends. *)
+  | Stall_neutralize of {
+      stall_prob : float;
+      stall_len : int;
+      period : int;
+      grace : int;
+    }
+      (** Stall-storm injection with a {e neutralizing} watchdog
+          (DEBRA+, DESIGN.md §12): a worker frozen for
+          [period * grace] receives a restart signal instead of being
+          ejected — it drops and re-establishes protection and keeps
+          working.  Stall injection stays on, because neutralizing a
+          live thread is sound where ejecting one is not.  Runs on
+          both backends. *)
 
 val fault_profiles : (string * faults) list
 (** Named presets: ["none"], ["stall-storm"], ["crash"],
-    ["crash+capped"], ["crash+watchdog"], ["stall+watchdog"]
-    (= {!Runner_intf.fault_profiles}). *)
+    ["crash+capped"], ["crash+watchdog"], ["stall+watchdog"],
+    ["stall+neutralize"] (= {!Runner_intf.fault_profiles}). *)
 
 val faults_of_string : string -> faults option
 

@@ -75,6 +75,11 @@ type profile = {
   session_ops : int;    (* ops per attached session *)
   away : int;           (* cycles detached between sessions *)
   watchdog : (int * int) option;   (* (period, grace) *)
+  neutralize : bool;
+  (* Remedy for the watchdog above: false = eject the stalled worker
+     (loses it for the rest of its session), true = deliver a restart
+     signal and let it recover (DESIGN.md §12) — the SLO comparison
+     leg of the neutralization campaign. *)
   spec : Workload.spec;
   tracker_cfg : Ibr_core.Tracker_intf.config;
   slo : slo;
@@ -95,8 +100,8 @@ let default_slo = {
 let default_profile ?(workers = 4) ?(fleet = 6) ?(cores = 8)
     ?(horizon = 150_000) ?(seed = 0xca11) ?(arrival = Poisson)
     ?(period = 60) ?(diurnal = true) ?(spikes = 2) ?(zipf_theta = 0.9)
-    ?(session_ops = 40) ?(away = 2_000) ?watchdog ?(slo = default_slo)
-    ~spec () =
+    ?(session_ops = 40) ?(away = 2_000) ?watchdog ?(neutralize = false)
+    ?(slo = default_slo) ~spec () =
   {
     workers;
     fleet;
@@ -111,6 +116,7 @@ let default_profile ?(workers = 4) ?(fleet = 6) ?(cores = 8)
     session_ops;
     away;
     watchdog;
+    neutralize;
     spec;
     tracker_cfg = Ibr_core.Tracker_intf.default_config ~threads:workers ();
     slo;
@@ -191,6 +197,8 @@ type result = {
   detaches : int;
   attach_full : int;      (* attach attempts refused: census full *)
   ejections : int;
+  neutralizations : int;
+  recovered : int;        (* neutralized workers that resumed *)
   p50 : int;
   p90 : int;
   p99 : int;
@@ -365,8 +373,16 @@ let run_exec ~(exec : Runner_intf.exec) ~tracker_name ~ds_name
   let watchdog =
     match p.watchdog with
     | Some (period, grace) ->
+      let remedy =
+        if p.neutralize then
+          Watchdog.Neutralize
+            (fun tid ->
+              exec.neutralize ~eject:(fun () -> S.eject t ~tid) ~tid)
+        else Watchdog.Eject
+      in
       Some
         (Watchdog.spawn_exec ~exec ~period ~grace ~threads:p.workers
+           ~remedy
            ~active:(fun slot -> slot_active.(slot))
            ~progress:(fun slot -> slot_attempts.(slot))
            ~footprint:(fun () -> (S.allocator_stats t).live)
@@ -442,6 +458,10 @@ let run_exec ~(exec : Runner_intf.exec) ~tracker_name ~ds_name
     attach_full = Atomic.get attach_full;
     ejections =
       (match watchdog with Some w -> Watchdog.ejections w | None -> 0);
+    neutralizations =
+      (match watchdog with Some w -> Watchdog.neutralizations w | None -> 0);
+    recovered =
+      (match watchdog with Some w -> Watchdog.recovered w | None -> 0);
     p50;
     p90;
     p99;
@@ -484,14 +504,17 @@ let run_named ~tracker_name ~ds_name p =
    reproduces the row byte-for-byte. *)
 let csv_header =
   "tracker,ds,workers,fleet,arrivals,completed,aborted,unserved,\
-   attaches,detaches,attach_full,ejections,p50,p90,p99,p999,\
+   attaches,detaches,attach_full,ejections,neutralizations,recovered,\
+   p50,p90,p99,p999,\
    max_latency,peak_footprint,makespan,throughput,slo_pass,backend"
 
 let to_csv_row r =
   Printf.sprintf
-    "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%s"
+    "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,\
+     %d,%s"
     r.tracker r.ds r.workers r.fleet r.arrivals r.completed r.aborted
-    r.unserved r.attaches r.detaches r.attach_full r.ejections r.p50 r.p90
+    r.unserved r.attaches r.detaches r.attach_full r.ejections
+    r.neutralizations r.recovered r.p50 r.p90
     r.p99 r.p999 r.max_latency r.peak_footprint r.makespan r.throughput
     (if r.slo_pass then 1 else 0)
     r.backend
@@ -507,14 +530,16 @@ let verdicts_csv r =
 let pp ppf r =
   Fmt.pf ppf
     "@[<v>%s on %s%s: %d arrivals, %d completed, %d aborted, %d unserved@,\
-     churn: %d attaches / %d detaches (%d refused full, %d ejections)@,\
+     churn: %d attaches / %d detaches (%d refused full, %d ejections, \
+     %d neutralized / %d recovered)@,\
      latency p50=%d p90=%d p99=%d p999=%d max=%d cycles@,\
      peak footprint %d blocks, makespan %d, %.2f req/Mcycle@,\
      SLO: %s%s@]"
     r.tracker r.ds
     (if r.backend = "sim" then "" else Printf.sprintf " [%s]" r.backend)
     r.arrivals r.completed r.aborted r.unserved r.attaches
-    r.detaches r.attach_full r.ejections r.p50 r.p90 r.p99 r.p999
+    r.detaches r.attach_full r.ejections r.neutralizations r.recovered
+    r.p50 r.p90 r.p99 r.p999
     r.max_latency r.peak_footprint r.makespan r.throughput
     (if r.slo_pass then "PASS" else "FAIL")
     (if r.slo_pass then ""

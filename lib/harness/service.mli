@@ -56,6 +56,10 @@ type profile = {
   session_ops : int;   (** requests served per attached session *)
   away : int;          (** cycles detached between sessions *)
   watchdog : (int * int) option;  (** [(period, grace)] *)
+  neutralize : bool;
+  (** Watchdog remedy: [false] ejects a stalled worker (it is lost for
+      the rest of its session), [true] delivers a restart signal and
+      lets it recover in place (DESIGN.md §12). *)
   spec : Workload.spec;
   tracker_cfg : Ibr_core.Tracker_intf.config;
   slo : slo;
@@ -65,7 +69,8 @@ val default_profile :
   ?workers:int -> ?fleet:int -> ?cores:int -> ?horizon:int -> ?seed:int ->
   ?arrival:arrival -> ?period:int -> ?diurnal:bool -> ?spikes:int ->
   ?zipf_theta:float -> ?session_ops:int -> ?away:int ->
-  ?watchdog:int * int -> ?slo:slo -> spec:Workload.spec -> unit -> profile
+  ?watchdog:int * int -> ?neutralize:bool -> ?slo:slo ->
+  spec:Workload.spec -> unit -> profile
 
 val rate_permille : profile -> t:int -> int
 (** Arrival-rate modulation at virtual time [t], in permille of the
@@ -92,6 +97,8 @@ type result = {
   detaches : int;
   attach_full : int;    (** attach attempts refused (census full) *)
   ejections : int;
+  neutralizations : int;  (** restart signals delivered *)
+  recovered : int;        (** neutralized workers that resumed progress *)
   p50 : int;
   p90 : int;
   p99 : int;

@@ -1,25 +1,43 @@
-(** Ejection watchdog (DEBRA+/NBR-style neutralization; DESIGN.md §7).
+(** Ejection/neutralization watchdog (DEBRA+/NBR-style; DESIGN.md §7,
+    §12).
 
     A monitor thread that detects workers making no progress and
-    expires their reservations through the tracker's [eject] hook, so
-    a crash-faulted thread stops pinning retired memory forever.  Two
+    applies a {!remedy}: {!Eject} expires the victim's reservations
+    through the tracker's [eject] hook so a crash-faulted thread stops
+    pinning retired memory forever; {!Neutralize} instead delivers a
+    restart signal that the victim acts on itself — it unwinds its
+    current attempt, recovers its protection, and keeps working.  Two
     drivers share the scan: {!spawn} rides the simulated machine as a
     fiber; {!spawn_exec} runs on any {!Runner_intf.exec} — a real
     monitor domain with wall-clock periods on the domains backend.
 
-    {b Soundness caveat:} no-progress is a heuristic for death.
-    Ejecting a live thread readmits use-after-free; [grace * period]
-    must exceed the longest legitimate dispatch gap, and profiles that
-    arm the watchdog must not also inject stalls.  See
+    {b Soundness caveat (ejection only):} no-progress is a heuristic
+    for death.  Ejecting a live thread readmits use-after-free;
+    [grace * period] must exceed the longest legitimate dispatch gap,
+    and profiles that arm an ejecting watchdog must not also inject
+    stalls.  Neutralizing a live thread is sound — it merely restarts
+    an attempt — so the neutralize profiles may keep stalls on.  See
     {!Ibr_core.Tracker_intf.TRACKER.eject}. *)
 
 type t
+
+type remedy =
+  | Eject
+      (** Expire the victim's reservations and write it off (it is
+          re-armed if its counter ever moves again). *)
+  | Neutralize of (int -> unit)
+      (** [Neutralize deliver]: call [deliver tid] to send the victim
+          a restart signal ({!Ibr_core.Fault.Neutralized} at its next
+          delivery point); keep monitoring, count a recovery when its
+          counter moves again, and re-deliver after another full
+          grace window if it stays frozen. *)
 
 val spawn :
   sched:Ibr_runtime.Sched.t ->
   period:int ->
   grace:int ->
   threads:int ->
+  ?remedy:remedy ->
   ?active:(int -> bool) ->
   progress:(int -> int) ->
   footprint:(unit -> int) ->
@@ -31,9 +49,9 @@ val spawn :
     [progress tid] (a monotone per-worker operation counter) for each
     of the [threads] workers; a worker that completed at least one
     operation and then stalls at the same count for [grace]
-    consecutive checks is ejected (once).  [footprint] (live+retired
-    blocks) is sampled around each ejection to estimate the memory
-    recovered.
+    consecutive checks receives the [remedy] (default {!Eject}).
+    [footprint] (live+retired blocks) is sampled around each remedy to
+    estimate the memory recovered.
 
     [active] (default: always true) reports whether a census slot
     currently has an occupant (dynamic churn, DESIGN.md §10): an
@@ -47,6 +65,7 @@ val spawn_exec :
   period:int ->
   grace:int ->
   threads:int ->
+  ?remedy:remedy ->
   ?active:(int -> bool) ->
   progress:(int -> int) ->
   footprint:(unit -> int) ->
@@ -58,17 +77,33 @@ val spawn_exec :
     domains, where progress counters are read racily (a stale read
     delays an ejection by one round, absorbed by the grace budget).
     @raise Runner_intf.Unsupported if the backend lacks the
-    ["watchdog"] capability. *)
+    ["watchdog"] capability (or ["neutralize"], for a {!Neutralize}
+    remedy). *)
 
 val ejections : t -> int
 (** Workers ejected so far. *)
 
+val neutralizations : t -> int
+(** Restart signals delivered so far. *)
+
 val recovered : t -> int
-(** Estimated blocks unpinned by ejections: the drop in allocator
-    footprint between each ejection and the following check, summed. *)
+(** Neutralized workers whose progress counter has moved again — the
+    signals that demonstrably healed the thread instead of killing
+    it. *)
+
+val footprint_recovered : t -> int
+(** Estimated blocks unpinned by remedies: the drop in allocator
+    footprint between each ejection/neutralization and the following
+    check, summed. *)
 
 val ejected : t -> int -> bool
+val neutralized : t -> int -> bool
+(** A signal was delivered to this slot and its recovery is pending
+    (the counter has not moved since). *)
 
 val publish : t -> unit
 (** Publish {!ejections} to the ["ejections"] metric gauge (end of
-    run). *)
+    run), plus ["neutralizations"]/["recovered"] for a {!Neutralize}
+    watchdog (those gauges are registered lazily at the first
+    neutralize-watchdog creation, so ejection-only runs keep the
+    legacy CSV layout). *)

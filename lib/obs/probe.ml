@@ -32,6 +32,7 @@ type event =
   | Sweep_end of { phase : sweep_phase; freed : int }
   | Crash
   | Ejection of { victim : int }
+  | Neutralization of { victim : int }
   | Pressure
   | Op_begin
   | Op_end
@@ -243,6 +244,7 @@ let sweep_end ~phase ~freed =
 
 let crash ~tid = if !live then record_at ~tid Crash
 let ejection ~victim = if !live then record (Ejection { victim })
+let neutralization ~victim = if !live then record (Neutralization { victim })
 let pressure () = if !live then record Pressure
 let op_begin () = if !live then record Op_begin
 let op_end () = if !live then record Op_end

@@ -17,6 +17,7 @@ type event =
   | Sweep_end of { phase : sweep_phase; freed : int }
   | Crash
   | Ejection of { victim : int }
+  | Neutralization of { victim : int }
   | Pressure
   | Op_begin
   | Op_end
@@ -66,6 +67,7 @@ val sweep_end : phase:sweep_phase -> freed:int -> unit
    victim's tid is explicit. *)
 val crash : tid:int -> unit
 val ejection : victim:int -> unit
+val neutralization : victim:int -> unit
 val pressure : unit -> unit
 val op_begin : unit -> unit
 val op_end : unit -> unit

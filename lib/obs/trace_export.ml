@@ -99,6 +99,9 @@ let write oc =
        | Probe.Crash -> instant oc ~first ~name:"crash" ~tid ~ts []
        | Probe.Ejection { victim } ->
          instant oc ~first ~name:"ejection" ~tid ~ts [ ("victim", victim) ]
+       | Probe.Neutralization { victim } ->
+         instant oc ~first ~name:"neutralization" ~tid ~ts
+           [ ("victim", victim) ]
        | Probe.Pressure -> instant oc ~first ~name:"pressure" ~tid ~ts []
        | Probe.Handoff { block } ->
          instant oc ~first ~name:"handoff" ~tid ~ts [ ("block", block) ]

@@ -11,16 +11,36 @@
    The hook is domain-local state so that the simulator (which runs in
    one domain) and concurrently running real domains never interfere. *)
 
+exception Neutralized
+(* Raised *into* a victim thread to deliver a neutralization signal
+   (DEBRA+): the backend unwinds the victim's current operation so
+   [Ds_common.with_op] can drop its reservations, re-protect, and
+   retry from scratch.  On the simulator the scheduler discontinues
+   the victim's continuation at its next resumption; on domains the
+   guard path polls a per-slot flag ([poll_neutralize]) and raises.
+   Delivery is gated on the victim's restart window (below), so the
+   signal never lands after an operation's linearization point. *)
+
 type handler = {
   step : int -> unit;        (* charge [cost] cycles; may deschedule *)
   current_tid : unit -> int; (* logical thread id of the caller *)
   now : unit -> int;         (* caller's elapsed virtual time (cycles) *)
   global_now : unit -> int;  (* machine-wide event-order timestamp *)
+  restart_window : bool -> bool;
+  (* Open/close the caller's restart window; returns the previous
+     state.  [Neutralized] may only be delivered while the window is
+     open; [Ds_common.with_op] opens it around each restartable
+     attempt and masks it across linearization points. *)
+  poll_neutralize : unit -> unit;
+  (* Guard-path poll (domains backend): raise [Neutralized] if a
+     pending signal exists and the window is open.  No-op on the
+     simulator, which delivers at resumption instead. *)
 }
 
 let default =
   { step = (fun _ -> ()); current_tid = (fun () -> 0); now = (fun () -> 0);
-    global_now = (fun () -> 0) }
+    global_now = (fun () -> 0); restart_window = (fun _ -> false);
+    poll_neutralize = (fun () -> ()) }
 
 let key : handler Domain.DLS.key = Domain.DLS.new_key (fun () -> default)
 
@@ -31,6 +51,8 @@ let step cost = (Domain.DLS.get key).step cost
 let current_tid () = (Domain.DLS.get key).current_tid ()
 let now () = (Domain.DLS.get key).now ()
 let global_now () = (Domain.DLS.get key).global_now ()
+let restart_window open_ = (Domain.DLS.get key).restart_window open_
+let poll_neutralize () = (Domain.DLS.get key).poll_neutralize ()
 
 (* Run [f] with handler [h] installed, restoring the previous handler
    afterwards (exception-safe). *)

@@ -7,11 +7,22 @@
     domains (where the hook is a no-op).  The active handler is
     domain-local state. *)
 
+exception Neutralized
+(** Delivered {e into} a victim thread as a neutralization signal
+    (DEBRA+): unwinds the victim's current operation so
+    [Ds_common.with_op] can drop reservations, re-protect, and retry
+    from scratch.  Only ever raised while the victim's restart window
+    is open (see {!restart_window}). *)
+
 type handler = {
   step : int -> unit;        (** charge cycles; may deschedule the caller *)
   current_tid : unit -> int; (** logical thread id of the caller *)
   now : unit -> int;         (** caller's elapsed virtual time *)
   global_now : unit -> int;  (** machine-wide virtual wall-clock time *)
+  restart_window : bool -> bool;
+  (** set the caller's restart window; returns the previous state *)
+  poll_neutralize : unit -> unit;
+  (** guard-path poll: raise {!Neutralized} if a signal is pending *)
 }
 
 val default : handler
@@ -30,6 +41,20 @@ val global_now : unit -> int
 (** Machine-wide event-sequence timestamp, consistent with the order
     in which shared-memory effects execute (used to timestamp
     linearizability histories). *)
+
+val restart_window : bool -> bool
+(** [restart_window b] opens ([true]) or closes ([false]) the calling
+    thread's restart window and returns the previous state.
+    {!Neutralized} is only delivered while the window is open:
+    [Ds_common.with_op] opens it around each restartable attempt, and
+    data structures mask it ([Ds_common.committed]) across sections
+    that must not be unwound once a linearization point has landed. *)
+
+val poll_neutralize : unit -> unit
+(** Guard-path neutralization poll (domains backend): raises
+    {!Neutralized} if a signal is pending for the caller and the
+    restart window is open.  No-op on the simulator, which delivers
+    the signal at the victim's next scheduling point instead. *)
 
 val with_handler : handler -> (unit -> 'a) -> 'a
 (** Run with a handler installed; restores the previous one

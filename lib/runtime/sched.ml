@@ -29,6 +29,13 @@ type _ Effect.t += Crash : unit Effect.t
    reservations the thread held stay pinned forever.  That is the
    crash-fault model of the robustness literature (DEBRA+/NBR). *)
 
+type _ Effect.t += Neutralize : int -> unit Effect.t
+(* Performed by a thread to flag *another* thread for neutralization
+   (DEBRA+ restart signal).  The handler marks the victim and resumes
+   the caller immediately; the victim observes [Hooks.Neutralized] at
+   its next resumption with the restart window open.  Unlike [Crash],
+   the victim is unwound through its cleanup path and keeps working. *)
+
 exception Stopped
 (* Raised into still-paused fibers when the run ends, so that their
    cleanup handlers execute.  Thread bodies must not swallow it. *)
@@ -105,6 +112,8 @@ type thread = {
   mutable stalled : bool;   (* permanently stalled by the harness *)
   mutable crashed : bool;   (* crash-faulted: dead, cleanups never ran *)
   mutable quanta : int;     (* quanta received (observability) *)
+  mutable neutralized : bool; (* restart signal pending delivery *)
+  mutable restart_ok : bool;  (* restart window open (Hooks.restart_window) *)
 }
 
 type t = {
@@ -141,7 +150,8 @@ let spawn t body =
   if t.ran then invalid_arg "Sched.spawn: scheduler already ran";
   let tid = t.n_threads in
   t.threads <- { tid; fiber = Not_started body; ready_at = 0; vtime = 0;
-                 acc = 0; stalled = false; crashed = false; quanta = 0 }
+                 acc = 0; stalled = false; crashed = false; quanta = 0;
+                 neutralized = false; restart_ok = false }
                :: t.threads;
   t.n_threads <- tid + 1;
   tid
@@ -179,6 +189,20 @@ let crash t tid =
 
 let crash_self () = Effect.perform Crash
 
+(* Flag a thread for neutralization.  The signal is delivered as
+   [Hooks.Neutralized] at the victim's next resumption whose restart
+   window is open; a pending flag simply waits for that point, so the
+   signal can never unwind a section that masked it.  Dead threads
+   ignore the signal (nothing to heal). *)
+let neutralize t tid =
+  let th = find_thread t tid in
+  if (not th.crashed) && th.fiber <> Finished then begin
+    th.neutralized <- true;
+    Ibr_obs.Probe.neutralization ~victim:tid
+  end
+
+let neutralize_peer tid = Effect.perform (Neutralize tid)
+
 let crashes t = t.crashes
 let crashed t tid = (find_thread t tid).crashed
 
@@ -200,7 +224,18 @@ let resume_segment t th =
   | Finished -> Done
   | Paused k ->
     th.fiber <- Finished; (* overwritten on next suspension *)
-    Effect.Deep.continue k ()
+    if th.neutralized && th.restart_ok then begin
+      (* Deliver the restart signal at the resumption boundary.  This
+         is sound without any guard-path poll: fibers interleave only
+         at suspension points, and every [Prim] wrapper charges (and
+         may suspend) *before* its memory access — so any block freed
+         by another thread since this fiber last ran has a delivery
+         point strictly before the first instruction that could
+         dereference it. *)
+      th.neutralized <- false;
+      Effect.Deep.discontinue k Hooks.Neutralized
+    end
+    else Effect.Deep.continue k ()
   | Not_started body ->
     th.fiber <- Finished;
     let handler = {
@@ -218,6 +253,10 @@ let resume_segment t th =
               Ibr_obs.Probe.crash ~tid:th.tid
             end;
             Done)
+        | Neutralize victim ->
+          Some (fun (k : (a, status) Effect.Deep.continuation) ->
+            neutralize t victim;
+            Effect.Deep.continue k ())
         | _ -> None);
     } in
     Effect.Deep.match_with (fun () -> body th.tid) () handler
@@ -272,6 +311,17 @@ let run ?(horizon = max_int) t =
     now = (fun () ->
       match t.running with Some th -> th.vtime + th.acc | None -> 0);
     global_now = (fun () -> t.gseq);
+    restart_window = (fun open_ ->
+      match t.running with
+      | None -> false
+      | Some th ->
+        let prev = th.restart_ok in
+        th.restart_ok <- open_;
+        prev);
+    (* Delivery happens at resumption (see [resume_segment]); the
+       guard-path poll is only needed by backends without a scheduler
+       in the loop. *)
+    poll_neutralize = (fun () -> ());
   } in
   Hooks.with_handler hooks (fun () ->
     let continue_loop = ref true in

@@ -17,6 +17,11 @@ type _ Effect.t += Crash : unit Effect.t
     abandons the continuation without unwinding, so cleanup handlers
     never run. *)
 
+type _ Effect.t += Neutralize : int -> unit Effect.t
+(** Performed by a fiber to flag another thread for neutralization
+    ({!neutralize_peer}); the handler marks the victim and resumes the
+    caller immediately. *)
+
 exception Stopped
 (** Raised into still-running fibers when the run ends so their
     cleanup handlers execute; thread bodies must not swallow it. *)
@@ -99,6 +104,21 @@ val crash : t -> int -> unit
 val crash_self : unit -> unit
 (** Crash the calling fiber at this program point (performs {!Crash});
     only valid inside a simulated thread. *)
+
+val neutralize : t -> int -> unit
+(** [neutralize t tid] flags a thread for neutralization (the DEBRA+
+    restart signal; contrast {!crash}).  The victim observes
+    {!Hooks.Neutralized} at its next resumption whose restart window
+    is open ({!Hooks.restart_window}): [Ds_common.with_op] then drops
+    its reservations, re-protects, and retries the interrupted
+    operation from scratch — the thread keeps working.  A signal sent
+    while the window is masked stays pending until the next open
+    resumption.  Delivery is deterministic given the run's schedule.
+    No-op on crashed or finished threads. *)
+
+val neutralize_peer : int -> unit
+(** {!neutralize} targeting [tid] from inside a simulated thread
+    (performs {!Neutralize}); only valid inside a fiber. *)
 
 val crashes : t -> int
 (** Crash faults delivered so far (injected plus explicit). *)

@@ -23,6 +23,7 @@ let dummy_exec caps =
     worker_running = (fun () -> false);
     aux_running = (fun () -> false);
     worker_tick = (fun ~tid:_ -> false);
+    neutralize = (fun ~eject:_ ~tid:_ -> assert false);
     makespan = (fun () -> 0);
     publish_crashes = (fun () -> ());
   }
@@ -59,7 +60,7 @@ let test_capability_matrix () =
        Alcotest.(check (list string))
          (name ^ " honored on domains") []
          (Runner_intf.missing Run_engine.domains_caps f))
-    [ "none"; "stall-storm"; "stall+watchdog" ]
+    [ "none"; "stall-storm"; "stall+watchdog"; "stall+neutralize" ]
 
 (* Random capability records: [missing] must be exactly the required
    set minus what the record holds, and [require] must raise
@@ -73,10 +74,11 @@ let gen_caps =
          stall_faults = bits land 4 <> 0;
          virtual_time = bits land 8 <> 0;
          watchdog = bits land 16 <> 0;
+         neutralize = bits land 128 <> 0;
          alloc_capacity = bits land 32 <> 0;
          service = bits land 64 <> 0;
        })
-    (QCheck.Gen.int_bound 127)
+    (QCheck.Gen.int_bound 255)
 
 let qcheck_missing_consistent =
   QCheck.Test.make ~name:"missing = required \\ held; require raises first"

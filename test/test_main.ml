@@ -27,4 +27,7 @@ let () =
       (* Last on purpose: a service run lazily registers svc_* metrics,
          which widens the registry CSV layout test_obs pins. *)
       ("service", Test_service.suite);
+      (* After service for the same reason: a Neutralize watchdog
+         lazily registers the neutralizations/recovered gauges. *)
+      ("neutralize", Test_neutralize.suite);
     ]

@@ -167,6 +167,7 @@ let test_with_op_restart_accounting () =
     Ibr_ds.Ds_common.with_op ~stats
       ~start_op:(fun () -> incr starts)
       ~end_op:(fun () -> incr ends)
+      ~on_neutralize:(fun () -> ())
       ~max_cas_failures:3
       (fun () ->
          incr tries;
@@ -186,6 +187,7 @@ let test_with_op_exception_safe () =
      Ibr_ds.Ds_common.with_op ~stats
        ~start_op:(fun () -> ())
        ~end_op:(fun () -> incr ends)
+       ~on_neutralize:(fun () -> ())
        ~max_cas_failures:0
        (fun () -> failwith "inner")
    with Failure _ -> ());
@@ -217,7 +219,9 @@ let test_run_threads_helper () =
   Alcotest.(check bool) "makespan positive" true (Sched.makespan t > 0)
 
 let test_registry_oracles () =
-  Alcotest.(check int) "four oracles" 4 (List.length Registry.oracles);
+  Alcotest.(check int) "five oracles" 5 (List.length Registry.oracles);
+  Alcotest.(check bool) "norestart debra findable" true
+    (Registry.find "debra-norestart" <> None);
   Alcotest.(check bool) "oracle findable" true
     (Registry.find "unsafefree" <> None);
   Alcotest.(check bool) "unfenced findable" true

@@ -114,6 +114,11 @@ let qcheck_trace_reconciles =
            match e.Ibr_obs.Probe.ev with
            | Sweep_end { phase = Scan; _ } -> true
            | _ -> false)
+       and scan_begins =
+         count (fun e ->
+           match e.Ibr_obs.Probe.ev with
+           | Sweep_begin { phase = Scan } -> true
+           | _ -> false)
        and op_begins =
          count (fun e ->
            match e.Ibr_obs.Probe.ev with Op_begin -> true | _ -> false)
@@ -129,10 +134,16 @@ let qcheck_trace_reconciles =
          QCheck.Test.fail_reportf "reclaim events %d <> freed %d" reclaims
            (m "freed");
        (* No prefill retires happen (pure inserts of fresh keys), so
-          every Scan span falls inside the measured window. *)
-       if scans <> m "sweeps" then
-         QCheck.Test.fail_reportf "scan spans %d <> sweeps %d" scans
-           (m "sweeps");
+          every Scan span falls inside the measured window.  The
+          horizon stop can truncate one sweep per thread between its
+          examination walk (which counts the sweep) and the span
+          close (emitted after the free loop, whose frees are
+          preemption points), so the counter is bracketed by the
+          completed and the started spans rather than pinned. *)
+       if not (scans <= m "sweeps" && m "sweeps" <= scan_begins) then
+         QCheck.Test.fail_reportf
+           "sweeps %d outside scan spans [completed %d, started %d]"
+           (m "sweeps") scans scan_begins;
        (* [Ds_common.with_op] closes its span on both the value and
           the unwind path, so spans balance even across the horizon. *)
        if op_begins <> op_ends then

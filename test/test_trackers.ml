@@ -271,13 +271,20 @@ let test_registry_lookup () =
     (Registry.find "TAGIBR-WCAS" <> None);
   Alcotest.(check bool) "unknown" true (Registry.find "nope" = None);
   Alcotest.(check int) "paper set size" 9 (List.length Registry.paper_set);
-  Alcotest.(check int) "all size" 12 (List.length Registry.all)
+  Alcotest.(check int) "all size" 14 (List.length Registry.all)
 
 let test_fig7_rows () =
   let rows = Registry.fig7_rows () in
-  Alcotest.(check int) "fig7 rows (all but NoMM)" 11 (List.length rows);
+  Alcotest.(check int) "fig7 rows (all but NoMM)" 13 (List.length rows);
   let ebr = List.assoc "EBR" rows in
   Alcotest.(check bool) "EBR not robust" false ebr.Tracker_intf.robust;
+  let debra = List.assoc "DEBRA" rows in
+  Alcotest.(check bool) "DEBRA not robust" false debra.Tracker_intf.robust;
+  Alcotest.(check bool) "DEBRA mutable pointers" true
+    debra.Tracker_intf.mutable_pointers;
+  let debra_plus = List.assoc "DEBRA+" rows in
+  Alcotest.(check bool) "DEBRA+ not robust" false
+    debra_plus.Tracker_intf.robust;
   let hp = List.assoc "HP" rows in
   Alcotest.(check bool) "HP robust" true hp.Tracker_intf.robust;
   Alcotest.(check bool) "HP needs unreserve" true hp.Tracker_intf.needs_unreserve;

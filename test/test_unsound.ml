@@ -58,6 +58,43 @@ let test_sound_immune_to_witness () =
   Alcotest.(check (option string))
     "witness schedule is harmless under sound 2GEIBR" None r.failure
 
+(* ---- neutralization-without-reprotect witness (DESIGN.md §12) ---- *)
+
+(* DEBRA-norestart drops reservations on [recover] but retries the
+   read without re-protecting: the checked-in 2-switch witness drives
+   the victim into the restart handler, lets the writer unlink +
+   retire + force-free, and the retry dereferences the freed block. *)
+let test_replay_norestart_witness () =
+  let tr = load_trace "neutralize_mid_op_DEBRA-norestart.trace" in
+  match Ibr_check.Scenarios.find tr.scenario with
+  | None -> Alcotest.failf "unknown scenario %s" tr.scenario
+  | Some case ->
+    let r = Ibr_check.Engine.replay case.scenario tr in
+    (match r.failure with
+     | None ->
+       Alcotest.fail "checked-in minimal witness did not reproduce the UAF"
+     | Some msg ->
+       Alcotest.(check bool)
+         (Printf.sprintf "failure is a use-after-free (%s)" msg)
+         true
+         (Astring_contains.contains msg "use-after-free"))
+
+(* The same schedule against full DEBRA+ (recover re-protects before
+   the retry): harmless. *)
+let test_debra_plus_immune_to_witness () =
+  let tr = load_trace "neutralize_mid_op_DEBRA-norestart.trace" in
+  let sound = Ibr_check.Scenarios.neutralize_mid_op Registry.debra_plus in
+  let segs =
+    List.map
+      (fun (s : Ibr_check.Trace.segment) -> (s.tid, s.steps))
+      tr.segments
+  in
+  let tr' =
+    Ibr_check.Trace.v ~scenario:sound.name ~threads:tr.threads segs in
+  let r = Ibr_check.Engine.replay sound tr' in
+  Alcotest.(check (option string))
+    "witness schedule is harmless under DEBRA+" None r.failure
+
 (* ---- the padding-grid cross-check (pre-model-checker) ---- *)
 
 let race_costs =
@@ -152,6 +189,10 @@ let suite =
       test_replay_unfenced_witness;
     Alcotest.test_case "sound 2GEIBR immune to witness schedule" `Quick
       test_sound_immune_to_witness;
+    Alcotest.test_case "replay minimal DEBRA-norestart witness" `Quick
+      test_replay_norestart_witness;
+    Alcotest.test_case "DEBRA+ immune to norestart witness schedule" `Quick
+      test_debra_plus_immune_to_witness;
     Alcotest.test_case "literal Fig.6 ordering races (grid)" `Slow
       test_unfenced_races;
     Alcotest.test_case "sound 2GEIBR does not race (grid)" `Slow
