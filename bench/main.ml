@@ -23,7 +23,8 @@ let ops_per_run = 64
 (* A native workload kernel: [ops_per_run] mixed operations against a
    prefilled structure.  The structure persists across runs; the
    balanced mix keeps its size stationary. *)
-let make_kernel (module S : Ibr_ds.Ds_intf.SET) =
+let make_kernel (module S : Ibr_ds.Ds_intf.RIDEABLE) =
+  let m = Option.get S.map in
   let threads = 1 in
   let cfg = Ibr_core.Tracker_intf.default_config ~threads () in
   let t = S.create ~threads cfg in
@@ -31,15 +32,15 @@ let make_kernel (module S : Ibr_ds.Ds_intf.SET) =
   let key_range = 1024 in
   let rng = Ibr_runtime.Rng.create 0xdead in
   for k = 0 to key_range - 1 do
-    if k mod 4 <> 3 then ignore (S.insert h ~key:k ~value:k)
+    if k mod 4 <> 3 then ignore (m.insert h ~key:k ~value:k)
   done;
   Staged.stage (fun () ->
     for _ = 1 to ops_per_run do
       let k = Ibr_runtime.Rng.int rng key_range in
       match Ibr_runtime.Rng.int rng 3 with
-      | 0 -> ignore (S.insert h ~key:k ~value:k)
-      | 1 -> ignore (S.remove h ~key:k)
-      | _ -> ignore (S.contains h ~key:k)
+      | 0 -> ignore (m.insert h ~key:k ~value:k)
+      | 1 -> ignore (m.remove h ~key:k)
+      | _ -> ignore (m.contains h ~key:k)
     done)
 
 let figure_tests fig_id ds_name =
@@ -60,7 +61,9 @@ let ksweep_tests =
     (fun k ->
        let maker = Ibr_ds.Ds_registry.find_exn "hashmap" in
        let tracker = (Ibr_core.Registry.find_exn "2GEIBR").tracker in
-       let (module S : Ibr_ds.Ds_intf.SET) = maker.instantiate tracker in
+       let (module S : Ibr_ds.Ds_intf.RIDEABLE) = maker.instantiate tracker
+       in
+       let m = Option.get S.map in
        let kernel =
          let threads = 1 in
          let cfg =
@@ -70,14 +73,14 @@ let ksweep_tests =
          let h = S.register t ~tid:0 in
          let rng = Ibr_runtime.Rng.create 3 in
          for key = 0 to 1023 do
-           ignore (S.insert h ~key ~value:key)
+           ignore (m.insert h ~key ~value:key)
          done;
          Staged.stage (fun () ->
            for _ = 1 to ops_per_run do
              let key = Ibr_runtime.Rng.int rng 1024 in
              if Ibr_runtime.Rng.bool rng then
-               ignore (S.insert h ~key ~value:key)
-             else ignore (S.remove h ~key)
+               ignore (m.insert h ~key ~value:key)
+             else ignore (m.remove h ~key)
            done)
        in
        Test.make ~name:(Printf.sprintf "ablation:empty-freq:k=%d" k) kernel)
@@ -555,6 +558,24 @@ let run_service_heal () =
   Fmt.pr "@.";
   if List.exists not ok then Stdlib.exit 1
 
+(* The workload-diversity campaign (ISSUE 10): scheme x YCSB-like
+   profile, each profile on a capability-matched rideable (see
+   Experiment.profile_rideables).  Deterministic sim rows; the table
+   is the one committed in EXPERIMENTS.md. *)
+let run_profiles ?(quick = false) () =
+  let threads = if quick then 8 else 16 in
+  let horizon = if quick then 30_000 else 60_000 in
+  let rows = Ibr_harness.Experiment.profile_sweep ~threads ~horizon () in
+  Fmt.pr
+    "== workload profiles (scheme x YCSB mix, t=%d, cells thr / space) ==@.%s@."
+    threads
+    (Ibr_harness.Experiment.profile_table rows);
+  Fmt.pr "csv:@.%s@." (Ibr_harness.Stats.csv_header_tagged ());
+  List.iter
+    (fun r -> Fmt.pr "%s@." (Ibr_harness.Stats.to_csv_row_tagged r))
+    rows;
+  Fmt.pr "@."
+
 let run_figures () =
   let threads_list = Ibr_harness.Experiment.quick_threads in
   Fmt.pr "== Fig. 7: scheme tradeoffs ==@.%s@."
@@ -593,6 +614,7 @@ let run_figures () =
   print_string
     (Ibr_harness.Chart.to_string
        (Ibr_harness.Experiment.tagibr_strategy_sweep ()));
+  run_profiles ();
   run_retire_ablation ();
   run_robustness ();
   run_service_campaign ()
@@ -606,6 +628,8 @@ let () =
   let robust_only = Cli.has_flag Sys.argv "--robust-only" in
   let robust_quick = Cli.has_flag Sys.argv "--robust-quick" in
   let robust_domains = Cli.has_flag Sys.argv "--robust-domains" in
+  let profiles_only = Cli.has_flag Sys.argv "--profiles-only" in
+  let profiles_quick = Cli.has_flag Sys.argv "--profiles-quick" in
   let service_only = Cli.has_flag Sys.argv "--service-only" in
   let service_quick = Cli.has_flag Sys.argv "--service-quick" in
   let service_heal = Cli.has_flag Sys.argv "--service-heal" in
@@ -620,6 +644,8 @@ let () =
   if trace_overhead then run_trace_overhead ()
   else if bench_json <> None then
     run_bench_json ~quick:bench_quick (Option.get bench_json)
+  else if profiles_quick then run_profiles ~quick:true ()
+  else if profiles_only then run_profiles ()
   else if retire_quick then run_retire_ablation ~threads_list:[ 8; 16 ] ()
   else if retire_only then run_retire_ablation ()
   else if service_heal then run_service_heal ()

@@ -255,10 +255,24 @@ let run_replay ~path =
           exit 1))
 
 let list_menu () =
-  Fmt.pr "rideables:@.";
+  Fmt.pr "rideables:            (capabilities: map, queue, range, bulk)@.";
   List.iter
-    (fun (m : Ibr_ds.Ds_registry.maker) -> Fmt.pr "  %s@." m.ds_name)
+    (fun (m : Ibr_ds.Ds_registry.maker) ->
+       Fmt.pr "  %-20s %s@." m.ds_name
+         (Ibr_ds.Ds_intf.caps_to_string m.caps))
     Ibr_ds.Ds_registry.all;
+  Fmt.pr "mixes:@.";
+  List.iter
+    (fun mix ->
+       let need = Ibr_harness.Workload.required mix in
+       Fmt.pr "  %-20s needs %-15s (%s)@."
+         (Ibr_harness.Workload.mix_name mix)
+         (Ibr_ds.Ds_intf.caps_to_string need)
+         (String.concat ", "
+            (List.map
+               (fun (m : Ibr_ds.Ds_registry.maker) -> m.ds_name)
+               (Ibr_ds.Ds_registry.supporting need))))
+    Ibr_harness.Workload.profiles;
   Fmt.pr "trackers:@.";
   List.iter
     (fun (e : Ibr_core.Registry.entry) ->
@@ -275,7 +289,7 @@ let list_menu () =
 let rideable =
   Arg.(value & opt string "hashmap"
        & info [ "r"; "rideable" ] ~docv:"NAME"
-           ~doc:"Data structure: list, hashmap, nmtree, bonsai.")
+           ~doc:"Data structure: list, hashmap, rhashmap, nmtree,                  bonsai, stack, msqueue (see --menu for capabilities).")
 
 let tracker =
   Arg.(value & opt string "2GEIBR"
@@ -294,7 +308,7 @@ let interval =
 let mix =
   Arg.(value & opt string "write"
        & info [ "m"; "mix" ] ~docv:"MIX"
-           ~doc:"Workload mix: write (50/50 ins/rm) or read (90% gets).")
+           ~doc:"Workload mix: write (50/50 ins/rm), read (90% gets),                  or a YCSB-like profile A-F (A update-heavy, B                  read-mostly, C read-only, D queue churn, E scan-heavy,                  F migration; see --menu for capability needs).")
 
 let retire =
   Arg.(value & opt string "list"

@@ -16,6 +16,8 @@ open Ibr_runtime
 module Stack = Ibr_ds.Treiber_stack.Make (Po_ibr)
 module Index = Ibr_ds.Bonsai_tree.Make (Po_ibr)
 
+let index_ops = Option.get Index.map
+
 let stack_demo () =
   Fmt.pr "-- Treiber stack under POIBR --@.";
   let threads = 8 in
@@ -50,7 +52,7 @@ let snapshot_demo () =
   let t = Index.create ~threads cfg in
   (* Prefill. *)
   let h0 = Index.register t ~tid:0 in
-  for k = 0 to 255 do ignore (Index.insert h0 ~key:k ~value:k) done;
+  for k = 0 to 255 do ignore (index_ops.insert h0 ~key:k ~value:k) done;
   let sched = Sched.create (Sched.test_config ~cores:4 ~seed:5 ()) in
   (* Four writers churn. *)
   for i = 1 to 4 do
@@ -60,8 +62,8 @@ let snapshot_demo () =
          let rng = Rng.stream ~seed:9 ~index:i in
          for _ = 1 to 400 do
            let k = Rng.int rng 256 in
-           if Rng.bool rng then ignore (Index.insert h ~key:k ~value:k)
-           else ignore (Index.remove h ~key:k)
+           if Rng.bool rng then ignore (index_ops.insert h ~key:k ~value:k)
+           else ignore (index_ops.remove h ~key:k)
          done))
   done;
   (* One reader repeatedly sums a consistent snapshot: because every
@@ -77,7 +79,7 @@ let snapshot_demo () =
             range; each get is a consistent read. *)
          let present = ref 0 in
          for k = 0 to 255 do
-           if Index.contains h ~key:k then incr present
+           if index_ops.contains h ~key:k then incr present
          done;
          sums := !present :: !sums
        done));

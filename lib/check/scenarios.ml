@@ -308,6 +308,130 @@ let neutralize_mid_op (entry : Registry.entry) =
       { Scenario.bodies = [| victim; neutralizer; writer |];
         finish = (fun () -> None) })
 
+(* The Michael–Scott dequeue shape distilled to tracker calls
+   (ISSUE 10): the queue's consumer side reads the dummy at [head],
+   and every dequeue retires exactly that node.  Blocks carry int
+   payloads used as indices into a [next] cell array (the library
+   cannot name a per-tracker node type here), so the queue starts as
+   the lone dummy(0) at [head].
+
+   The reader is a dequeuer's read phase: guarded head read, deref to
+   find its successor cell, guarded next read, deref.  The churner is
+   two enqueue+dequeue rounds — each enqueue is a real allocation, so
+   with epoch_freq = 1 the epoch advances inside the scenario, and the
+   second dequeue retires a node {e born during the race}.  That is
+   the shape interval-family bugs need: a reader whose guarded head
+   read must extend its upper reservation endpoint to cover the
+   race-born node.  A sound tracker keeps every interleaving
+   fault-free; the unfenced 2GEIBR variant's window between reading
+   the head pointer and publishing the extended endpoint admits the
+   head-of-queue use-after-free (3 preemptions), exactly the race the
+   MS queue rideable's dequeue-side retirement is about.  (The tail
+   half of each enqueue is elided: no body reads [tail], it would only
+   pad the schedule space.) *)
+let queue_dequeue_churn (entry : Registry.entry) =
+  let module T = (val entry.tracker : Tracker_intf.TRACKER) in
+  Scenario.v ~name:("queue_dequeue_churn/" ^ entry.name) ~threads:2
+    (fun () ->
+      let t = T.create ~threads:2 (cfg 2) in
+      let h0 = T.register t ~tid:0 and h1 = T.register t ~tid:1 in
+      (* Setup (uncharged): the empty queue — head at dummy(0). *)
+      let dummy = T.alloc h1 0 in
+      let next =
+        [| T.make_ptr t None; T.make_ptr t None; T.make_ptr t None |]
+      in
+      let head = T.make_ptr t (Some dummy) in
+      let reader _ =
+        T.start_op h0;
+        let hv = T.read_root h0 head in
+        (match View.target hv with
+         | None -> ()
+         | Some hb ->
+           (* Faults here if the churner freed the head node under
+              us. *)
+           let i = Block.get hb in
+           let nv = T.read h0 ~slot:1 next.(i) in
+           (* The dequeue discipline's head re-validation (ms_queue.ml
+              does the same): a retired dummy's stale next field may
+              point at freed memory, so the successor is only
+              dereferenced if head has not moved — for EVERY tracker;
+              the races this scenario checks are in the guarded reads
+              above, not in skipping that validation. *)
+           (match View.target (T.read h0 ~slot:2 head) with
+            | Some hb' when hb' == hb -> deref nv
+            | _ -> ()));
+        T.end_op h0
+      in
+      let churner _ =
+        T.start_op h1;
+        (* Enqueue b1: the allocation advances the epoch. *)
+        let b1 = T.alloc h1 1 in
+        T.write h1 next.(0) (Some b1);
+        (* Dequeue: swing head past the dummy and retire it. *)
+        T.write h1 head (Some b1);
+        T.retire h1 dummy;
+        (* Enqueue b2, then dequeue b1 — a race-born retirement. *)
+        let b2 = T.alloc h1 2 in
+        T.write h1 next.(1) (Some b2);
+        T.write h1 head (Some b2);
+        T.retire h1 b1;
+        T.end_op h1;
+        T.force_empty h1
+      in
+      { Scenario.bodies = [| reader; churner |];
+        finish = (fun () -> None) })
+
+(* The resizable hashmap's migration shape distilled to tracker calls
+   (ISSUE 10): the bucket-shortcut array lives in a tracker block, a
+   reader dereferences it to find a bucket cell and then a node
+   through that cell, and a migration publishes a replacement table
+   and retires the whole superseded array as one block — bulk
+   retirement racing a table-holding reader.  Two back-to-back
+   migrations run, so the second retires a table {e born during the
+   race} (each replacement-table allocation advances the epoch under
+   epoch_freq = 1) — the reader's guarded root read must extend its
+   upper reservation endpoint to cover it.  The unfenced 2GEIBR
+   variant's publication window admits the use-after-free on the
+   reader's table deref (3 preemptions). *)
+let bucket_migrate (entry : Registry.entry) =
+  let module T = (val entry.tracker : Tracker_intf.TRACKER) in
+  Scenario.v ~name:("bucket_migrate/" ^ entry.name) ~threads:2 (fun () ->
+    let t = T.create ~threads:2 (cfg 2) in
+    let h0 = T.register t ~tid:0 and h1 = T.register t ~tid:1 in
+    (* Setup (uncharged): root -> table(0); one bucket cell -> node(1). *)
+    let table = T.alloc h1 0 in
+    let node = T.alloc h1 1 in
+    let root = T.make_ptr t (Some table) in
+    let bucket = T.make_ptr t (Some node) in
+    let reader _ =
+      T.start_op h0;
+      let tv = T.read_root h0 root in
+      (match View.target tv with
+       | None -> ()
+       | Some tb ->
+         (* Faults here if the migrator freed the table under us. *)
+         ignore (Block.get tb);
+         let nv = T.read h0 ~slot:1 bucket in
+         deref nv);
+      T.end_op h0
+    in
+    let migrator _ =
+      T.start_op h1;
+      (* First growth: the doubled table's allocation advances the
+         epoch; the superseded setup-born table is retired whole. *)
+      let table' = T.alloc h1 2 in
+      T.write h1 root (Some table');
+      T.retire h1 table;
+      (* Second growth: retires the race-born [table']. *)
+      let table'' = T.alloc h1 3 in
+      T.write h1 root (Some table'');
+      T.retire h1 table';
+      T.end_op h1;
+      T.force_empty h1
+    in
+    { Scenario.bodies = [| reader; migrator |];
+      finish = (fun () -> None) })
+
 type expectation = Safe | Faulty
 
 type case = {
@@ -348,6 +472,9 @@ let cases () =
   let tc e expect bound = { scenario = thread_churn e; expect; bound } in
   let nm e expect bound =
     { scenario = neutralize_mid_op e; expect; bound } in
+  let qd e expect bound =
+    { scenario = queue_dequeue_churn e; expect; bound } in
+  let bm e expect bound = { scenario = bucket_migrate e; expect; bound } in
   List.map (fun e -> rw e Safe 3) Registry.all
   @ List.map (fun e -> cm e Safe 3) Registry.all
   @ [ cm Registry.unsafe_free Faulty 3 ]
@@ -362,6 +489,27 @@ let cases () =
          List.map (fun e -> rwb backend e Safe 2) Registry.all
          @ [ rwb backend Registry.unsafe_free Faulty 3 ])
       [ Reclaimer.Buckets; Reclaimer.Gated ]
+  (* queue_dequeue_churn mutates interior pointers (the next cells),
+     which is outside POIBR's immutable-interior contract — the same
+     reason the ds registry refuses the MS queue under POIBR — so it
+     certifies the mutable-pointer trackers only.  bucket_migrate
+     mutates nothing but the root and runs the full registry. *)
+  @ List.map
+      (fun e -> qd e Safe 3)
+      (List.filter
+         (fun (e : Registry.entry) ->
+           let module T = (val e.tracker : Tracker_intf.TRACKER) in
+           T.props.Tracker_intf.mutable_pointers)
+         Registry.all)
+  @ [
+      qd Registry.unsafe_free Faulty 3;
+      qd Registry.two_ge_unfenced Faulty 3;
+    ]
+  @ List.map (fun e -> bm e Safe 3) Registry.all
+  @ [
+      bm Registry.unsafe_free Faulty 3;
+      bm Registry.two_ge_unfenced Faulty 3;
+    ]
   @ [
       rw Registry.unsafe_free Faulty 3;
       rw Registry.two_ge_unfenced Faulty 3;

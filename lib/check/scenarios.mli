@@ -58,6 +58,29 @@ val neutralize_mid_op : Ibr_core.Registry.entry -> Scenario.t
     [Debra_plus.Norestart] (drops without re-protecting) has its
     use-after-free here (2 preemptions). *)
 
+val queue_dequeue_churn : Ibr_core.Registry.entry -> Scenario.t
+(** Two threads on the Michael–Scott dequeue shape: a reader performs
+    a dequeuer's read phase — guarded head read, deref, guarded
+    successor read — against a churner running two enqueue+dequeue
+    rounds.  Each enqueue allocates (advancing the epoch under
+    [epoch_freq = 1]) and each dequeue retires the node head swings
+    past, so the second round retires a node born during the race —
+    the reader's head read must extend its upper reservation endpoint
+    to cover it.  [Two_ge_unfenced]'s unpublished extension window
+    admits the head-of-queue use-after-free (3 preemptions). *)
+
+val bucket_migrate : Ibr_core.Registry.entry -> Scenario.t
+(** Two threads on the resizable-hashmap migration shape: a reader
+    holds a guarded read of the bucket-shortcut table block and then
+    derefs through a bucket cell, against a migrator running two
+    back-to-back growths, each publishing a doubled table (allocating
+    it advances the epoch) and retiring the superseded table block
+    wholesale — the BULK retirement path.  The second growth retires a
+    race-born table, so the reader's root read must extend its upper
+    endpoint; sound trackers keep every superseded table alive for the
+    reader, [Unsafe_free] and [Two_ge_unfenced] free one under the
+    reader's feet (3 preemptions). *)
+
 type expectation = Safe | Faulty
 
 type case = {
@@ -73,8 +96,12 @@ val cases : unit -> case list
     with per-retire sweeps, [handoff_drain] for every tracker with
     [Unsafe_free] riding along Faulty, [thread_churn] for every
     tracker with [Unsafe_free] and [Ebr_noflush] riding along Faulty,
-    and [advance_race] for the QSBR-shaped trackers.  Expectations are
-    what {!Check.explore} must conclude within each case's bound. *)
+    [advance_race] for the QSBR-shaped trackers, [bucket_migrate] for
+    every tracker, and [queue_dequeue_churn] for every mutable-pointer
+    tracker (the queue's next cells are interior mutation, outside
+    POIBR's contract) — [Unsafe_free] and [Two_ge_unfenced] ride along
+    Faulty on both new scenarios.  Expectations are what
+    {!Check.explore} must conclude within each case's bound. *)
 
 val find : string -> case option
 (** Look a case up by its scenario name (e.g. for trace replay). *)

@@ -261,6 +261,28 @@ module Make (T : Tracker_intf.TRACKER) = struct
 
   let contains h ~key = get h ~key <> None
 
+  (* Bounded ordered scan: one guarded root read pins the whole
+     version (persistence — everything reachable is immutable), then a
+     pure pruned in-order descent collects [lo, hi].  The reservation
+     spans the whole scan, and under POIBR the single root read is all
+     the protection the traversal needs. *)
+  let range_scan h ~lo ~hi =
+    wrap h (fun () ->
+      let rootv = T.read_root h.th h.tree.root in
+      let rec go acc = function
+        | None -> acc
+        | Some b ->
+          let n = Block.get b in
+          let acc =
+            if n.key < hi then go acc (child h n.right) else acc in
+          let acc =
+            if lo <= n.key && n.key <= hi then (n.key, n.value) :: acc
+            else acc
+          in
+          if n.key > lo then go acc (child h n.left) else acc
+      in
+      go [] (View.target rootv))
+
   let retired_count h = T.retired_count h.th
   let force_empty h = T.force_empty h.th
   let allocator_stats t = Alloc.stats (T.allocator t.tracker)
@@ -311,4 +333,11 @@ module Make (T : Tracker_intf.TRACKER) = struct
       in
       ignore (go ~lo:min_int ~hi:max_int
                 (View.target (T.read_root h.th t.root))))
+
+  let map =
+    Some { Ds_intf.insert; remove; get; contains; to_sorted_list }
+
+  let queue = None
+  let range = Some { Ds_intf.range = range_scan }
+  let bulk = None
 end

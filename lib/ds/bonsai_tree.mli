@@ -4,9 +4,10 @@
 
     Rebalancing pins an unbounded set of nodes, so [compatible]
     excludes bounded-slot schemes (HP, HE) — the same exclusion as the
-    paper's Fig. 8d lineup.  Exposes exactly the {!Ds_intf.SET}
-    surface. *)
+    paper's Fig. 8d lineup.  Capabilities: [map] + [range] (scans run
+    against the immutable snapshot reachable from one root read).
+    Exposes exactly the {!Ds_intf.RIDEABLE} surface. *)
 
 open Ibr_core
 
-module Make (T : Tracker_intf.TRACKER) : Ds_intf.SET
+module Make (T : Tracker_intf.TRACKER) : Ds_intf.RIDEABLE

@@ -1,45 +1,85 @@
 (* Instantiate rideables over reclamation schemes by name — the OCaml
    analogue of the artifact's rideable menu.  A [maker] closes over a
-   functor application; the harness composes it with a tracker from
-   [Ibr_core.Registry]. *)
+   functor application and advertises the rideable's capability set,
+   so the harness can pick operations (and reject mixes) by capability
+   without instantiating anything. *)
 
 open Ibr_core
 
 type maker = {
   ds_name : string;
-  instantiate : Tracker_intf.packed -> (module Ds_intf.SET);
+  caps : Ds_intf.caps;
+  instantiate : Tracker_intf.packed -> (module Ds_intf.RIDEABLE);
 }
 
 let list_maker = {
   ds_name = "list";
+  caps = { Ds_intf.no_caps with map = true; range = true };
   instantiate =
     (fun (module T : Tracker_intf.TRACKER) ->
-       (module Harris_list.Make (T) : Ds_intf.SET));
+       (module Harris_list.Make (T) : Ds_intf.RIDEABLE));
 }
 
 let hashmap_maker = {
   ds_name = "hashmap";
+  caps = { Ds_intf.no_caps with map = true };
   instantiate =
     (fun (module T : Tracker_intf.TRACKER) ->
-       (module Michael_hashmap.Make (T) : Ds_intf.SET));
+       (module Michael_hashmap.Make (T) : Ds_intf.RIDEABLE));
+}
+
+let rhashmap_maker = {
+  ds_name = "rhashmap";
+  caps = { Ds_intf.no_caps with map = true; bulk = true };
+  instantiate =
+    (fun (module T : Tracker_intf.TRACKER) ->
+       (module Resizable_hashmap.Make (T) : Ds_intf.RIDEABLE));
 }
 
 let nm_tree_maker = {
   ds_name = "nmtree";
+  caps = { Ds_intf.no_caps with map = true; range = true };
   instantiate =
     (fun (module T : Tracker_intf.TRACKER) ->
-       (module Nm_tree.Make (T) : Ds_intf.SET));
+       (module Nm_tree.Make (T) : Ds_intf.RIDEABLE));
 }
 
 let bonsai_maker = {
   ds_name = "bonsai";
+  caps = { Ds_intf.no_caps with map = true; range = true };
   instantiate =
     (fun (module T : Tracker_intf.TRACKER) ->
-       (module Bonsai_tree.Make (T) : Ds_intf.SET));
+       (module Bonsai_tree.Make (T) : Ds_intf.RIDEABLE));
 }
 
-(* The paper's four rideables, in Fig. 8 order. *)
-let all = [ list_maker; hashmap_maker; nm_tree_maker; bonsai_maker ]
+let stack_maker = {
+  ds_name = "stack";
+  caps = { Ds_intf.no_caps with queue = true };
+  instantiate =
+    (fun (module T : Tracker_intf.TRACKER) ->
+       (module Treiber_stack.Make (T) : Ds_intf.RIDEABLE));
+}
+
+let msqueue_maker = {
+  ds_name = "msqueue";
+  caps = { Ds_intf.no_caps with queue = true };
+  instantiate =
+    (fun (module T : Tracker_intf.TRACKER) ->
+       (module Ms_queue.Make (T) : Ds_intf.RIDEABLE));
+}
+
+(* The paper's four rideables in Fig. 8 order, then the riders added
+   for workload diversity. *)
+let all =
+  [
+    list_maker;
+    hashmap_maker;
+    nm_tree_maker;
+    bonsai_maker;
+    rhashmap_maker;
+    stack_maker;
+    msqueue_maker;
+  ]
 
 let find name =
   let target = String.lowercase_ascii name in
@@ -56,5 +96,8 @@ let find_exn name =
 (* Can [ds] run under [tracker]?  (Checked via the instantiated
    module's own [compatible] predicate.) *)
 let compatible maker (module T : Tracker_intf.TRACKER) =
-  let (module S : Ds_intf.SET) = maker.instantiate (module T) in
+  let (module S : Ds_intf.RIDEABLE) = maker.instantiate (module T) in
   S.compatible T.props
+
+let supporting need =
+  List.filter (fun m -> Ds_intf.subsumes m.caps need) all

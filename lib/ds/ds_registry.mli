@@ -1,22 +1,31 @@
 (** Instantiate rideables over reclamation schemes by name — the OCaml
     analogue of the artifact's rideable menu.  A {!maker} closes over
-    a functor application; the harness composes it with a tracker from
-    [Ibr_core.Registry]. *)
+    a functor application and advertises the rideable's capability
+    set; the harness composes it with a tracker from
+    [Ibr_core.Registry] and selects operations by capability. *)
 
 open Ibr_core
 
 type maker = {
   ds_name : string;
-  instantiate : Tracker_intf.packed -> (module Ds_intf.SET);
+  caps : Ds_intf.caps;
+  (** What the instantiated module exports ([Some] capability
+      records); kept consistent with the modules by a registry qcheck
+      test. *)
+  instantiate : Tracker_intf.packed -> (module Ds_intf.RIDEABLE);
 }
 
 val list_maker : maker
 val hashmap_maker : maker
+val rhashmap_maker : maker
 val nm_tree_maker : maker
 val bonsai_maker : maker
+val stack_maker : maker
+val msqueue_maker : maker
 
 val all : maker list
-(** The paper's four rideables, in Fig. 8 order. *)
+(** The paper's four rideables in Fig. 8 order, then the riders added
+    for workload diversity (rhashmap, stack, msqueue). *)
 
 val find : string -> maker option
 (** Case-insensitive lookup by rideable name. *)
@@ -28,3 +37,7 @@ val find_exn : string -> maker
 val compatible : maker -> Tracker_intf.packed -> bool
 (** Can this rideable run under this tracker?  (Checked via the
     instantiated module's own [compatible] predicate.) *)
+
+val supporting : Ds_intf.caps -> maker list
+(** The rideables whose capabilities subsume [need] — what a
+    capability-mismatch error should suggest. *)

@@ -183,6 +183,34 @@ module Make (T : Tracker_intf.TRACKER) = struct
 
   let contains h ~key = get h ~key <> None
 
+  (* Bounded ordered scan: one hand-over-hand traversal from the head,
+     collecting unmarked keys in [lo, hi] and stopping at the first
+     key past [hi].  The whole scan runs inside one operation bracket,
+     so the reservation spans the full traversal — the long reader
+     interval the RANGE capability exists to stress. *)
+  let range_scan h ~lo ~hi =
+    wrap h (fun () ->
+      let th = h.th in
+      let rec walk acc v =
+        match View.target v with
+        | None -> List.rev acc
+        | Some b ->
+          let n = Block.get b in
+          if n.key > hi then List.rev acc
+          else begin
+            let nextv = T.read th ~slot:slot_next n.next in
+            let acc =
+              if n.key >= lo && View.tag nextv <> marked then
+                (n.key, n.value) :: acc
+              else acc
+            in
+            T.reassign th ~src:slot_cur ~dst:slot_prev;
+            T.reassign th ~src:slot_next ~dst:slot_cur;
+            walk acc nextv
+          end
+      in
+      walk [] (T.read th ~slot:slot_cur h.list.head))
+
   (* For rigs (robustness demo) that stage a stalled or crashed reader
      by driving the tracker handle around the [with_op] bracket. *)
   let tracker_handle h = h.th
@@ -236,4 +264,11 @@ module Make (T : Tracker_intf.TRACKER) = struct
 
   let to_sorted_list t = dump_chain t.tracker t.head
   let check_invariants t = check_chain t.tracker t.head
+
+  let map =
+    Some { Ds_intf.insert; remove; get; contains; to_sorted_list }
+
+  let queue = None
+  let range = Some { Ds_intf.range = range_scan }
+  let bulk = None
 end

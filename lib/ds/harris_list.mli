@@ -2,10 +2,12 @@
     structure): logical deletion by marking a node's [next] pointer,
     physical unlink by any traversal that encounters the mark.
 
-    Beyond the {!Ds_intf.SET} surface, [Raw] exposes the per-chain
-    operations against a caller-owned head pointer so
-    {!Michael_hashmap} can run one chain per bucket over a shared
-    tracker. *)
+    Capabilities: [map] + [range].  Beyond the {!Ds_intf.RIDEABLE}
+    surface, [Raw] exposes the per-chain operations against a
+    caller-owned head pointer so {!Michael_hashmap} can run one chain
+    per bucket over a shared tracker, and the keyed operations are
+    also exported directly for rigs that drive one list without going
+    through the capability records. *)
 
 open Ibr_core
 
@@ -14,12 +16,22 @@ module Make (T : Tracker_intf.TRACKER) : sig
       cells through {!Raw}. *)
   type node
 
-  include Ds_intf.SET
+  include Ds_intf.RIDEABLE
+
+  (** Direct keyed operations (the same functions the [map] capability
+      record carries), for rigs and examples that hold this module
+      concretely. *)
+
+  val insert : handle -> key:int -> value:int -> bool
+  val remove : handle -> key:int -> bool
+  val get : handle -> key:int -> int option
+  val contains : handle -> key:int -> bool
+  val to_sorted_list : t -> (int * int) list
 
   (** Chain-level operations for structures embedding lists.  The head
       pointer is any [T.make_ptr]-created cell; the handle must be
-      inside a start_op/end_op bracket (the [SET] operations wrap this
-      via {!Ds_common.with_op}).  All three may raise
+      inside a start_op/end_op bracket (the rideable operations wrap
+      this via {!Ds_common.with_op}).  All three may raise
       {!Ds_common.Restart} on CAS interference. *)
   module Raw : sig
     val insert :

@@ -103,4 +103,11 @@ module Make (T : Tracker_intf.TRACKER) = struct
 
   let check_invariants t =
     Array.iter (fun head -> L.check_chain t.tracker head) t.buckets
+
+  let map =
+    Some { Ds_intf.insert; remove; get; contains; to_sorted_list }
+
+  let queue = None
+  let range = None
+  let bulk = None
 end

@@ -5,7 +5,7 @@
 open Ibr_core
 
 module Make (T : Tracker_intf.TRACKER) : sig
-  include Ds_intf.SET
+  include Ds_intf.RIDEABLE
 
   val default_buckets : int
 

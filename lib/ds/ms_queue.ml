@@ -1,0 +1,271 @@
+(* The Michael & Scott lock-free FIFO queue [21] — the retire-at-head
+   churn rideable: every dequeue retires the node the whole consumer
+   side is spinning on, so the reclamation scheme is stressed exactly
+   where contention concentrates (Hart et al.'s canonical workload).
+
+   Representation: a dummy-headed singly linked list.  [head] points
+   at the current dummy; the front element lives in the dummy's
+   successor, and a dequeue swings [head] to that successor (which
+   becomes the new dummy) and retires the old one.  [tail] may lag by
+   at most one node; both enqueuers and dequeuers help it forward.
+
+   Reclamation-safety detail: a dequeue must help [tail] past the old
+   dummy *before* swinging [head].  Otherwise [tail] could be left
+   pointing at a retired node, and a later enqueue's tail read would
+   dereference freed memory — the head-of-queue UAF the
+   [queue_dequeue_churn] model-check scenario certifies. *)
+
+open Ibr_core
+
+module Make (T : Tracker_intf.TRACKER) = struct
+  let name = "michael-scott-queue"
+  let compatible (p : Tracker_intf.properties) = p.mutable_pointers
+  let slots_needed = 3
+
+  type node = {
+    value : int;
+    next : node T.ptr;
+  }
+
+  type t = {
+    tracker : node T.t;
+    head : node T.ptr;    (* current dummy *)
+    tail : node T.ptr;    (* last or second-to-last node *)
+    cfg : Tracker_intf.config;
+  }
+
+  type handle = {
+    queue : t;
+    th : node T.handle;
+    stats : Ds_common.op_stats;
+  }
+
+  (* Hazard-slot roles. *)
+  let slot_node = 0     (* the head/tail node an attempt anchors on *)
+  let slot_next = 1     (* its successor *)
+  let slot_tail = 2     (* tail snapshot during a dequeue's help *)
+
+  let create ~threads cfg =
+    let tracker = T.create ~threads cfg in
+    (* The initial dummy needs an allocating handle; tid 0 is
+       re-registered by the first worker, which is fine (same pattern
+       as the NM tree's sentinel setup). *)
+    let h0 = T.register tracker ~tid:0 in
+    let dummy = T.alloc h0 { value = 0; next = T.make_ptr tracker None } in
+    {
+      tracker;
+      head = T.make_ptr tracker (Some dummy);
+      tail = T.make_ptr tracker (Some dummy);
+      cfg;
+    }
+
+  let register queue ~tid =
+    { queue; th = T.register queue.tracker ~tid;
+      stats = Ds_common.make_op_stats () }
+
+  let attach queue =
+    match T.attach queue.tracker with
+    | None -> None
+    | Some th -> Some { queue; th; stats = Ds_common.make_op_stats () }
+
+  let detach h = T.detach h.th
+  let handle_tid h = T.handle_tid h.th
+
+  let wrap h f =
+    Ds_common.with_op ~stats:h.stats
+      ~start_op:(fun () -> T.start_op h.th)
+      ~end_op:(fun () -> T.end_op h.th)
+      ~on_neutralize:(fun () -> T.recover h.th)
+      ~max_cas_failures:h.queue.cfg.max_cas_failures
+      f
+
+  let enqueue h value =
+    wrap h (fun () ->
+      let rec attempt () =
+        let tailv = T.read h.th ~slot:slot_node h.queue.tail in
+        match View.target tailv with
+        | None -> assert false    (* tail never goes null *)
+        | Some tb ->
+          let tn = Block.get tb in
+          let nextv = T.read h.th ~slot:slot_next tn.next in
+          (match View.target nextv with
+           | Some nb ->
+             (* Tail lagging: help it forward, then retry. *)
+             ignore (T.cas h.th h.queue.tail ~expected:tailv (Some nb));
+             attempt ()
+           | None ->
+             (* Mask allocation through the linearizing link CAS (and
+                the loser's dealloc): a restart signal inside would
+                leak the fresh node or re-enqueue a landed one.  The
+                best-effort tail swing rides inside too — it touches
+                only pointer cells, no dereference. *)
+             let ok =
+               Ds_common.committed (fun () ->
+                 let b =
+                   T.alloc h.th
+                     { value; next = T.make_ptr h.queue.tracker None }
+                 in
+                 if T.cas h.th tn.next ~expected:nextv (Some b) then begin
+                   ignore
+                     (T.cas h.th h.queue.tail ~expected:tailv (Some b));
+                   true
+                 end
+                 else begin
+                   T.dealloc h.th b;
+                   false
+                 end)
+             in
+             if not ok then attempt ())
+      in
+      attempt ())
+
+  let dequeue h =
+    wrap h (fun () ->
+      let rec attempt () =
+        let headv = T.read h.th ~slot:slot_node h.queue.head in
+        match View.target headv with
+        | None -> assert false    (* head never goes null *)
+        | Some hb ->
+          let hn = Block.get hb in
+          let nextv = T.read h.th ~slot:slot_next hn.next in
+          let head_still_at hb =
+            match View.target (T.read h.th ~slot:slot_tail h.queue.head) with
+            | Some hb' -> hb' == hb
+            | None -> false
+          in
+          (match View.target nextv with
+           | None -> None          (* dummy has no successor: empty *)
+           | Some _ when not (head_still_at hb) ->
+             (* Head moved between the two reads: [hn.next] was a
+                retired dummy's stale field, so its target may already
+                be reclaimed — dereferencing it would be the queue's
+                use-after-free (the queue_dequeue_churn scenario's
+                witness shape).  Head still at [hb] proves neither
+                [hb] nor its successor has been retired yet. *)
+             attempt ()
+           | Some nb ->
+             (* Help tail past the old dummy BEFORE swinging head:
+                once head moves, the dummy is retired, and a lagging
+                tail would hand the next enqueuer a freed node. *)
+             let tailv = T.read h.th ~slot:slot_tail h.queue.tail in
+             (match View.target tailv with
+              | Some tb when tb == hb ->
+                ignore (T.cas h.th h.queue.tail ~expected:tailv (Some nb))
+              | _ -> ());
+             (* The element rides in the new dummy; read it while
+                slot_next protects [nb] (the field is immutable). *)
+             let v = (Block.get nb).value in
+             (* Mask the linearizing swing and the winner's retire as
+                one unit: a restarted successful dequeue would pop a
+                second element, and a signal between CAS and retire
+                would leak the dummy.  No dereference inside. *)
+             if
+               Ds_common.committed (fun () ->
+                 if
+                   T.cas h.th h.queue.head ~expected:headv
+                     (View.target nextv)
+                 then begin
+                   T.retire h.th hb;
+                   true
+                 end
+                 else false)
+             then Some v
+             else attempt ())
+      in
+      attempt ())
+
+  let peek h =
+    wrap h (fun () ->
+      let rec attempt () =
+        let headv = T.read h.th ~slot:slot_node h.queue.head in
+        match View.target headv with
+        | None -> assert false
+        | Some hb ->
+          let hn = Block.get hb in
+          let nextv = T.read h.th ~slot:slot_next hn.next in
+          (* Same head re-validation as dequeue before touching the
+             successor. *)
+          let fresh =
+            match View.target (T.read h.th ~slot:slot_tail h.queue.head) with
+            | Some hb' -> hb' == hb
+            | None -> false
+          in
+          (match View.target nextv with
+           | None -> None
+           | Some _ when not fresh -> attempt ()
+           | Some nb -> Some (Block.get nb).value)
+      in
+      attempt ())
+
+  let is_empty h = peek h = None
+
+  let retired_count h = T.retired_count h.th
+  let force_empty h = T.force_empty h.th
+  let allocator_stats t = Alloc.stats (T.allocator t.tracker)
+  let reclaim_service t = T.reclaim_service t.tracker
+  let epoch_value t = T.epoch_value t.tracker
+  let set_capacity t cap = Alloc.set_capacity (T.allocator t.tracker) cap
+  let eject t ~tid = T.eject t.tracker ~tid
+
+  (* Sequential-context dump, front (next-out) first: the dummy's
+     value is dead, everything after it is live. *)
+  let to_list t =
+    let th = T.register t.tracker ~tid:0 in
+    T.start_op th;
+    let rec go acc v =
+      match View.target v with
+      | None -> List.rev acc
+      | Some b ->
+        let n = Block.get b in
+        go (n.value :: acc) (T.read th ~slot:slot_next n.next)
+    in
+    let r =
+      match View.target (T.read th ~slot:slot_node t.head) with
+      | None -> []
+      | Some dummy -> go [] (T.read th ~slot:slot_next (Block.get dummy).next)
+    in
+    T.end_op th;
+    r
+
+  (* Quiescent structural check: the chain from [head] is acyclic
+     (bounded by the live count), touches no reclaimed block, and
+     [tail] points at a node still on the chain. *)
+  let check_invariants t =
+    let th = T.register t.tracker ~tid:0 in
+    T.start_op th;
+    let limit = (Alloc.stats (T.allocator t.tracker)).live + 1 in
+    let tail_b = View.target (T.read th ~slot:slot_tail t.tail) in
+    let rec go n ~seen_tail b =
+      if n > limit then
+        failwith "ms-queue invariant: chain longer than live count";
+      if Block.is_reclaimed b then
+        failwith "ms-queue invariant: reachable reclaimed block";
+      let seen_tail =
+        seen_tail || (match tail_b with Some tb -> tb == b | None -> false)
+      in
+      match View.target (T.read th ~slot:slot_next (Block.get b).next) with
+      | Some nxt -> go (n + 1) ~seen_tail nxt
+      | None ->
+        if not seen_tail then
+          failwith "ms-queue invariant: tail not reachable from head"
+    in
+    (match View.target (T.read th ~slot:slot_node t.head) with
+     | None -> failwith "ms-queue invariant: null head"
+     | Some dummy -> go 0 ~seen_tail:false dummy);
+    T.end_op th
+
+  let map = None
+
+  let queue =
+    Some
+      {
+        Ds_intf.enqueue;
+        dequeue;
+        peek;
+        order = Ds_intf.Fifo;
+        to_seq_list = to_list;
+      }
+
+  let range = None
+  let bulk = None
+end

@@ -1,0 +1,24 @@
+(** Michael–Scott lock-free FIFO queue — the retire-at-head churn
+    rideable: every dequeue retires the node the whole consumer side
+    is spinning on.
+
+    Capabilities: [queue] with [Fifo] order.  A dequeue helps [tail]
+    past the outgoing dummy before swinging [head], so a lagging tail
+    can never be left pointing at a retired node (the UAF the
+    [queue_dequeue_churn] model-check scenario certifies).  The
+    queue-shaped surface is also exported directly for tests. *)
+
+open Ibr_core
+
+module Make (T : Tracker_intf.TRACKER) : sig
+  include Ds_intf.RIDEABLE
+
+  val enqueue : handle -> int -> unit
+  val dequeue : handle -> int option
+  val peek : handle -> int option
+  val is_empty : handle -> bool
+
+  val to_list : t -> int list
+  (** Sequential-context dump, front (next-out) first (quiescent
+      structure only). *)
+end

@@ -352,6 +352,47 @@ module Make (T : Tracker_intf.TRACKER) = struct
 
   let contains h ~key = get h ~key <> None
 
+  (* Bounded ordered scan by repeated ceiling descent, all inside one
+     operation bracket (the reservation spans the whole scan — the
+     long reader interval the RANGE capability exists to stress).
+
+     Ceiling(k): route for [k] from R, recording the ikey of the last
+     internal where the search went left — that ikey is the least
+     upper bound of the skipped right subtrees, i.e. the next slot to
+     probe when the landed leaf's key falls short of [k].  The
+     recursion terminates because the recorded bound is strictly
+     greater than [k], and the sentinel frame guarantees a landing
+     leaf (inf1/inf2) for every probe. *)
+  let range_scan h ~lo ~hi =
+    if lo >= inf1 then []
+    else
+      wrap h (fun () ->
+        let th = h.th in
+        let rec ceiling k =
+          let rec descend b bound =
+            match Block.get b with
+            | Leaf l -> (l, bound)
+            | Internal i ->
+              let edge, bound =
+                if k < i.ikey then (i.left, i.ikey) else (i.right, bound)
+              in
+              T.reassign th ~src:slot_cur ~dst:slot_parent;
+              (match View.target (T.read th ~slot:slot_cur edge) with
+               | None -> raise Ds_common.Restart (* dead node: retry *)
+               | Some c -> descend c bound)
+          in
+          let l, bound = descend h.tree.root max_int in
+          if l.key >= k then l else ceiling bound
+        in
+        let rec collect acc k =
+          if k > hi then List.rev acc
+          else
+            let l = ceiling k in
+            if l.key > hi || l.key >= inf1 then List.rev acc
+            else collect ((l.key, l.value) :: acc) (l.key + 1)
+        in
+        collect [] lo)
+
   let retired_count h = T.retired_count h.th
   let force_empty h = T.force_empty h.th
   let allocator_stats t = Alloc.stats (T.allocator t.tracker)
@@ -434,4 +475,11 @@ module Make (T : Tracker_intf.TRACKER) = struct
         failwith "nm-tree invariant: key unreachable by routing search")
       sorted;
     T.end_op th
+
+  let map =
+    Some { Ds_intf.insert; remove; get; contains; to_sorted_list }
+
+  let queue = None
+  let range = Some { Ds_intf.range = range_scan }
+  let bulk = None
 end

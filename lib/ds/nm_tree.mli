@@ -3,9 +3,11 @@
     route; deletion flags and tags edges before unlinking a leaf and
     its parent.
 
-    Exposes exactly the {!Ds_intf.SET} surface; the seek-record
-    machinery and the edge flag/tag bits are internal. *)
+    Capabilities: [map] + [range] (bounded scans by repeated ceiling
+    descent, one reservation across the whole scan).  Exposes exactly
+    the {!Ds_intf.RIDEABLE} surface; the seek-record machinery and the
+    edge flag/tag bits are internal. *)
 
 open Ibr_core
 
-module Make (T : Tracker_intf.TRACKER) : Ds_intf.SET
+module Make (T : Tracker_intf.TRACKER) : Ds_intf.RIDEABLE

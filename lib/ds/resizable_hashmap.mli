@@ -1,0 +1,29 @@
+(** Resizable split-ordered hash map (Shalev & Shavit) — the
+    bulk-retirement rideable.
+
+    One globally sorted lock-free list in recursive-split key order,
+    plus a bucket array of shortcut pointers that lives in a tracker
+    block.  Growing the table publishes a doubled shortcut array and
+    retires the *entire superseded array* through the tracker as one
+    block — the BULK capability ([bulk.migrate] forces one doubling;
+    the map also grows itself at load factor {!val-load_factor}).
+
+    Capabilities: [map] + [bulk].  Keys must lie in
+    [0, 2{^30}) (the split-order bit-reversal needs the word's low
+    bit free). *)
+
+open Ibr_core
+
+val rev31 : int -> int
+(** Reverse the low 31 bits — the split-order position function,
+    exposed for the registry qcheck tests. *)
+
+module Make (T : Tracker_intf.TRACKER) : sig
+  include Ds_intf.RIDEABLE
+
+  val create_sized :
+    ?lg:int -> ?max_lg:int -> threads:int -> Tracker_intf.config -> t
+  (** [create_sized ~lg ~max_lg ~threads cfg] starts with [2^lg]
+      buckets (default [2^6]) and refuses to grow past [2^max_lg]
+      (default [2^18]). *)
+end

@@ -139,4 +139,39 @@ module Make (T : Tracker_intf.TRACKER) = struct
     let r = go [] (T.read th ~slot:0 t.top) in
     T.end_op th;
     r
+
+  (* Quiescent structural check: the chain from [top] is acyclic
+     (bounded by the allocator's live count) and touches no reclaimed
+     block. *)
+  let check_invariants t =
+    let th = T.register t.tracker ~tid:0 in
+    T.start_op th;
+    let limit = (Alloc.stats (T.allocator t.tracker)).live + 1 in
+    let rec go n v =
+      match View.target v with
+      | None -> ()
+      | Some b ->
+        if n > limit then
+          failwith "treiber-stack invariant: chain longer than live count";
+        if Block.is_reclaimed b then
+          failwith "treiber-stack invariant: reachable reclaimed block";
+        go (n + 1) (T.read th ~slot:0 (Block.get b).next)
+    in
+    go 0 (T.read th ~slot:0 t.top);
+    T.end_op th
+
+  let map = None
+
+  let queue =
+    Some
+      {
+        Ds_intf.enqueue = push;
+        dequeue = pop;
+        peek;
+        order = Ds_intf.Lifo;
+        to_seq_list = to_list;
+      }
+
+  let range = None
+  let bulk = None
 end

@@ -2,29 +2,15 @@
     persistent structure (immutable [next] pointers, all mutation
     through the top-of-stack pointer).
 
-    Not map-shaped, so not a {!Ds_intf.SET}: it keeps its own
-    stack-shaped surface and is used by the quickstart, the POIBR
-    examples, and the tests rather than the figure lineup. *)
+    Capabilities: [queue] with [Lifo] order — push/pop ride the
+    enqueue/dequeue record.  The stack-shaped surface below is also
+    exported directly for the quickstart, the POIBR examples, and the
+    tests. *)
 
 open Ibr_core
 
 module Make (T : Tracker_intf.TRACKER) : sig
-  val name : string
-  val compatible : Tracker_intf.properties -> bool
-  val slots_needed : int
-
-  type t
-  type handle
-
-  val create : threads:int -> Tracker_intf.config -> t
-  val register : t -> tid:int -> handle
-
-  val attach : t -> handle option
-  (** Dynamic thread churn: claim a free census slot, or [None] when
-      every slot is taken (see {!Ds_intf.SET}). *)
-
-  val detach : handle -> unit
-  val handle_tid : handle -> int
+  include Ds_intf.RIDEABLE
 
   (** Each operation brackets itself in start_op/end_op (see
       {!Ds_common.with_op}); a pop must not free a node another
@@ -34,16 +20,6 @@ module Make (T : Tracker_intf.TRACKER) : sig
   val pop : handle -> int option
   val peek : handle -> int option
   val is_empty : handle -> bool
-
-  (** Observability and fault hooks, mirroring {!Ds_intf.SET}. *)
-
-  val retired_count : handle -> int
-  val force_empty : handle -> unit
-  val allocator_stats : t -> Alloc.stats
-  val epoch_value : t -> int
-  val reclaim_service : t -> Handoff.service option
-  val set_capacity : t -> int option -> unit
-  val eject : t -> tid:int -> unit
 
   val to_list : t -> int list
   (** Sequential-context dump, top first (quiescent structure only). *)

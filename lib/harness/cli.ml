@@ -17,10 +17,18 @@ type base = {
   faults : string;
 }
 
-let parse_mix = function
+let parse_mix s =
+  match s with
   | "write" -> Workload.write_dominated
   | "read" -> Workload.read_dominated
-  | s -> failwith (Printf.sprintf "unknown mix %S (write|read)" s)
+  | _ ->
+    (match Workload.find_mix s with
+     | Some m -> m
+     | None ->
+       failwith
+         (Printf.sprintf "unknown mix %S (write|read|%s)" s
+            (String.concat "|"
+               (List.map Workload.mix_name Workload.profiles))))
 
 let parse_retire_backend s =
   match Ibr_core.Reclaimer.backend_of_string s with

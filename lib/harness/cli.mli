@@ -19,7 +19,9 @@ type base = {
 }
 
 val parse_mix : string -> Workload.mix
-(** Raises [Failure] naming the valid mixes on unknown input. *)
+(** Accepts the legacy aliases [write]/[read], the full legacy names,
+    and the YCSB-like profile letters [A]–[F] (case-insensitive).
+    Raises [Failure] naming the valid mixes on unknown input. *)
 
 val parse_retire_backend : string -> Ibr_core.Reclaimer.backend
 (** Raises [Failure] listing the registered backends on unknown

@@ -599,3 +599,60 @@ let robustness_checks (rows : Stats.t list) =
         | None -> ()))
     [ "EBR"; "DEBRA" ];
   List.rev !checks
+
+(* The workload-diversity campaign (ISSUE 10): every YCSB-like profile
+   on a capability-matched rideable, under every paper-set scheme that
+   can run that rideable.  One fixed thread count — the axis here is
+   the operation mix, not scaling — and deterministic sim rows, so the
+   EXPERIMENTS.md table is byte-reproducible. *)
+let profile_rideables =
+  [ ("A", "hashmap"); ("B", "hashmap"); ("C", "hashmap");
+    ("D", "msqueue"); ("E", "nmtree"); ("F", "rhashmap") ]
+
+let profile_sweep ?(threads = 16) ?(horizon = 60_000) ?(seed = 0x9c5b) () =
+  List.concat_map
+    (fun (pname, ds_name) ->
+       let mix =
+         match Workload.find_mix pname with
+         | Some m -> m
+         | None -> invalid_arg ("unknown profile " ^ pname)
+       in
+       let spec = Workload.spec_for ~mix ds_name in
+       List.filter_map
+         (fun (e : Registry.entry) ->
+            let cfg =
+              Runner_sim.default_config ~threads ~horizon ~seed ~spec ()
+            in
+            Runner_sim.run_named ~tracker_name:e.name ~ds_name cfg)
+         (lineup ds_name))
+    profile_rideables
+
+let profile_table (rows : Stats.t list) =
+  let b = Buffer.create 2048 in
+  let cell scheme pname =
+    match
+      List.find_opt
+        (fun (r : Stats.t) -> r.Stats.tracker = scheme && r.Stats.mix = pname)
+        rows
+    with
+    | None -> "--"
+    | Some r ->
+      Printf.sprintf "%.0f / %.0f" r.Stats.throughput r.Stats.avg_unreclaimed
+  in
+  Buffer.add_string b "| scheme |";
+  List.iter
+    (fun (p, ds) -> Buffer.add_string b (Printf.sprintf " %s (%s) |" p ds))
+    profile_rideables;
+  Buffer.add_string b "\n|---|";
+  List.iter (fun _ -> Buffer.add_string b "---|") profile_rideables;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (e : Registry.entry) ->
+       Buffer.add_string b (Printf.sprintf "| %s |" e.name);
+       List.iter
+         (fun (p, _) ->
+            Buffer.add_string b (Printf.sprintf " %s |" (cell e.name p)))
+         profile_rideables;
+       Buffer.add_char b '\n')
+    Registry.paper_set;
+  Buffer.contents b

@@ -124,3 +124,20 @@ val robustness_checks : Stats.t list -> check list
     watchdog — EBR's and DEBRA's peaks stay bounded with zero
     ejections: stalled workers are healed, not written off
     (DESIGN.md §12). *)
+
+val profile_rideables : (string * string) list
+(** YCSB-like profile letter -> the capability-matched rideable the
+    campaign runs it on (A/B/C on the hashmap, D on the MS queue, E on
+    the NM tree's range scans, F on the resizable hashmap's
+    migrations). *)
+
+val profile_sweep :
+  ?threads:int -> ?horizon:int -> ?seed:int -> unit -> Stats.t list
+(** The workload-diversity campaign: each profile on its rideable
+    under every compatible paper-set scheme, deterministic sim rows at
+    one fixed thread count. *)
+
+val profile_table : Stats.t list -> string
+(** Markdown scheme x profile table of [profile_sweep] rows; each cell
+    is "throughput / avg-unreclaimed", "--" where the scheme cannot
+    run the profile's rideable. *)

@@ -190,15 +190,59 @@ let domains_exec ~threads ~duration_s ~seed ~faults () : Runner_intf.exec =
 
 (* -- the shared run loop -- *)
 
+(* Fail fast when the mix draws on a capability the rideable does not
+   export, naming the rideables that could run it instead. *)
+let check_caps ~ds_name (module S : Ds_intf.RIDEABLE) (mix : Workload.mix) =
+  let need = Workload.required mix in
+  let have = Ds_intf.caps_of (module S) in
+  if not (Ds_intf.subsumes have need) then begin
+    let missing =
+      {
+        Ds_intf.map = need.map && not have.map;
+        queue = need.queue && not have.queue;
+        range = need.range && not have.range;
+        bulk = need.bulk && not have.bulk;
+      }
+    in
+    let capable =
+      match Ds_registry.supporting need with
+      | [] -> "none"
+      | ms -> String.concat ", " (List.map (fun m -> m.Ds_registry.ds_name) ms)
+    in
+    invalid_arg
+      (Printf.sprintf
+         "Run_engine: rideable %S lacks capability %s needed by mix %S \
+          (capable rideables: %s)"
+         ds_name
+         (Ds_intf.caps_to_string missing)
+         (Workload.mix_name mix) capable)
+  end
+
 let run ~(exec : Runner_intf.exec) ~tracker_name ~ds_name
-    (module S : Ds_intf.SET) (cfg : config) =
+    (module S : Ds_intf.RIDEABLE) (cfg : config) =
   Runner_intf.require exec cfg.faults;
+  check_caps ~ds_name (module S) cfg.spec.mix;
+  (* Resolve the capability records once; the fail-fast above
+     guarantees every op the mix can draw has its record. *)
+  let mops = S.map and qops = S.queue and rops = S.range and bops = S.bulk in
   let t = S.create ~threads:cfg.threads cfg.tracker_cfg in
-  (* Prefill from a registration outside the measured run. *)
+  (* Prefill from a registration outside the measured run: through the
+     map when there is one (byte-identical to the historical prefill),
+     else by enqueueing the selected keys. *)
   let h0 = S.register t ~tid:0 in
   let prefill_rng = Rng.create (cfg.seed lxor 0x5eed) in
-  Workload.prefill ~rng:prefill_rng ~spec:cfg.spec
-    ~insert:(fun ~key ~value -> S.insert h0 ~key ~value);
+  let prefill_insert =
+    match mops with
+    | Some m -> fun ~key ~value -> m.Ds_intf.insert h0 ~key ~value
+    | None ->
+      (match qops with
+       | Some q ->
+         fun ~key ~value:_ ->
+           q.Ds_intf.enqueue h0 key;
+           true
+       | None -> fun ~key:_ ~value:_ -> false)
+  in
+  Workload.prefill ~rng:prefill_rng ~spec:cfg.spec ~insert:prefill_insert;
   (* The capacity can only be sized now: the working set exists. *)
   (match cfg.faults with
    | Crash_capped { slack_per_thread; _ } ->
@@ -227,9 +271,20 @@ let run ~(exec : Runner_intf.exec) ~tracker_name ~ds_name
         let key = Workload.pick_key rng cfg.spec in
         (try
            (match Workload.pick_op rng cfg.spec.mix with
-            | Workload.Insert -> ignore (S.insert h ~key ~value:key)
-            | Workload.Remove -> ignore (S.remove h ~key)
-            | Workload.Get -> ignore (S.get h ~key));
+            | Workload.Insert ->
+              ignore ((Option.get mops).Ds_intf.insert h ~key ~value:key)
+            | Workload.Remove ->
+              ignore ((Option.get mops).Ds_intf.remove h ~key)
+            | Workload.Get -> ignore ((Option.get mops).Ds_intf.get h ~key)
+            | Workload.Scan ->
+              ignore
+                ((Option.get rops).Ds_intf.range h ~lo:key
+                   ~hi:(Workload.scan_hi cfg.spec key))
+            | Workload.Enqueue -> (Option.get qops).Ds_intf.enqueue h key
+            | Workload.Dequeue ->
+              ignore ((Option.get qops).Ds_intf.dequeue h)
+            | Workload.Migrate ->
+              ignore ((Option.get bops).Ds_intf.migrate h));
            ops.(tid) <- ops.(tid) + 1
          with
          | Ibr_core.Alloc.Exhausted
@@ -333,7 +388,7 @@ let run ~(exec : Runner_intf.exec) ~tracker_name ~ds_name
 let run_named ~exec ~tracker_name ~ds_name cfg =
   let tracker = (Ibr_core.Registry.find_exn tracker_name).tracker in
   let maker = Ds_registry.find_exn ds_name in
-  let (module S : Ds_intf.SET) = maker.instantiate tracker in
+  let (module S : Ds_intf.RIDEABLE) = maker.instantiate tracker in
   let (module T : Ibr_core.Tracker_intf.TRACKER) = tracker in
   if not (S.compatible T.props) then None
   else Some (run ~exec ~tracker_name:T.name ~ds_name (module S) cfg)

@@ -38,14 +38,22 @@ val domains_exec :
     deadline through [worker_tick]/[worker_running]; service threads
     run until every worker has joined. *)
 
+val check_caps :
+  ds_name:string -> (module Ibr_ds.Ds_intf.RIDEABLE) -> Workload.mix -> unit
+(** Fail fast ([Invalid_argument]) when the mix draws on a capability
+    the rideable does not export; the message names the missing
+    capability and the rideables that could run the mix. *)
+
 val run :
   exec:Runner_intf.exec ->
   tracker_name:string -> ds_name:string ->
-  (module Ibr_ds.Ds_intf.SET) -> config -> Stats.t
+  (module Ibr_ds.Ds_intf.RIDEABLE) -> config -> Stats.t
 (** Run one configuration to completion and assemble its stats row
     ([backend] stamped from the exec).
     @raise Runner_intf.Unsupported if [config.faults] needs a
-    capability the backend does not declare. *)
+    capability the backend does not declare.
+    @raise Invalid_argument if the mix draws on a capability the
+    rideable does not export (the message lists capable rideables). *)
 
 val run_named :
   exec:Runner_intf.exec ->

@@ -45,7 +45,7 @@ let engine_config (cfg : config) = {
   faults = cfg.faults;
 }
 
-let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
+let run ~tracker_name ~ds_name (module S : Ds_intf.RIDEABLE) (cfg : config) =
   Run_engine.run ~exec:(exec_of_config cfg) ~tracker_name ~ds_name
     (module S) (engine_config cfg)
 

@@ -24,7 +24,7 @@ val default_config :
   ?faults:Runner_intf.faults -> spec:Workload.spec -> unit -> config
 
 val run :
-  tracker_name:string -> ds_name:string -> (module Ibr_ds.Ds_intf.SET) ->
+  tracker_name:string -> ds_name:string -> (module Ibr_ds.Ds_intf.RIDEABLE) ->
   config -> Stats.t
 
 val run_named :

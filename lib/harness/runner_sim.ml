@@ -98,7 +98,7 @@ let engine_config cfg = {
   faults = cfg.faults;
 }
 
-let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (cfg : config) =
+let run ~tracker_name ~ds_name (module S : Ds_intf.RIDEABLE) (cfg : config) =
   let sched = Sched.create (sched_config cfg) in
   let exec = Run_engine.sim_exec ~sched ~horizon:cfg.horizon in
   Run_engine.run ~exec ~tracker_name ~ds_name (module S) (engine_config cfg)

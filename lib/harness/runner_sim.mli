@@ -83,7 +83,7 @@ val sched_config : config -> Ibr_runtime.Sched.config
     [stall_prob], etc.). *)
 
 val run :
-  tracker_name:string -> ds_name:string -> (module Ibr_ds.Ds_intf.SET) ->
+  tracker_name:string -> ds_name:string -> (module Ibr_ds.Ds_intf.RIDEABLE) ->
   config -> Stats.t
 
 val run_named :

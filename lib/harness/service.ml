@@ -248,13 +248,17 @@ let check ~metric ~target ~actual =
    [exec.worker_running] (always true on the sim, where the horizon
    unwinds fibers instead). *)
 let run_exec ~(exec : Runner_intf.exec) ~tracker_name ~ds_name
-    (module S : Ds_intf.SET) (p : profile) =
+    (module S : Ds_intf.RIDEABLE) (p : profile) =
   Runner_intf.require_capability exec "service";
+  Run_engine.check_caps ~ds_name (module S) p.spec.mix;
   if p.workers < 1 then invalid_arg "Service.run: workers must be >= 1";
   if p.fleet < 1 then invalid_arg "Service.run: fleet must be >= 1";
   if p.period < 1 then invalid_arg "Service.run: period must be >= 1";
   if p.session_ops < 1 then
     invalid_arg "Service.run: session_ops must be >= 1";
+  (* Capability records, resolved once (the fail-fast above covers
+     every op the mix can draw). *)
+  let mops = S.map and qops = S.queue and rops = S.range and bops = S.bulk in
   let t = S.create ~threads:p.workers p.tracker_cfg in
   (* Prefill through an attached handle, detached before the run: the
      measured phase starts with a fully free census and a populated
@@ -264,8 +268,18 @@ let run_exec ~(exec : Runner_intf.exec) ~tracker_name ~ds_name
    | None -> assert false   (* fresh census is never full *)
    | Some h0 ->
      let prefill_rng = Rng.create (p.seed lxor 0x5eed) in
-     Workload.prefill ~rng:prefill_rng ~spec:p.spec
-       ~insert:(fun ~key ~value -> S.insert h0 ~key ~value);
+     let prefill_insert =
+       match mops with
+       | Some m -> fun ~key ~value -> m.Ds_intf.insert h0 ~key ~value
+       | None ->
+         (match qops with
+          | Some q ->
+            fun ~key ~value:_ ->
+              q.Ds_intf.enqueue h0 key;
+              true
+          | None -> fun ~key:_ ~value:_ -> false)
+     in
+     Workload.prefill ~rng:prefill_rng ~spec:p.spec ~insert:prefill_insert;
      S.detach h0);
   let arrivals, arrivals_capped = gen_arrivals p in
   let n_arr = Array.length arrivals in
@@ -296,9 +310,18 @@ let run_exec ~(exec : Runner_intf.exec) ~tracker_name ~ds_name
     let key = Workload.zipf_pick zipf rng in
     try
       (match Workload.pick_op rng p.spec.mix with
-       | Workload.Insert -> ignore (S.insert h ~key ~value:key)
-       | Workload.Remove -> ignore (S.remove h ~key)
-       | Workload.Get -> ignore (S.get h ~key));
+       | Workload.Insert ->
+         ignore ((Option.get mops).Ds_intf.insert h ~key ~value:key)
+       | Workload.Remove ->
+         ignore ((Option.get mops).Ds_intf.remove h ~key)
+       | Workload.Get -> ignore ((Option.get mops).Ds_intf.get h ~key)
+       | Workload.Scan ->
+         ignore
+           ((Option.get rops).Ds_intf.range h ~lo:key
+              ~hi:(Workload.scan_hi p.spec key))
+       | Workload.Enqueue -> (Option.get qops).Ds_intf.enqueue h key
+       | Workload.Dequeue -> ignore ((Option.get qops).Ds_intf.dequeue h)
+       | Workload.Migrate -> ignore ((Option.get bops).Ds_intf.migrate h));
       lat.(i) <- exec.now () - ta
     with
     | Ibr_core.Alloc.Exhausted
@@ -477,7 +500,7 @@ let run_exec ~(exec : Runner_intf.exec) ~tracker_name ~ds_name
 
 (* Simulator entry point (the historical API): build the machine from
    the profile and run through its exec. *)
-let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (p : profile) =
+let run ~tracker_name ~ds_name (module S : Ds_intf.RIDEABLE) (p : profile) =
   let sched =
     Sched.create { Sched.default_config with cores = p.cores; seed = p.seed }
   in
@@ -487,7 +510,7 @@ let run ~tracker_name ~ds_name (module S : Ds_intf.SET) (p : profile) =
 let run_named_exec ~exec ~tracker_name ~ds_name p =
   let tracker = (Ibr_core.Registry.find_exn tracker_name).tracker in
   let maker = Ds_registry.find_exn ds_name in
-  let (module S : Ds_intf.SET) = maker.instantiate tracker in
+  let (module S : Ds_intf.RIDEABLE) = maker.instantiate tracker in
   let (module T : Ibr_core.Tracker_intf.TRACKER) = tracker in
   if not (S.compatible T.props) then None
   else Some (run_exec ~exec ~tracker_name:T.name ~ds_name (module S) p)

@@ -5,7 +5,7 @@
     microbenchmark: requests arrive on a precomputed Poisson or bursty
     schedule (diurnal ramp + load spikes), keys are Zipf-skewed, and a
     fleet of worker fibers join and leave the tracker census through
-    {!Ibr_ds.Ds_intf.SET.attach}/[detach] while serving.  Per-request
+    {!Ibr_ds.Ds_intf.RIDEABLE.attach}/[detach] while serving.  Per-request
     latency is measured arrival-to-completion (queueing included) and
     the run ends with SLO pass/fail verdicts over p50/p99/p999 latency
     and peak allocator footprint.
@@ -114,7 +114,7 @@ type result = {
 
 val run :
   tracker_name:string -> ds_name:string ->
-  (module Ibr_ds.Ds_intf.SET) -> profile -> result
+  (module Ibr_ds.Ds_intf.RIDEABLE) -> profile -> result
 (** One full service run on a fresh instance.  Prefills through a
     temporary attach/detach, spawns [fleet] workers plus the
     background reclaimer (if the tracker has one) and the optional
@@ -127,7 +127,7 @@ val run :
 
 val run_exec :
   exec:Runner_intf.exec -> tracker_name:string -> ds_name:string ->
-  (module Ibr_ds.Ds_intf.SET) -> profile -> result
+  (module Ibr_ds.Ds_intf.RIDEABLE) -> profile -> result
 (** {!run} over an explicit backend.  On a {!Run_engine.sim_exec} this
     is exactly {!run}; on a {!Run_engine.domains_exec} the same
     precomputed arrival schedule plays out against the monotonic wall
@@ -140,7 +140,7 @@ val run_exec :
 val run_named :
   tracker_name:string -> ds_name:string -> profile -> result option
 (** Resolve by registry names; [None] if the tracker cannot run this
-    rideable (see {!Ibr_ds.Ds_intf.SET.compatible}).
+    rideable (see {!Ibr_ds.Ds_intf.RIDEABLE.compatible}).
     @raise Not_found on unknown names. *)
 
 val run_named_exec :

@@ -1,10 +1,19 @@
-(* Workload generation (paper §5).
+(* Workload generation (paper §5, extended).
 
    Fixed-time microbenchmark: threads call random operations with
-   random keys on a shared key-value structure.  The paper prefills
-   three quarters of the key range, then runs either the
-   write-dominated mix (50% insert / 50% remove) or the read-dominated
-   mix (90% get / 5% insert / 5% remove).
+   random keys on a shared structure.  The paper prefills three
+   quarters of the key range, then runs either the write-dominated mix
+   (50% insert / 50% remove) or the read-dominated mix (90% get / 5%
+   insert / 5% remove).  On top of those two, this module names
+   YCSB-like profiles A–F spanning the capability surface: map point
+   ops, range scans, queue churn, and forced table migrations.
+
+   Determinism contract: [pick_op] consumes exactly ONE [Rng.int rng
+   100] draw per call, with thresholds tested in insert -> remove ->
+   scan -> enqueue -> dequeue -> migrate order.  The legacy mixes keep
+   every new percentage at zero, so their op streams (and the golden
+   CSVs derived from them) are byte-identical to the pre-profile
+   harness.
 
    Key ranges: the paper uses 2^16 for every structure.  Under the
    instruction-level simulator a 2^16-key ordered list would spend
@@ -14,21 +23,88 @@
 
 open Ibr_runtime
 
-type op = Insert | Remove | Get
+type op = Insert | Remove | Get | Scan | Enqueue | Dequeue | Migrate
 
 type mix = {
+  mix_label : string;
   insert_pct : int;
   remove_pct : int;
+  scan_pct : int;
+  enqueue_pct : int;
+  dequeue_pct : int;
+  migrate_pct : int;
   (* remainder = Get *)
 }
 
-let write_dominated = { insert_pct = 50; remove_pct = 50 }
-let read_dominated = { insert_pct = 5; remove_pct = 5 }
+let point_mix name ~insert ~remove = {
+  mix_label = name;
+  insert_pct = insert;
+  remove_pct = remove;
+  scan_pct = 0;
+  enqueue_pct = 0;
+  dequeue_pct = 0;
+  migrate_pct = 0;
+}
 
-let mix_name m =
-  if m = write_dominated then "write-dominated"
-  else if m = read_dominated then "read-dominated"
-  else Printf.sprintf "%din/%drm" m.insert_pct m.remove_pct
+let write_dominated = point_mix "write-dominated" ~insert:50 ~remove:50
+let read_dominated = point_mix "read-dominated" ~insert:5 ~remove:5
+
+(* YCSB-like profiles.  A–C mirror the YCSB core point-op mixes; D–F
+   exercise the queue, range and bulk capabilities. *)
+let profile_a = point_mix "A" ~insert:50 ~remove:50
+let profile_b = point_mix "B" ~insert:5 ~remove:5
+let profile_c = point_mix "C" ~insert:0 ~remove:0
+
+let profile_d = {
+  (point_mix "D" ~insert:0 ~remove:0) with
+  enqueue_pct = 50;
+  dequeue_pct = 50;
+}
+
+let profile_e = {
+  (point_mix "E" ~insert:5 ~remove:5) with
+  scan_pct = 90;
+}
+
+let profile_f = {
+  (point_mix "F" ~insert:60 ~remove:10) with
+  migrate_pct = 2;
+}
+
+let profiles =
+  [
+    write_dominated;
+    read_dominated;
+    profile_a;
+    profile_b;
+    profile_c;
+    profile_d;
+    profile_e;
+    profile_f;
+  ]
+
+let mix_name m = m.mix_label
+
+let find_mix name =
+  let target = String.lowercase_ascii name in
+  List.find_opt
+    (fun m -> String.lowercase_ascii m.mix_label = target)
+    profiles
+
+let get_pct m =
+  100
+  - (m.insert_pct + m.remove_pct + m.scan_pct + m.enqueue_pct
+     + m.dequeue_pct + m.migrate_pct)
+
+(* The capabilities a rideable must export to run this mix. *)
+let required m =
+  {
+    Ibr_ds.Ds_intf.map =
+      m.insert_pct + m.remove_pct + get_pct m > 0;
+    queue = m.enqueue_pct + m.dequeue_pct > 0;
+    range = m.scan_pct > 0;
+    bulk = m.migrate_pct > 0;
+  }
 
 type spec = {
   key_range : int;
@@ -46,20 +122,44 @@ let default_spec = {
 let sim_key_range = function
   | "list" -> 256
   | "hashmap" -> 16384
+  | "rhashmap" -> 16384
   | "nmtree" -> 4096
   | "bonsai" -> 2048
+  | "stack" | "msqueue" -> 4096
   | _ -> 4096
 
 let spec_for ?(mix = write_dominated) ds_name =
   { default_spec with key_range = sim_key_range ds_name; mix }
 
+(* Exactly one draw; legacy mixes hit only the first two thresholds,
+   preserving their historical op streams bit-for-bit. *)
 let pick_op rng mix =
   let r = Rng.int rng 100 in
   if r < mix.insert_pct then Insert
   else if r < mix.insert_pct + mix.remove_pct then Remove
+  else if r < mix.insert_pct + mix.remove_pct + mix.scan_pct then Scan
+  else if
+    r < mix.insert_pct + mix.remove_pct + mix.scan_pct + mix.enqueue_pct
+  then Enqueue
+  else if
+    r
+    < mix.insert_pct + mix.remove_pct + mix.scan_pct + mix.enqueue_pct
+      + mix.dequeue_pct
+  then Dequeue
+  else if
+    r
+    < mix.insert_pct + mix.remove_pct + mix.scan_pct + mix.enqueue_pct
+      + mix.dequeue_pct + mix.migrate_pct
+  then Migrate
   else Get
 
 let pick_key rng spec = Rng.int rng spec.key_range
+
+(* A scan covers ~1/64th of the key range starting at the drawn key —
+   wide enough to traverse retire-heavy regions, narrow enough that a
+   scan costs a bounded multiple of a point op. *)
+let scan_hi spec lo =
+  min (spec.key_range - 1) (lo + max 1 (spec.key_range / 64) - 1)
 
 (* Zipfian key skew for the service simulation: P(k) proportional to
    1/(k+1)^theta over [0, key_range), hot keys at the low end.  The

@@ -1,12 +1,19 @@
-(** Workload generation (paper §5): fixed-time microbenchmarks of
-    random operations with random keys, prefill of 3/4 of the key
-    range, write-dominated or read-dominated mixes. *)
+(** Workload generation (paper §5, extended): fixed-time
+    microbenchmarks of random operations with random keys, prefill of
+    3/4 of the key range, the paper's write/read-dominated mixes plus
+    YCSB-like profiles A–F spanning map, range, queue and bulk
+    capabilities. *)
 
-type op = Insert | Remove | Get
+type op = Insert | Remove | Get | Scan | Enqueue | Dequeue | Migrate
 
 type mix = {
+  mix_label : string;  (** what {!mix_name} reports (the CSV column) *)
   insert_pct : int;
-  remove_pct : int;   (** remainder of 100 is [Get] *)
+  remove_pct : int;
+  scan_pct : int;
+  enqueue_pct : int;
+  dequeue_pct : int;
+  migrate_pct : int;   (** remainder of 100 is [Get] *)
 }
 
 val write_dominated : mix
@@ -15,7 +22,38 @@ val write_dominated : mix
 val read_dominated : mix
 (** 90% get / 5% insert / 5% remove (the Fig. 10 workload). *)
 
+val profile_a : mix
+(** Profile A, update-heavy: 50% insert / 50% remove. *)
+
+val profile_b : mix
+(** Profile B, read-heavy: 90% get / 5% insert / 5% remove. *)
+
+val profile_c : mix
+(** Profile C, read-only: 100% get. *)
+
+val profile_d : mix
+(** Profile D, queue churn: 50% enqueue / 50% dequeue. *)
+
+val profile_e : mix
+(** Profile E, scan-heavy: 90% scan / 5% insert / 5% remove. *)
+
+val profile_f : mix
+(** Profile F, migration-heavy: 60% insert / 10% remove / 2% migrate /
+    28% get. *)
+
+val profiles : mix list
+(** Every named mix, legacy first. *)
+
 val mix_name : mix -> string
+
+val find_mix : string -> mix option
+(** Case-insensitive lookup by {!field-mix_label}. *)
+
+val get_pct : mix -> int
+(** The [Get] remainder of the 100-point budget. *)
+
+val required : mix -> Ibr_ds.Ds_intf.caps
+(** The capabilities a rideable must export to run this mix. *)
 
 type spec = {
   key_range : int;
@@ -33,7 +71,15 @@ val spec_for : ?mix:mix -> string -> spec
 (** Simulator-scaled spec for a rideable name. *)
 
 val pick_op : Ibr_runtime.Rng.t -> mix -> op
+(** Exactly one [Rng.int rng 100] draw, thresholds in insert ->
+    remove -> scan -> enqueue -> dequeue -> migrate order: legacy
+    mixes keep their historical op streams bit-for-bit. *)
+
 val pick_key : Ibr_runtime.Rng.t -> spec -> int
+
+val scan_hi : spec -> int -> int
+(** [scan_hi spec lo] — upper bound of a range scan starting at [lo]
+    (~1/64th of the key range, clamped). *)
 
 type zipf
 (** Precomputed Zipfian CDF over a key range (hot keys at the low

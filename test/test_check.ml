@@ -85,7 +85,8 @@ let checked_in_traces =
   [ "reader_writer_UnsafeFree.trace";
     "reader_writer_2GEIBR-unfenced.trace";
     "advance_race_QSBR-noncas.trace";
-    "thread_churn_EBR-noflush.trace" ]
+    "thread_churn_EBR-noflush.trace";
+    "queue_dequeue_churn_2GEIBR-unfenced.trace" ]
 
 let test_checked_in_traces () =
   List.iter

@@ -6,12 +6,15 @@ open Ibr_harness
 let test_mix_rates () =
   let rng = Ibr_runtime.Rng.create 5 in
   let count mix n =
-    let ins = ref 0 and rem = ref 0 and get = ref 0 in
+    let ins = ref 0 and rem = ref 0 and get = ref 0 and other = ref 0 in
+    ignore other;
     for _ = 1 to n do
       match Workload.pick_op rng mix with
       | Workload.Insert -> incr ins
       | Workload.Remove -> incr rem
       | Workload.Get -> incr get
+      | Workload.Scan | Workload.Enqueue | Workload.Dequeue
+      | Workload.Migrate -> incr other
     done;
     (!ins, !rem, !get)
   in

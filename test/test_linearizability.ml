@@ -77,8 +77,9 @@ let check_key events =
   go 0 false
 
 (* Run a concurrent workload recording a history; check every key. *)
-let run_and_check (module S : Ds_intf.SET) ~prefill ~seed ~threads ~key_range
-    ~ops_per_thread =
+let run_and_check (module S : Ds_intf.RIDEABLE) ~prefill ~seed ~threads
+    ~key_range ~ops_per_thread =
+  let m = Option.get S.map in
   let cfg =
     { (Tracker_intf.default_config ~threads ()) with
       reuse = false; epoch_freq = 2; empty_freq = 8 } in
@@ -90,7 +91,7 @@ let run_and_check (module S : Ds_intf.SET) ~prefill ~seed ~threads ~key_range
     let h0 = S.register t ~tid:0 in
     for key = 0 to key_range - 1 do
       if key mod 2 = 0 then begin
-        ignore (S.insert h0 ~key ~value:key);
+        ignore (m.insert h0 ~key ~value:key);
         history :=
           (key, { kind = Ins; result = true; t_inv = -2; t_resp = -1 })
           :: !history
@@ -112,9 +113,9 @@ let run_and_check (module S : Ds_intf.SET) ~prefill ~seed ~threads ~key_range
            let t_inv = Hooks.global_now () in
            let kind, result =
              match Rng.int rng 3 with
-             | 0 -> (Ins, S.insert h ~key ~value:key)
-             | 1 -> (Rem, S.remove h ~key)
-             | _ -> (Has, S.contains h ~key)
+             | 0 -> (Ins, m.insert h ~key ~value:key)
+             | 1 -> (Rem, m.remove h ~key)
+             | _ -> (Has, m.contains h ~key)
            in
            let t_resp = Hooks.global_now () in
            logs.(tid) <- (key, { kind; result; t_inv; t_resp }) :: logs.(tid)
@@ -180,7 +181,8 @@ let pairs =
          [ Registry.ebr; Registry.hp; Registry.he; Registry.po_ibr;
            Registry.tag_ibr; Registry.tag_ibr_wcas; Registry.two_ge_ibr;
            Registry.qsbr ])
-    Ds_registry.all
+    (List.filter (fun (m : Ds_registry.maker) -> m.caps.Ds_intf.map)
+       Ds_registry.all)
 
 let suite =
   Alcotest.test_case "checker rejects broken histories" `Quick

@@ -11,6 +11,7 @@ let () =
       ("sweep", Test_sweep.suite);
       ("sets", Test_sets.suite);
       ("stack", Test_stack.suite);
+      ("rideables", Test_rideables.suite);
       ("safety", Test_safety.suite);
       ("unsound", Test_unsound.suite);
       ("check", Test_check.suite);

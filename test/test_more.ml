@@ -61,6 +61,8 @@ let test_fig8_shape () =
 
 module HM = Ibr_ds.Michael_hashmap.Make (Ebr)
 
+let hm_ops = Option.get HM.map
+
 let hm_cfg = { (Tracker_intf.default_config ()) with reuse = false }
 
 let test_hashmap_bucket_validation () =
@@ -73,22 +75,22 @@ let test_hashmap_tiny_table () =
   let t = HM.create_sized ~buckets:1 ~threads:1 hm_cfg in
   let h = HM.register t ~tid:0 in
   for k = 0 to 99 do
-    Alcotest.(check bool) "insert" true (HM.insert h ~key:k ~value:(k * 2))
+    Alcotest.(check bool) "insert" true (hm_ops.insert h ~key:k ~value:(k * 2))
   done;
   for k = 0 to 99 do
-    Alcotest.(check (option int)) "get" (Some (k * 2)) (HM.get h ~key:k)
+    Alcotest.(check (option int)) "get" (Some (k * 2)) (hm_ops.get h ~key:k)
   done;
-  Alcotest.(check int) "size" 100 (List.length (HM.to_sorted_list t));
+  Alcotest.(check int) "size" 100 (List.length (hm_ops.to_sorted_list t));
   HM.check_invariants t
 
 let test_hashmap_spread () =
   (* Sequential keys must not all land in one bucket. *)
   let t = HM.create_sized ~buckets:64 ~threads:1 hm_cfg in
   let h = HM.register t ~tid:0 in
-  for k = 0 to 255 do ignore (HM.insert h ~key:k ~value:k) done;
+  for k = 0 to 255 do ignore (hm_ops.insert h ~key:k ~value:k) done;
   (* Count non-empty buckets through the dump (indirectly): the
      longest chain should be far below 256. *)
-  let dump = HM.to_sorted_list t in
+  let dump = hm_ops.to_sorted_list t in
   Alcotest.(check int) "all present" 256 (List.length dump)
 
 let test_hashmap_negative_like_keys () =
@@ -97,10 +99,10 @@ let test_hashmap_negative_like_keys () =
   let h = HM.register t ~tid:0 in
   let keys = [ 0; 1; max_int / 2; max_int - 1; 123456789 ] in
   List.iter (fun k ->
-    Alcotest.(check bool) "insert big key" true (HM.insert h ~key:k ~value:k))
+    Alcotest.(check bool) "insert big key" true (hm_ops.insert h ~key:k ~value:k))
     keys;
   List.iter (fun k ->
-    Alcotest.(check bool) "find big key" true (HM.contains h ~key:k))
+    Alcotest.(check bool) "find big key" true (hm_ops.contains h ~key:k))
     keys
 
 (* --- Bonsai balance under arbitrary op sequences -------------------- *)
@@ -110,14 +112,15 @@ let qcheck_bonsai_balanced =
     QCheck.(make Gen.(list_size (int_bound 300) (pair bool (int_bound 127))))
     (fun ops ->
        let module B = Ibr_ds.Bonsai_tree.Make (Po_ibr) in
+       let bm = Option.get B.map in
        let t =
          B.create ~threads:1
            { (Tracker_intf.default_config ()) with reuse = false } in
        let h = B.register t ~tid:0 in
        List.iter
          (fun (ins, k) ->
-            if ins then ignore (B.insert h ~key:k ~value:k)
-            else ignore (B.remove h ~key:k))
+            if ins then ignore (bm.insert h ~key:k ~value:k)
+            else ignore (bm.remove h ~key:k))
          ops;
        B.check_invariants t;
        true)
@@ -126,6 +129,7 @@ let qcheck_bonsai_balanced =
    a contended run the allocator must not leak unpublished nodes. *)
 let test_bonsai_speculation_reclaimed () =
   let module B = Ibr_ds.Bonsai_tree.Make (Ebr) in
+  let bm = Option.get B.map in
   let threads = 6 in
   let cfg =
     { (Tracker_intf.default_config ~threads ()) with
@@ -139,8 +143,8 @@ let test_bonsai_speculation_reclaimed () =
          let rng = Rng.stream ~seed:(60 + i) ~index:i in
          for _ = 1 to 200 do
            let k = Rng.int rng 32 in
-           if Rng.bool rng then ignore (B.insert h ~key:k ~value:k)
-           else ignore (B.remove h ~key:k)
+           if Rng.bool rng then ignore (bm.insert h ~key:k ~value:k)
+           else ignore (bm.remove h ~key:k)
          done))
   done;
   Sched.run sched;
@@ -148,7 +152,7 @@ let test_bonsai_speculation_reclaimed () =
   let h = B.register t ~tid:0 in
   B.force_empty h;
   let s = B.allocator_stats t in
-  let reachable = List.length (B.to_sorted_list t) in
+  let reachable = List.length (bm.to_sorted_list t) in
   (* live = reachable + retired-on-other-handles' lists; the latter is
      bounded by retire lists, not by total allocations. *)
   Alcotest.(check bool)

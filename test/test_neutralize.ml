@@ -166,8 +166,9 @@ let test_watchdog_rearms_ejected_slot () =
    A [with_op] restart that re-applied a landed insert/remove would
    surface as a non-linearizable per-key history (double successful
    insert, phantom remove, ...). *)
-let run_and_check_neutralized (module S : Ibr_ds.Ds_intf.SET) ~seed ~threads
-    ~key_range ~ops_per_thread =
+let run_and_check_neutralized (module S : Ibr_ds.Ds_intf.RIDEABLE) ~seed
+    ~threads ~key_range ~ops_per_thread =
+  let m = Option.get S.map in
   let cfg =
     { (Tracker_intf.default_config ~threads ()) with
       reuse = false; epoch_freq = 2; empty_freq = 8 } in
@@ -187,9 +188,9 @@ let run_and_check_neutralized (module S : Ibr_ds.Ds_intf.SET) ~seed ~threads
            let t_inv = Hooks.global_now () in
            let kind, result =
              match Rng.int rng 3 with
-             | 0 -> (Test_linearizability.Ins, S.insert h ~key ~value:key)
-             | 1 -> (Test_linearizability.Rem, S.remove h ~key)
-             | _ -> (Test_linearizability.Has, S.contains h ~key)
+             | 0 -> (Test_linearizability.Ins, m.insert h ~key ~value:key)
+             | 1 -> (Test_linearizability.Rem, m.remove h ~key)
+             | _ -> (Test_linearizability.Has, m.contains h ~key)
            in
            let t_resp = Hooks.global_now () in
            logs.(tid) <-
@@ -262,6 +263,7 @@ let test_handoff_balanced_after_neutralization () =
   let maker = Ibr_ds.Ds_registry.find_exn "hashmap" in
   let (module S) =
     maker.instantiate Registry.debra_plus.tracker in
+  let sm = Option.get S.map in
   let t = S.create ~threads cfg in
   let sched = Sched.create (Sched.test_config ~cores:3 ~seed:0x42 ()) in
   let finished = ref 0 in
@@ -275,8 +277,8 @@ let test_handoff_balanced_after_neutralization () =
            for _ = 1 to 150 do
              let key = Rng.int rng 32 in
              match Rng.int rng 2 with
-             | 0 -> ignore (S.insert h ~key ~value:key)
-             | _ -> ignore (S.remove h ~key)
+             | 0 -> ignore (sm.insert h ~key ~value:key)
+             | _ -> ignore (sm.remove h ~key)
            done;
            S.detach h;
            incr finished))

@@ -65,6 +65,7 @@ let test_unsafe_oracle_faults () =
 (* Safety on the NM tree, whose helping protocol is the subtlest. *)
 let run_adversarial_tree (module T : Tracker_intf.TRACKER) ~seed =
   let module D = Ibr_ds.Nm_tree.Make (T) in
+  let dm = Option.get D.map in
   let threads = 10 in
   let cfg =
     { (Tracker_intf.default_config ~threads ()) with
@@ -82,9 +83,9 @@ let run_adversarial_tree (module T : Tracker_intf.TRACKER) ~seed =
          for _ = 1 to 200 do
            let k = Rng.int rng 20 in
            match Rng.int rng 3 with
-           | 0 -> ignore (D.insert h ~key:k ~value:k)
-           | 1 -> ignore (D.remove h ~key:k)
-           | _ -> ignore (D.contains h ~key:k)
+           | 0 -> ignore (dm.insert h ~key:k ~value:k)
+           | 1 -> ignore (dm.remove h ~key:k)
+           | _ -> ignore (dm.contains h ~key:k)
          done))
   done;
   Sched.run sched;
@@ -130,6 +131,7 @@ let test_stalled_reader_never_faults (e : Registry.entry) () =
    excluded by the compatibility predicate). *)
 let run_adversarial_bonsai (module T : Tracker_intf.TRACKER) ~seed =
   let module D = Ibr_ds.Bonsai_tree.Make (T) in
+  let dm = Option.get D.map in
   let threads = 8 in
   let cfg =
     { (Tracker_intf.default_config ~threads ()) with
@@ -147,9 +149,9 @@ let run_adversarial_bonsai (module T : Tracker_intf.TRACKER) ~seed =
          for _ = 1 to 150 do
            let k = Rng.int rng 20 in
            match Rng.int rng 3 with
-           | 0 -> ignore (D.insert h ~key:k ~value:k)
-           | 1 -> ignore (D.remove h ~key:k)
-           | _ -> ignore (D.contains h ~key:k)
+           | 0 -> ignore (dm.insert h ~key:k ~value:k)
+           | 1 -> ignore (dm.remove h ~key:k)
+           | _ -> ignore (dm.contains h ~key:k)
          done))
   done;
   Sched.run sched;

@@ -16,6 +16,8 @@ open Ibr_core
 open Ibr_runtime
 open Ibr_ds
 
+(* Only map-capable rideables run the set-semantics suite; the queue
+   rideables have their own model tests in test_rideables.ml. *)
 let pairs =
   List.concat_map
     (fun (maker : Ds_registry.maker) ->
@@ -25,11 +27,14 @@ let pairs =
               Some (maker, e)
             else None)
          Registry.all)
-    Ds_registry.all
+    (List.filter (fun (m : Ds_registry.maker) -> m.caps.Ds_intf.map)
+       Ds_registry.all)
 
 (* --- 1. sequential model equivalence ------------------------------ *)
 
-let sequential_model_run (module S : Ds_intf.SET) ~seed ~ops ~key_range =
+let sequential_model_run (module S : Ds_intf.RIDEABLE) ~seed ~ops ~key_range
+  =
+  let m = Option.get S.map in
   let cfg =
     { (Tracker_intf.default_config ~threads:1 ()) with
       reuse = false; epoch_freq = 2; empty_freq = 4 } in
@@ -42,23 +47,23 @@ let sequential_model_run (module S : Ds_intf.SET) ~seed ~ops ~key_range =
     match Rng.int rng 4 with
     | 0 | 1 ->
       let expected = not (Hashtbl.mem model k) in
-      let got = S.insert h ~key:k ~value:(k * 3) in
+      let got = m.insert h ~key:k ~value:(k * 3) in
       if got <> expected then
         Alcotest.failf "insert %d: expected %b got %b" k expected got;
       if got then Hashtbl.replace model k (k * 3)
     | 2 ->
       let expected = Hashtbl.mem model k in
-      let got = S.remove h ~key:k in
+      let got = m.remove h ~key:k in
       if got <> expected then
         Alcotest.failf "remove %d: expected %b got %b" k expected got;
       if got then Hashtbl.remove model k
     | _ ->
       let expected = Hashtbl.find_opt model k in
-      let got = S.get h ~key:k in
+      let got = m.get h ~key:k in
       if got <> expected then Alcotest.failf "get %d mismatch" k
   done;
   (* Final contents match the model exactly. *)
-  let dumped = S.to_sorted_list t in
+  let dumped = m.to_sorted_list t in
   let modeled =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
     |> List.sort compare
@@ -76,8 +81,9 @@ let test_sequential (maker : Ds_registry.maker) (e : Registry.entry) () =
 
 type op_log = { mutable ins_ok : int array; mutable rem_ok : int array }
 
-let concurrent_balance_run (module S : Ds_intf.SET) ~seed ~threads ~key_range
-    ~ops_per_thread =
+let concurrent_balance_run (module S : Ds_intf.RIDEABLE) ~seed ~threads
+    ~key_range ~ops_per_thread =
+  let m = Option.get S.map in
   let cfg =
     { (Tracker_intf.default_config ~threads ()) with
       reuse = false; epoch_freq = 2; empty_freq = 8 } in
@@ -100,16 +106,16 @@ let concurrent_balance_run (module S : Ds_intf.SET) ~seed ~threads ~key_range
            let k = Rng.int rng key_range in
            match Rng.int rng 3 with
            | 0 ->
-             if S.insert h ~key:k ~value:k then
+             if m.insert h ~key:k ~value:k then
                logs.(tid).ins_ok.(k) <- logs.(tid).ins_ok.(k) + 1
            | 1 ->
-             if S.remove h ~key:k then
+             if m.remove h ~key:k then
                logs.(tid).rem_ok.(k) <- logs.(tid).rem_ok.(k) + 1
-           | _ -> ignore (S.contains h ~key:k)
+           | _ -> ignore (m.contains h ~key:k)
          done))
   done;
   Sched.run sched;
-  let final = S.to_sorted_list t in
+  let final = m.to_sorted_list t in
   for k = 0 to key_range - 1 do
     let ins =
       Array.fold_left (fun n l -> n + l.ins_ok.(k)) 0 logs in
@@ -135,18 +141,19 @@ let test_concurrent_balance (maker : Ds_registry.maker) (e : Registry.entry)
 
 let test_insert_semantics (maker : Ds_registry.maker) (e : Registry.entry) ()
   =
-  let (module S : Ds_intf.SET) = maker.instantiate e.tracker in
+  let (module S : Ds_intf.RIDEABLE) = maker.instantiate e.tracker in
+  let m = Option.get S.map in
   let cfg = { (Tracker_intf.default_config ()) with reuse = false } in
   let t = S.create ~threads:1 cfg in
   let h = S.register t ~tid:0 in
-  Alcotest.(check bool) "insert new" true (S.insert h ~key:5 ~value:50);
-  Alcotest.(check bool) "insert dup" false (S.insert h ~key:5 ~value:51);
-  Alcotest.(check (option int)) "value kept" (Some 50) (S.get h ~key:5);
-  Alcotest.(check bool) "remove" true (S.remove h ~key:5);
-  Alcotest.(check bool) "remove absent" false (S.remove h ~key:5);
-  Alcotest.(check (option int)) "gone" None (S.get h ~key:5);
-  Alcotest.(check bool) "reinsert" true (S.insert h ~key:5 ~value:52);
-  Alcotest.(check (option int)) "new value" (Some 52) (S.get h ~key:5)
+  Alcotest.(check bool) "insert new" true (m.insert h ~key:5 ~value:50);
+  Alcotest.(check bool) "insert dup" false (m.insert h ~key:5 ~value:51);
+  Alcotest.(check (option int)) "value kept" (Some 50) (m.get h ~key:5);
+  Alcotest.(check bool) "remove" true (m.remove h ~key:5);
+  Alcotest.(check bool) "remove absent" false (m.remove h ~key:5);
+  Alcotest.(check (option int)) "gone" None (m.get h ~key:5);
+  Alcotest.(check bool) "reinsert" true (m.insert h ~key:5 ~value:52);
+  Alcotest.(check (option int)) "new value" (Some 52) (m.get h ~key:5)
 
 (* --- qcheck: sequential equivalence on arbitrary op lists ---------- *)
 
@@ -160,7 +167,8 @@ let qcheck_sequential (maker : Ds_registry.maker) (e : Registry.entry) =
     ~count:30
     QCheck.(make Gen.(list_size (int_bound 200) (op_gen 16)))
     (fun ops ->
-       let (module S : Ds_intf.SET) = maker.instantiate e.tracker in
+       let (module S : Ds_intf.RIDEABLE) = maker.instantiate e.tracker in
+       let m = Option.get S.map in
        let cfg =
          { (Tracker_intf.default_config ()) with
            reuse = false; epoch_freq = 2; empty_freq = 4 } in
@@ -172,17 +180,17 @@ let qcheck_sequential (maker : Ds_registry.maker) (e : Registry.entry) =
             match op with
             | 0 ->
               let expected = not (Hashtbl.mem model k) in
-              let got = S.insert h ~key:k ~value:k in
+              let got = m.insert h ~key:k ~value:k in
               if got then Hashtbl.replace model k k;
               got = expected
             | 1 ->
               let expected = Hashtbl.mem model k in
-              let got = S.remove h ~key:k in
+              let got = m.remove h ~key:k in
               if got then Hashtbl.remove model k;
               got = expected
-            | _ -> S.get h ~key:k = Hashtbl.find_opt model k)
+            | _ -> m.get h ~key:k = Hashtbl.find_opt model k)
          ops
-       && S.to_sorted_list t
+       && m.to_sorted_list t
           = (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
              |> List.sort compare))
 
